@@ -1,0 +1,171 @@
+package repro_test
+
+// One benchmark per table and figure in the paper's evaluation, as
+// indexed in DESIGN.md §5. Each bench regenerates its experiment
+// through internal/experiments (at Short scale so `go test -bench=.`
+// stays tractable; run cmd/paperfigs for the full figures) and reports
+// the headline ratio the paper claims as a custom metric. A second
+// group benchmarks the real goroutine runtime itself.
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/kernels"
+)
+
+// benchExperiment regenerates a paper experiment once per iteration and
+// reports the fraction of its shape checks that pass as a custom
+// metric (1.0 = the paper's qualitative claims all reproduce at this
+// scale; tiny Short-scale inputs may flip marginal checks).
+func benchExperiment(b *testing.B, id string) {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scale := experiments.Short
+	if !testing.Short() && benchScalePaper {
+		scale = experiments.Paper
+	}
+	passRatio := 1.0
+	for i := 0; i < b.N; i++ {
+		r, err := e.Run(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Failed() && scale != experiments.Short {
+			b.Fatalf("%s: shape checks failed", id)
+		}
+		if n := len(r.Findings); n > 0 {
+			pass := 0
+			for _, f := range r.Findings {
+				if f.Pass {
+					pass++
+				}
+			}
+			passRatio = float64(pass) / float64(n)
+		}
+	}
+	b.ReportMetric(passRatio, "checks_pass")
+}
+
+// benchScalePaper can be flipped to true to run full paper sizes under
+// the bench harness (several minutes per figure).
+const benchScalePaper = false
+
+func BenchmarkFig03SOR(b *testing.B)           { benchExperiment(b, "fig3") }
+func BenchmarkFig04Gauss(b *testing.B)         { benchExperiment(b, "fig4") }
+func BenchmarkFig05TCRandom(b *testing.B)      { benchExperiment(b, "fig5") }
+func BenchmarkFig06TCSkewed(b *testing.B)      { benchExperiment(b, "fig6") }
+func BenchmarkFig07Adjoint(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkFig08AdjointRev(b *testing.B)    { benchExperiment(b, "fig8") }
+func BenchmarkFig09L4(b *testing.B)            { benchExperiment(b, "fig9") }
+func BenchmarkFig10Triangular(b *testing.B)    { benchExperiment(b, "fig10") }
+func BenchmarkFig11Parabolic(b *testing.B)     { benchExperiment(b, "fig11") }
+func BenchmarkFig12Step(b *testing.B)          { benchExperiment(b, "fig12") }
+func BenchmarkFig13SyncOnly(b *testing.B)      { benchExperiment(b, "fig13") }
+func BenchmarkTable2DelayedStart(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3SyncSOR(b *testing.B)      { benchExperiment(b, "table3") }
+func BenchmarkTable4SyncTC(b *testing.B)       { benchExperiment(b, "table4") }
+func BenchmarkTable5SyncAdjoint(b *testing.B)  { benchExperiment(b, "table5") }
+func BenchmarkFig14GaussSymmetry(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFig15GaussKSR(b *testing.B)      { benchExperiment(b, "fig15") }
+func BenchmarkFig16TCKSR(b *testing.B)         { benchExperiment(b, "fig16") }
+func BenchmarkFig17SORKSR(b *testing.B)        { benchExperiment(b, "fig17") }
+func BenchmarkSec53LargeGauss(b *testing.B)    { benchExperiment(b, "sec5.3") }
+
+// Extension/ablation experiments (see internal/experiments/ext.go).
+func BenchmarkExtAFSLocalK(b *testing.B)   { benchExperiment(b, "ext-k") }
+func BenchmarkExtStealPolicy(b *testing.B) { benchExperiment(b, "ext-steal") }
+func BenchmarkExtAFSLE(b *testing.B)       { benchExperiment(b, "ext-le") }
+func BenchmarkExtGSSK(b *testing.B)        { benchExperiment(b, "ext-gssk") }
+func BenchmarkExtTapering(b *testing.B)    { benchExperiment(b, "ext-tapering") }
+func BenchmarkExtAdaptiveGSS(b *testing.B) { benchExperiment(b, "ext-agss") }
+func BenchmarkExtTheory(b *testing.B)      { benchExperiment(b, "ext-theory") }
+func BenchmarkExtQuantum(b *testing.B)     { benchExperiment(b, "ext-quantum") }
+func BenchmarkExtReconfig(b *testing.B)    { benchExperiment(b, "ext-reconfig") }
+
+// ---- real-runtime benchmarks: the scheduling protocols themselves ----
+
+// benchRuntime measures ParallelFor dispatch overhead for one
+// scheduler: a loop of cheap bodies, so queue protocol costs dominate.
+func benchRuntime(b *testing.B, name string, procs int) {
+	var sink int64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := repro.ParallelFor(100_000,
+			func(i int) { atomic.AddInt64(&sink, int64(i&1)) },
+			repro.WithScheduler(name), repro.WithProcs(procs))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRuntimeStatic(b *testing.B)       { benchRuntime(b, "static", 8) }
+func BenchmarkRuntimeSS(b *testing.B)           { benchRuntime(b, "ss", 8) }
+func BenchmarkRuntimeChunk(b *testing.B)        { benchRuntime(b, "chunk(64)", 8) }
+func BenchmarkRuntimeGSS(b *testing.B)          { benchRuntime(b, "gss", 8) }
+func BenchmarkRuntimeFactoring(b *testing.B)    { benchRuntime(b, "factoring", 8) }
+func BenchmarkRuntimeTrapezoid(b *testing.B)    { benchRuntime(b, "trapezoid", 8) }
+func BenchmarkRuntimeAFS(b *testing.B)          { benchRuntime(b, "afs", 8) }
+func BenchmarkRuntimeAFSK2(b *testing.B)        { benchRuntime(b, "afs(k=2)", 8) }
+func BenchmarkRuntimeModFactoring(b *testing.B) { benchRuntime(b, "mod-factoring", 8) }
+func BenchmarkRuntimeAdaptiveGSS(b *testing.B)  { benchRuntime(b, "a-gss", 8) }
+
+// BenchmarkRuntimeSORPhases measures the paper's canonical shape — a
+// parallel loop nested in a sequential loop over real data — under the
+// three most interesting schedulers.
+func benchSOR(b *testing.B, name string) {
+	const n, phases = 256, 8
+	for i := 0; i < b.N; i++ {
+		g := kernels.NewSORGrid(n)
+		for ph := 0; ph < phases; ph++ {
+			_, err := repro.ParallelFor(n, func(j int) { g.UpdateRow(j) },
+				repro.WithScheduler(name))
+			if err != nil {
+				b.Fatal(err)
+			}
+			g.Swap()
+		}
+	}
+}
+
+func BenchmarkSORRealAFS(b *testing.B)    { benchSOR(b, "afs") }
+func BenchmarkSORRealGSS(b *testing.B)    { benchSOR(b, "gss") }
+func BenchmarkSORRealSS(b *testing.B)     { benchSOR(b, "ss") }
+func BenchmarkSORRealStatic(b *testing.B) { benchSOR(b, "static") }
+
+// BenchmarkGaussReal exercises the shrinking-phase pattern.
+func benchGauss(b *testing.B, name string) {
+	const n = 192
+	for i := 0; i < b.N; i++ {
+		g := kernels.NewGaussMatrix(n)
+		_, err := repro.ForPhases(n-1, g.PhaseIterations,
+			func(ph, i int) { g.EliminateRow(ph, i) },
+			repro.WithScheduler(name))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGaussRealAFS(b *testing.B) { benchGauss(b, "afs") }
+func BenchmarkGaussRealGSS(b *testing.B) { benchGauss(b, "gss") }
+
+// BenchmarkAdjointReal exercises the load-imbalance pattern.
+func benchAdjoint(b *testing.B, name string) {
+	for i := 0; i < b.N; i++ {
+		d := kernels.NewAdjointData(32, false)
+		_, err := repro.ParallelFor(d.Iterations(), d.Body, repro.WithScheduler(name))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdjointRealAFS(b *testing.B)       { benchAdjoint(b, "afs") }
+func BenchmarkAdjointRealFactoring(b *testing.B) { benchAdjoint(b, "factoring") }
+func BenchmarkAdjointRealStatic(b *testing.B)    { benchAdjoint(b, "static") }

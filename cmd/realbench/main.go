@@ -1,0 +1,193 @@
+// Command realbench sweeps worker counts on the REAL goroutine runtime
+// for one of the paper's kernels and prints completion time, speedup
+// and scheduling activity per algorithm — the live-hardware counterpart
+// of cmd/paperfigs' simulations. On a multicore host the speedup
+// columns show each scheduler's scaling; the sync-op columns always
+// reflect the real protocol behaviour.
+//
+//	realbench -kernel gauss -n 512 -workers 1,2,4,8
+//	realbench -kernel adjoint -n 64 -algos gss,factoring,afs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"time"
+
+	"repro"
+	"repro/internal/cli"
+	"repro/internal/kernels"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		kernelName = flag.String("kernel", "gauss", "kernel: sor, gauss, tc-skew, adjoint, adjoint-rev, l4, step")
+		n          = flag.Int("n", 384, "problem size")
+		phases     = flag.Int("phases", 16, "sweeps (sor) / outer iterations (l4)")
+		workers    = flag.String("workers", defaultWorkers(), "comma-separated worker counts")
+		algosFlag  = flag.String("algos", "static,ss,gss,factoring,trapezoid,afs,mod-factoring", "algorithms")
+		repeats    = flag.Int("repeats", 3, "runs per cell (median reported)")
+	)
+	flag.Parse()
+
+	counts, err := cli.ParseProcs(*workers)
+	if err != nil {
+		fatal(err)
+	}
+	specs, err := cli.ParseAlgos(*algosFlag)
+	if err != nil {
+		fatal(err)
+	}
+	run, desc, err := realKernel(*kernelName, *n, *phases)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s — real goroutine runtime on %d host CPUs\n\n", desc, runtime.NumCPU())
+	cols := []string{"workers"}
+	for _, s := range specs {
+		cols = append(cols, s.Name)
+	}
+	timeTab := stats.NewTable("median wall time", cols...)
+	opsTab := stats.NewTable("total sync ops (single run)", cols...)
+	for _, w := range counts {
+		trow := []string{strconv.Itoa(w)}
+		orow := []string{strconv.Itoa(w)}
+		for _, spec := range specs {
+			var times []time.Duration
+			var ops int64
+			for r := 0; r < *repeats; r++ {
+				st, err := run(w, spec.Name)
+				if err != nil {
+					fatal(err)
+				}
+				times = append(times, st.Elapsed)
+				ops = st.TotalSyncOps()
+			}
+			trow = append(trow, median(times).Round(10*time.Microsecond).String())
+			orow = append(orow, strconv.FormatInt(ops, 10))
+		}
+		timeTab.AddRow(trow...)
+		opsTab.AddRow(orow...)
+	}
+	timeTab.Render(os.Stdout)
+	fmt.Println()
+	opsTab.Render(os.Stdout)
+}
+
+// realKernel returns a runner executing the kernel's real form under a
+// given worker count and scheduler name.
+func realKernel(name string, n, phases int) (func(workers int, algo string) (repro.RunStats, error), string, error) {
+	switch name {
+	case "sor":
+		return func(w int, algo string) (repro.RunStats, error) {
+			g := kernels.NewSORGrid(n)
+			var total repro.RunStats
+			for ph := 0; ph < phases; ph++ {
+				st, err := repro.ParallelFor(n, func(j int) { g.UpdateRow(j) },
+					repro.WithScheduler(algo), repro.WithProcs(w))
+				if err != nil {
+					return total, err
+				}
+				accumulate(&total, st)
+				g.Swap()
+			}
+			return total, nil
+		}, fmt.Sprintf("SOR %d×%d, %d sweeps", n, n, phases), nil
+	case "gauss":
+		return func(w int, algo string) (repro.RunStats, error) {
+			g := kernels.NewGaussMatrix(n)
+			return repro.ForPhases(n-1, g.PhaseIterations,
+				func(ph, i int) { g.EliminateRow(ph, i) },
+				repro.WithScheduler(algo), repro.WithProcs(w))
+		}, fmt.Sprintf("Gaussian elimination %d×%d", n, n), nil
+	case "tc-skew":
+		g := workload.CliqueGraph(n, n/2)
+		return func(w int, algo string) (repro.RunStats, error) {
+			tc := kernels.NewTCGraph(g)
+			var total repro.RunStats
+			for ph := 0; ph < g.N; ph++ {
+				tc.BeginPhase(ph)
+				st, err := repro.ParallelFor(g.N, func(j int) { tc.UpdateRow(ph, j) },
+					repro.WithScheduler(algo), repro.WithProcs(w))
+				if err != nil {
+					return total, err
+				}
+				accumulate(&total, st)
+			}
+			return total, nil
+		}, fmt.Sprintf("transitive closure, %d nodes with %d-clique", n, n/2), nil
+	case "adjoint":
+		return func(w int, algo string) (repro.RunStats, error) {
+			d := kernels.NewAdjointData(n, false)
+			return repro.ParallelFor(d.Iterations(), d.Body,
+				repro.WithScheduler(algo), repro.WithProcs(w))
+		}, fmt.Sprintf("adjoint convolution N=%d (%d iterations)", n, n*n), nil
+	case "adjoint-rev":
+		return func(w int, algo string) (repro.RunStats, error) {
+			d := kernels.NewAdjointData(n, true)
+			return repro.ParallelFor(d.Iterations(), d.Body,
+				repro.WithScheduler(algo), repro.WithProcs(w))
+		}, fmt.Sprintf("adjoint convolution (reversed) N=%d", n), nil
+	case "l4":
+		return func(w int, algo string) (repro.RunStats, error) {
+			r := kernels.NewL4Real(phases, 1, 20)
+			var total repro.RunStats
+			for s := 0; s < r.Loops(); s++ {
+				st, err := repro.ParallelFor(r.LoopN(s), func(i int) { r.Body(s, i) },
+					repro.WithScheduler(algo), repro.WithProcs(w))
+				if err != nil {
+					return total, err
+				}
+				accumulate(&total, st)
+			}
+			return total, nil
+		}, fmt.Sprintf("L4, %d outer iterations", phases), nil
+	case "step":
+		cost := workload.Step(n, 0.1, 100, 1)
+		return func(w int, algo string) (repro.RunStats, error) {
+			return repro.ParallelFor(n, func(i int) { kernels.Spin(int(cost(i)) * 20) },
+				repro.WithScheduler(algo), repro.WithProcs(w))
+		}, fmt.Sprintf("step workload N=%d", n), nil
+	}
+	return nil, "", fmt.Errorf("unknown kernel %q for the real runtime", name)
+}
+
+func accumulate(total *repro.RunStats, st repro.RunStats) {
+	total.Elapsed += st.Elapsed
+	total.CentralOps += st.CentralOps
+	total.Steals += st.Steals
+	total.MigratedIters += st.MigratedIters
+	total.Iterations += st.Iterations
+	for i := range st.LocalOps {
+		total.CentralOps += st.LocalOps[i] + st.RemoteOps[i]
+	}
+}
+
+func median(d []time.Duration) time.Duration {
+	for i := 1; i < len(d); i++ {
+		for j := i; j > 0 && d[j] < d[j-1]; j-- {
+			d[j], d[j-1] = d[j-1], d[j]
+		}
+	}
+	return d[len(d)/2]
+}
+
+func defaultWorkers() string {
+	max := runtime.NumCPU()
+	s := "1"
+	for w := 2; w <= max; w *= 2 {
+		s += "," + strconv.Itoa(w)
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "realbench:", err)
+	os.Exit(1)
+}

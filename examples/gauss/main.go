@@ -1,0 +1,84 @@
+// Gauss: parallel Gaussian elimination with shrinking phases — the
+// paper's Fig 4/15 kernel. Each elimination phase is a parallel loop
+// over the rows below the pivot; the iteration space shifts by one row
+// per phase, so affinity is strong but imperfect, and the shared pivot
+// row must reach every processor each phase.
+//
+// The example solves a diagonally-dominant system under several
+// schedulers, checks the solutions against back-substitution, and
+// prints a simulated KSR-1 comparison (reproducing Fig 15's shape).
+//
+//	go run ./examples/gauss [-n 384] [-simprocs 32]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"repro"
+	"repro/internal/kernels"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 384, "matrix dimension")
+		simProcs = flag.Int("simprocs", 32, "processors for the simulated KSR-1 run")
+	)
+	flag.Parse()
+
+	algos := []string{"static", "gss", "factoring", "trapezoid", "afs", "mod-factoring"}
+	tab := stats.NewTable(
+		fmt.Sprintf("Gaussian elimination %d×%d — real runtime", *n, *n),
+		"algorithm", "wall time", "sync ops", "steals", "max |x-1|")
+	for _, name := range algos {
+		g := kernels.NewGaussMatrix(*n)
+		st, err := repro.ForPhases(*n-1, g.PhaseIterations,
+			func(ph, i int) { g.EliminateRow(ph, i) },
+			repro.WithScheduler(name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The system is built so the solution is all ones.
+		worst := 0.0
+		for _, v := range g.BackSubstitute() {
+			if d := math.Abs(v - 1); d > worst {
+				worst = d
+			}
+		}
+		tab.AddRow(name, st.Elapsed.String(), fmt.Sprint(st.TotalSyncOps()),
+			fmt.Sprint(st.Steals), fmt.Sprintf("%.1e", worst))
+	}
+	tab.Render(os.Stdout)
+
+	fmt.Println()
+	m := repro.KSR1()
+	simTab := stats.NewTable(
+		fmt.Sprintf("Gaussian elimination %d×%d — simulated %s, %d processors (cf. Fig 15)",
+			*n, *n, m.Name, *simProcs),
+		"algorithm", "sim time (s)", "vs AFS")
+	var afsTime float64
+	results := map[string]float64{}
+	for _, name := range algos {
+		spec, err := repro.SchedulerByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := repro.Simulate(m, *simProcs, spec, kernels.Gauss{N: *n}.Program(m))
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[name] = res.Seconds
+		if name == "afs" {
+			afsTime = res.Seconds
+		}
+	}
+	for _, name := range algos {
+		simTab.AddRow(name, stats.FormatSeconds(results[name]),
+			fmt.Sprintf("%.2fx", results[name]/afsTime))
+	}
+	simTab.Render(os.Stdout)
+}

@@ -1,0 +1,81 @@
+// Machines: one kernel, four 1992 multiprocessors — how architecture
+// decides which scheduling algorithm wins (§5 of the paper). The same
+// Gaussian elimination is simulated on the Iris (fast CPUs, slow bus),
+// the Butterfly (NUMA, no caches), the Symmetry (slow CPUs, fast bus)
+// and the KSR-1 (huge caches, expensive sync), and the per-machine
+// winners and losers are summarised.
+//
+//	go run ./examples/machines [-n 256]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro"
+	"repro/internal/kernels"
+	"repro/internal/stats"
+)
+
+func main() {
+	n := flag.Int("n", 256, "matrix dimension")
+	flag.Parse()
+
+	type mp struct {
+		m     *repro.Machine
+		procs int
+	}
+	machines := []mp{
+		{repro.Iris(), 8},
+		{repro.ButterflyI(), 32},
+		{repro.Symmetry(), 10},
+		{repro.KSR1(), 32},
+	}
+	algos := []string{"ss", "gss", "trapezoid", "afs"}
+
+	tab := stats.NewTable(
+		fmt.Sprintf("Gaussian elimination %d×%d across machine models (simulated seconds)", *n, *n),
+		"machine", "procs", "SS", "GSS", "TRAPEZOID", "AFS", "AFS advantage")
+	for _, mc := range machines {
+		times := map[string]float64{}
+		row := []string{mc.m.Name, fmt.Sprint(mc.procs)}
+		for _, name := range algos {
+			spec, err := repro.SchedulerByName(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := repro.Simulate(mc.m, mc.procs, spec,
+				kernels.Gauss{N: *n}.Program(mc.m))
+			if err != nil {
+				log.Fatal(err)
+			}
+			times[name] = res.Seconds
+			row = append(row, stats.FormatSeconds(res.Seconds))
+		}
+		best := times["ss"]
+		for _, v := range times {
+			if v < best {
+				best = v
+			}
+		}
+		// How much the best non-affinity algorithm loses to AFS.
+		rest := []float64{times["ss"], times["gss"], times["trapezoid"]}
+		sort.Float64s(rest)
+		row = append(row, fmt.Sprintf("%.2fx", rest[0]/times["afs"]))
+		tab.AddRow(row...)
+	}
+	tab.Render(os.Stdout)
+
+	fmt.Println(`
+Reading the last column (best central-queue algorithm vs AFS):
+  - Iris:      expensive bus, cheap compute — affinity is everything.
+  - Butterfly: no caches to be affine to — the gap nearly vanishes.
+  - Symmetry:  slow CPUs make communication relatively cheap — small gap.
+  - KSR-1:     32 MB caches and costly sync — affinity dominates again.
+This is the paper's §5 argument: as processor speeds outgrow memory and
+interconnect speeds, schedulers that ignore data location forfeit ever
+more performance.`)
+}

@@ -1,0 +1,155 @@
+// Package analytic implements the closed-form results of the paper's
+// §3 — Lemma 3.1, Theorems 3.1-3.3 and the comparison op counts — so
+// simulated and measured behaviour can be checked against theory, and
+// so users can predict scheduling overheads without running anything.
+package analytic
+
+import "math"
+
+// Lemma31Accesses bounds the number of removals needed to drain a work
+// queue of n iterations when each access removes 1/k of the remainder:
+// O(k·log(n/k)) (Lemma 3.1, from Polychronopoulos & Kuck). The returned
+// value is the bound's leading term with its additive slack, suitable
+// for ≤ comparisons against exact counts.
+func Lemma31Accesses(n, k int) float64 {
+	if n <= 0 || k <= 0 {
+		return 0
+	}
+	if k == 1 {
+		return 1 // the single access takes everything
+	}
+	// Each access leaves at most (1-1/k) of the remainder, so the count
+	// is ≤ ln(n)/ln(k/(k-1)) ≈ k·ln(n); we report the k·(ln(n/k)+2)
+	// form, which dominates the exact recurrence for all n, k ≥ 2.
+	return float64(k) * (math.Max(0, math.Log(float64(n)/float64(k))) + 2)
+}
+
+// ExactDrainAccesses counts exactly how many ⌈r/k⌉ removals drain a
+// queue of n iterations — the quantity Lemma 3.1 bounds.
+func ExactDrainAccesses(n, k int) int {
+	if n <= 0 {
+		return 0
+	}
+	if k <= 1 {
+		return 1
+	}
+	ops := 0
+	for r := n; r > 0; {
+		take := (r + k - 1) / k
+		r -= take
+		ops++
+	}
+	return ops
+}
+
+// Theorem31QueueOps bounds the synchronisation operations on one AFS
+// work queue: O(k·log(N/(Pk)) + P·log(N/P²)) — local takes of 1/k on
+// the initial N/P plus remote steals of 1/P (Theorem 3.1).
+func Theorem31QueueOps(n, p, k int) float64 {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if k <= 0 {
+		k = p
+	}
+	local := float64(ExactDrainAccesses(n/p, k))
+	remote := float64(ExactDrainAccesses(n/p, p))
+	return local + remote
+}
+
+// Theorem32Imbalance returns the worst-case finishing spread, in
+// iterations, for AFS with parameter k on a loop of N equal-cost
+// iterations and staggered processor starts:
+//
+//	N(P-k) / (P(P-1)k) + 1    (Theorem 3.2)
+//
+// With k = P the spread is one iteration, matching GSS and factoring.
+func Theorem32Imbalance(n, p, k int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	if k <= 0 {
+		k = p
+	}
+	return float64(n)*float64(p-k)/(float64(p)*float64(p-1)*float64(k)) + 1
+}
+
+// Theorem33Fraction returns the fraction of the remaining iterations a
+// chunk may contain so that it holds at most 1/P of the remaining
+// *work*, for loops whose iteration time decreases polynomially with
+// exponent k (iteration i costs ∝ (N-i)^k): 1/((k+1)P) (Theorem 3.3).
+//
+// k = 0 (constant): 1/P. k = 1 (triangular): 1/(2P). k = 2 (parabolic):
+// 1/(3P).
+func Theorem33Fraction(k, p int) float64 {
+	if p <= 0 || k < 0 {
+		return 0
+	}
+	return 1 / (float64(k+1) * float64(p))
+}
+
+// PolyChunkWork returns the exact fraction of remaining work contained
+// in the first `frac` fraction of remaining iterations, for iteration
+// costs ∝ (R-x)^k over R remaining iterations (continuum limit):
+//
+//	1 - (1-frac)^(k+1)
+//
+// Theorem 3.3 is the statement PolyChunkWork(1/((k+1)P), k) ≤ 1/P.
+func PolyChunkWork(frac float64, k int) float64 {
+	if frac <= 0 {
+		return 0
+	}
+	if frac >= 1 {
+		return 1
+	}
+	return 1 - math.Pow(1-frac, float64(k+1))
+}
+
+// GSSOps counts guided self-scheduling's exact queue operations for a
+// loop of n iterations on p processors (the O(P log(N/P)) quantity).
+func GSSOps(n, p int) int {
+	return ExactDrainAccesses(n, p)
+}
+
+// FactoringOps counts factoring's exact queue operations: phases of P
+// chunks, each phase covering half the remainder.
+func FactoringOps(n, p int) int {
+	ops := 0
+	for r := n; r > 0; {
+		size := (r + 2*p - 1) / (2 * p)
+		if size < 1 {
+			size = 1
+		}
+		for i := 0; i < p && r > 0; i++ {
+			take := size
+			if take > r {
+				take = r
+			}
+			r -= take
+			ops++
+		}
+	}
+	return ops
+}
+
+// TrapezoidOps approximates trapezoid self-scheduling's queue
+// operations: C = ⌈2N/(f+1)⌉ with f = ⌈N/2P⌉ — about 4P for N ≫ P.
+func TrapezoidOps(n, p int) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	f := (n + 2*p - 1) / (2 * p)
+	if f < 1 {
+		f = 1
+	}
+	return (2*n + f) / (f + 1)
+}
+
+// SSOps is self-scheduling's op count: exactly one per iteration.
+func SSOps(n int) int { return n }
+
+// SerializedSyncCycles estimates the completion-time floor imposed by a
+// central queue: ops × service cycles, all serialised.
+func SerializedSyncCycles(ops int, serviceCycles float64) float64 {
+	return float64(ops) * serviceCycles
+}

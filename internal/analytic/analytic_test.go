@@ -1,0 +1,193 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sched"
+)
+
+// TestLemma31BoundsExact: the closed-form bound dominates the exact
+// drain count across a wide parameter range.
+func TestLemma31BoundsExact(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 64, 100, 1024, 50000} {
+		for _, k := range []int{1, 2, 3, 8, 16, 64} {
+			exact := float64(ExactDrainAccesses(n, k))
+			bound := Lemma31Accesses(n, k)
+			if exact > bound {
+				t.Errorf("n=%d k=%d: exact %v exceeds bound %v", n, k, exact, bound)
+			}
+		}
+	}
+}
+
+func TestExactDrainAccesses(t *testing.T) {
+	if got := ExactDrainAccesses(0, 4); got != 0 {
+		t.Errorf("empty queue: %d", got)
+	}
+	if got := ExactDrainAccesses(100, 1); got != 1 {
+		t.Errorf("k=1 takes all: %d", got)
+	}
+	// k=2 on n=8: takes 4,2,1,1 → 4 ops.
+	if got := ExactDrainAccesses(8, 2); got != 4 {
+		t.Errorf("n=8 k=2: %d, want 4", got)
+	}
+}
+
+// TestExactDrainMatchesGSSChunks: the drain recurrence is exactly the
+// GSS chunk count.
+func TestExactDrainMatchesGSSChunks(t *testing.T) {
+	f := func(n16 uint16, p8 uint8) bool {
+		n := int(n16)%5000 + 1
+		p := int(p8)%32 + 1
+		return ExactDrainAccesses(n, p) == len(sched.Chunks(&sched.GSS{}, n, p))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFactoringOpsMatchImplementation ties the analytic count to the
+// policy implementation.
+func TestFactoringOpsMatchImplementation(t *testing.T) {
+	for _, n := range []int{1, 10, 512, 640, 5625} {
+		for _, p := range []int{1, 2, 8, 16} {
+			want := len(sched.Chunks(&sched.Factoring{}, n, p))
+			if got := FactoringOps(n, p); got != want {
+				t.Errorf("n=%d p=%d: analytic %d, implementation %d", n, p, got, want)
+			}
+		}
+	}
+}
+
+// TestTrapezoidOpsApproximation: the C = ⌈2N/(f+1)⌉ estimate tracks
+// the implementation within a small relative slack (rounding makes the
+// implementation produce a few chunks more or fewer).
+func TestTrapezoidOpsApproximation(t *testing.T) {
+	for _, n := range []int{512, 640, 5625, 50000} {
+		for _, p := range []int{2, 8, 16} {
+			impl := len(sched.Chunks(&sched.Trapezoid{}, n, p))
+			est := TrapezoidOps(n, p)
+			if math.Abs(float64(impl-est)) > 0.2*float64(est)+3 {
+				t.Errorf("n=%d p=%d: implementation %d vs estimate %d", n, p, impl, est)
+			}
+		}
+	}
+}
+
+func TestTheorem31QueueOps(t *testing.T) {
+	// k = P on N=512, P=8: local drain of 64 by 1/8 plus remote drain.
+	got := Theorem31QueueOps(512, 8, 0)
+	if got < 10 || got > 120 {
+		t.Errorf("bound %v out of plausible range", got)
+	}
+	if Theorem31QueueOps(0, 8, 8) != 0 || Theorem31QueueOps(512, 0, 8) != 0 {
+		t.Error("degenerate inputs not handled")
+	}
+}
+
+func TestTheorem32Imbalance(t *testing.T) {
+	// k = P: exactly one iteration of spread.
+	if got := Theorem32Imbalance(1<<20, 8, 8); got != 1 {
+		t.Errorf("k=P spread = %v, want 1", got)
+	}
+	// k = 2 on the paper's numbers: N(P-2)/(P(P-1)·2)+1.
+	n, p := 1<<20, 8
+	want := float64(n)*6/(8*7*2) + 1
+	if got := Theorem32Imbalance(n, p, 2); math.Abs(got-want) > 1e-9 {
+		t.Errorf("k=2 spread = %v, want %v", got, want)
+	}
+	// Spread shrinks as k grows toward P.
+	if !(Theorem32Imbalance(n, p, 2) > Theorem32Imbalance(n, p, 4)) {
+		t.Error("imbalance not decreasing in k")
+	}
+	if Theorem32Imbalance(100, 1, 1) != 0 {
+		t.Error("single processor has no imbalance")
+	}
+}
+
+func TestTheorem33Fraction(t *testing.T) {
+	p := 8
+	if got := Theorem33Fraction(0, p); got != 1.0/8 {
+		t.Errorf("constant loop: %v", got)
+	}
+	if got := Theorem33Fraction(1, p); got != 1.0/16 {
+		t.Errorf("triangular: %v", got)
+	}
+	if got := Theorem33Fraction(2, p); got != 1.0/24 {
+		t.Errorf("parabolic: %v", got)
+	}
+}
+
+// TestTheorem33WorkBound verifies the theorem's content: a chunk of
+// 1/((k+1)P) of the iterations holds at most 1/P of the work (in the
+// continuum approximation the theorem's integral bound uses).
+func TestTheorem33WorkBound(t *testing.T) {
+	for _, k := range []int{0, 1, 2, 3, 5} {
+		for _, p := range []int{2, 4, 8, 50} {
+			frac := Theorem33Fraction(k, p)
+			work := PolyChunkWork(frac, k)
+			if work > 1.0/float64(p)+1e-9 {
+				t.Errorf("k=%d p=%d: fraction %v holds %v of work > 1/P", k, p, frac, work)
+			}
+			// And it's tight-ish: double the fraction exceeds 1/P.
+			if PolyChunkWork(2.2*frac, k) <= 1.0/float64(p) {
+				t.Errorf("k=%d p=%d: bound not tight", k, p)
+			}
+		}
+	}
+}
+
+// TestTheorem33AgainstDiscreteSums validates the continuum bound
+// against the actual discrete workload sums the paper's loops have.
+func TestTheorem33AgainstDiscreteSums(t *testing.T) {
+	n := 5000
+	for _, k := range []int{1, 2} {
+		cost := func(i int) float64 { return math.Pow(float64(n-i), float64(k)) }
+		total := 0.0
+		for i := 0; i < n; i++ {
+			total += cost(i)
+		}
+		for _, p := range []int{2, 8, 50} {
+			chunk := int(Theorem33Fraction(k, p) * float64(n))
+			sum := 0.0
+			for i := 0; i < chunk; i++ {
+				sum += cost(i)
+			}
+			if sum > total/float64(p)*1.01 {
+				t.Errorf("k=%d p=%d: first %d iterations hold %.3f of work, > 1/P = %.3f",
+					k, p, chunk, sum/total, 1.0/float64(p))
+			}
+		}
+	}
+}
+
+func TestPolyChunkWorkEdges(t *testing.T) {
+	if PolyChunkWork(0, 2) != 0 || PolyChunkWork(-1, 2) != 0 {
+		t.Error("zero/negative fraction")
+	}
+	if PolyChunkWork(1, 2) != 1 || PolyChunkWork(2, 2) != 1 {
+		t.Error("full fraction")
+	}
+}
+
+func TestOpCountComparisons(t *testing.T) {
+	// The §3 comparison: TRAPEZOID ≈ 4P ops, fewest; SS = N.
+	n, p := 512, 8
+	if SSOps(n) != 512 {
+		t.Error("SS ops")
+	}
+	if TrapezoidOps(n, p) > GSSOps(n, p) {
+		t.Errorf("trapezoid ops %d exceed GSS %d at N/P=64", TrapezoidOps(n, p), GSSOps(n, p))
+	}
+	if GSSOps(n, p) > FactoringOps(n, p) {
+		t.Errorf("GSS ops %d exceed factoring %d", GSSOps(n, p), FactoringOps(n, p))
+	}
+	if got := SerializedSyncCycles(100, 300); got != 30000 {
+		t.Errorf("SerializedSyncCycles = %v", got)
+	}
+	if TrapezoidOps(0, 8) != 0 {
+		t.Error("degenerate trapezoid ops")
+	}
+}

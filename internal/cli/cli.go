@@ -1,0 +1,92 @@
+// Package cli hosts the flag-parsing and workload-construction helpers
+// shared by the command-line tools, kept out of package main so they
+// are unit-testable.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// BuildKernel maps a kernel name to a simulator-program builder and a
+// human-readable description. The builder is re-invoked per run so
+// stateful models start fresh. Supported names: sor, gauss, tc-random,
+// tc-skew, adjoint, adjoint-rev, l4, triangular, parabolic, step,
+// irregular, balanced.
+func BuildKernel(name string, n, phases int, seed int64, m *machine.Machine) (func() sim.Program, string, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "sor":
+		return func() sim.Program { return kernels.SOR{N: n, Phases: phases}.Program(m) },
+			fmt.Sprintf("SOR %d×%d, %d sweeps", n, n, phases), nil
+	case "gauss":
+		return func() sim.Program { return kernels.Gauss{N: n}.Program(m) },
+			fmt.Sprintf("Gaussian elimination %d×%d", n, n), nil
+	case "tc-random", "tc":
+		g := workload.RandomGraph(n, 0.08, seed)
+		return func() sim.Program { return kernels.TClosure{Input: g}.Program(m) },
+			fmt.Sprintf("transitive closure, random %d nodes (8%%)", n), nil
+	case "tc-skew", "tc-clique":
+		g := workload.CliqueGraph(n, n/2)
+		return func() sim.Program { return kernels.TClosure{Input: g}.Program(m) },
+			fmt.Sprintf("transitive closure, %d nodes with %d-clique", n, n/2), nil
+	case "adjoint":
+		return func() sim.Program { return kernels.Adjoint{N: n}.Program(m) },
+			fmt.Sprintf("adjoint convolution N=%d", n), nil
+	case "adjoint-rev":
+		return func() sim.Program { return kernels.Adjoint{N: n, Reverse: true}.Program(m) },
+			fmt.Sprintf("adjoint convolution (reversed) N=%d", n), nil
+	case "l4":
+		return func() sim.Program { return kernels.L4{Outer: phases, Seed: seed}.Program(m) },
+			fmt.Sprintf("L4, %d outer iterations", phases), nil
+	case "triangular":
+		return func() sim.Program { return workload.Program("TRI", n, workload.Triangular(n), 4) },
+			fmt.Sprintf("triangular workload N=%d", n), nil
+	case "parabolic":
+		return func() sim.Program { return workload.Program("PARAB", n, workload.Parabolic(n), 4) },
+			fmt.Sprintf("parabolic workload N=%d", n), nil
+	case "step":
+		return func() sim.Program { return workload.Program("STEP", n, workload.Step(n, 0.1, 100, 1), 40) },
+			fmt.Sprintf("step workload N=%d", n), nil
+	case "irregular":
+		cost := workload.Irregular(n, 0.05, 1000, 10, seed)
+		return func() sim.Program { return workload.Program("IRREG", n, cost, 4) },
+			fmt.Sprintf("irregular workload N=%d (cv=%.2f)", n, workload.CV(n, cost)), nil
+	case "balanced":
+		return func() sim.Program { return workload.Program("BAL", n, workload.Balanced(500), 4) },
+			fmt.Sprintf("balanced workload N=%d", n), nil
+	}
+	return nil, "", fmt.Errorf("unknown kernel %q (sor, gauss, tc-random, tc-skew, adjoint, adjoint-rev, l4, triangular, parabolic, step, irregular, balanced)", name)
+}
+
+// ParseProcs parses a comma-separated list of processor counts.
+func ParseProcs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad processor count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseAlgos resolves a comma-separated list of algorithm names.
+func ParseAlgos(s string) ([]sched.Spec, error) {
+	var out []sched.Spec
+	for _, name := range strings.Split(s, ",") {
+		spec, err := sched.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}

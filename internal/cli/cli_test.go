@@ -1,0 +1,78 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// TestBuildKernelAll instantiates and simulates every kernel name.
+func TestBuildKernelAll(t *testing.T) {
+	m := machine.Iris()
+	names := []string{
+		"sor", "gauss", "tc-random", "tc", "tc-skew", "tc-clique",
+		"adjoint", "adjoint-rev", "l4", "triangular", "parabolic",
+		"step", "irregular", "balanced",
+	}
+	for _, name := range names {
+		build, desc, err := BuildKernel(name, 32, 2, 1, m)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if desc == "" {
+			t.Errorf("%s: empty description", name)
+		}
+		prog := build()
+		if prog.Steps < 1 {
+			t.Errorf("%s: no steps", name)
+		}
+		res, err := sim.Run(m, 4, sched.SpecAFS(), prog)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Cycles <= 0 {
+			t.Errorf("%s: no progress", name)
+		}
+		// The builder must produce fresh, equivalent programs.
+		again, err := sim.Run(m, 4, sched.SpecAFS(), build())
+		if err != nil {
+			t.Fatalf("%s rebuild: %v", name, err)
+		}
+		if again.Cycles != res.Cycles {
+			t.Errorf("%s: rebuilt program differs (%v vs %v cycles)", name, again.Cycles, res.Cycles)
+		}
+	}
+	if _, _, err := BuildKernel("warp-drive", 32, 2, 1, m); err == nil ||
+		!strings.Contains(err.Error(), "unknown kernel") {
+		t.Errorf("unknown kernel error = %v", err)
+	}
+	// Case/whitespace tolerance.
+	if _, _, err := BuildKernel("  SOR ", 16, 1, 1, m); err != nil {
+		t.Errorf("case-insensitive lookup failed: %v", err)
+	}
+}
+
+func TestParseProcs(t *testing.T) {
+	got, err := ParseProcs("1, 2,8")
+	if err != nil || len(got) != 3 || got[2] != 8 {
+		t.Errorf("ParseProcs = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "-1", "x", "1,,2"} {
+		if _, err := ParseProcs(bad); err == nil {
+			t.Errorf("ParseProcs(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseAlgos(t *testing.T) {
+	got, err := ParseAlgos("afs,gss, trapezoid")
+	if err != nil || len(got) != 3 || got[0].Name != "AFS" {
+		t.Errorf("ParseAlgos = %v, %v", got, err)
+	}
+	if _, err := ParseAlgos("afs,wibble"); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+}

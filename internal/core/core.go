@@ -1,0 +1,410 @@
+// Package core is the real-execution engine for the paper's loop
+// scheduling algorithms: a work-sharing parallel-for runtime built on
+// goroutines, with per-worker work queues, most-loaded stealing, and
+// synchronisation-operation accounting.
+//
+// Where internal/sim *models* a 1992 multiprocessor, core actually runs
+// the loop body on the host. Go cannot portably pin goroutines to
+// processors, so hardware cache affinity is advisory rather than
+// guaranteed (see DESIGN.md §2); the scheduling protocol, queue
+// contention, load-balancing and delayed-start behaviour are real.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// Config selects the workers and the scheduling algorithm for a Run.
+type Config struct {
+	// Procs is the number of worker goroutines (default
+	// runtime.GOMAXPROCS(0)).
+	Procs int
+	// Spec selects the scheduling algorithm (see internal/sched).
+	Spec sched.Spec
+	// CostHint estimates iteration i's cost in phase ph, enabling the
+	// BEST-STATIC oracle partitioner. nil falls back to uniform costs.
+	CostHint func(ph, i int) float64
+	// MinChunk sets a floor on the iterations handed out per queue
+	// operation (the "grain"), for loops whose bodies are too cheap to
+	// justify per-chunk dispatch. 0 means no floor. Applies to the
+	// central-queue algorithms and to AFS's local takes and steals.
+	MinChunk int
+	// StartDelay holds per-worker delays applied before the first
+	// phase, reproducing the §4.5 non-uniform start-time experiments.
+	StartDelay []time.Duration
+}
+
+func (c Config) procs() int {
+	if c.Procs > 0 {
+		return c.Procs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Stats reports one Run's scheduling activity.
+type Stats struct {
+	// Elapsed is the wall-clock duration of the whole Run.
+	Elapsed time.Duration
+	// CentralOps counts successful chunk removals from the central
+	// dispenser (central-queue algorithms and MOD-FACTORING).
+	CentralOps int64
+	// LocalOps[q]/RemoteOps[q] count removals from worker q's queue by
+	// its owner / by thieves (AFS family).
+	LocalOps  []int64
+	RemoteOps []int64
+	// Steals counts steal operations; MigratedIters the iterations they
+	// moved.
+	Steals        int64
+	MigratedIters int64
+	// Phases executed and iterations executed in total.
+	Phases     int
+	Iterations int64
+}
+
+// TotalSyncOps sums all successful queue-removal operations.
+func (s Stats) TotalSyncOps() int64 {
+	t := s.CentralOps
+	for _, v := range s.LocalOps {
+		t += v
+	}
+	for _, v := range s.RemoteOps {
+		t += v
+	}
+	return t
+}
+
+// ParallelFor executes body(i) for i in [0, n) under cfg and returns
+// scheduling statistics.
+func ParallelFor(cfg Config, n int, body func(i int)) (Stats, error) {
+	return Run(cfg, 1, func(int) int { return n }, func(_, i int) { body(i) })
+}
+
+// Run executes a phased computation: for ph in [0, phases), a parallel
+// loop of n(ph) iterations invoking body(ph, i), with a barrier between
+// phases (the paper's parallel-loop-in-sequential-loop shape). Workers
+// persist across phases so AFS's deterministic assignment gives each
+// worker the same iterations every phase.
+func Run(cfg Config, phases int, n func(ph int) int, body func(ph, i int)) (Stats, error) {
+	p := cfg.procs()
+	if p < 1 {
+		return Stats{}, fmt.Errorf("core: need at least one worker, got %d", p)
+	}
+	if phases < 0 {
+		return Stats{}, fmt.Errorf("core: negative phase count %d", phases)
+	}
+	var d dispatcher
+	switch cfg.Spec.Family {
+	case sched.FamilyCentral:
+		if cfg.Spec.NewSizer == nil {
+			return Stats{}, fmt.Errorf("core: spec %q has no sizer", cfg.Spec.Name)
+		}
+		sizer := cfg.Spec.NewSizer()
+		if cfg.MinChunk > 1 {
+			sizer = &sched.Grained{Inner: sizer, Min: cfg.MinChunk}
+		}
+		d = &centralDispatch{sizer: sizer}
+	case sched.FamilyStatic:
+		d = &staticDispatch{best: cfg.Spec.BestStatic, costHint: cfg.CostHint}
+	case sched.FamilyAFS:
+		d = newAFSDispatch(p, cfg.Spec.AFS, cfg.Spec.Victim)
+		d.(*afsDispatch).minChunk = cfg.MinChunk
+	case sched.FamilyModFactoring:
+		d = &modfactDispatch{mf: sched.NewModFactoring()}
+	default:
+		return Stats{}, fmt.Errorf("core: unsupported scheduler family %v", cfg.Spec.Family)
+	}
+
+	r := &runner{cfg: cfg, p: p, d: d, body: body}
+	r.stats.LocalOps = make([]int64, p)
+	r.stats.RemoteOps = make([]int64, p)
+
+	start := time.Now()
+	starts := make([]chan int, p)
+	var wg sync.WaitGroup
+	var phaseWG sync.WaitGroup
+	for w := 0; w < p; w++ {
+		starts[w] = make(chan int, 1)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if w < len(cfg.StartDelay) && cfg.StartDelay[w] > 0 {
+				time.Sleep(cfg.StartDelay[w])
+			}
+			for ph := range starts[w] {
+				r.work(w, ph)
+				phaseWG.Done()
+			}
+		}(w)
+	}
+	for ph := 0; ph < phases; ph++ {
+		nn := n(ph)
+		if nn < 0 {
+			nn = 0
+		}
+		d.initPhase(r, ph, nn)
+		phaseWG.Add(p)
+		for w := 0; w < p; w++ {
+			starts[w] <- ph
+		}
+		phaseWG.Wait()
+		if r.aborted.Load() {
+			break
+		}
+	}
+	for w := 0; w < p; w++ {
+		close(starts[w])
+	}
+	wg.Wait()
+
+	if r.panic != nil {
+		panic(r.panic)
+	}
+	r.stats.Elapsed = time.Since(start)
+	r.stats.Phases = phases
+	return r.stats, nil
+}
+
+// runner carries shared execution state across one Run.
+type runner struct {
+	cfg     Config
+	p       int
+	d       dispatcher
+	body    func(ph, i int)
+	stats   Stats
+	aborted atomic.Bool
+	panicMu sync.Mutex
+	panic   any // first panic value observed in any worker
+}
+
+// work is one worker's phase loop: fetch a chunk, execute it, repeat.
+// A panic in the body is captured — the remaining workers stop fetching
+// new chunks, the phase barrier still completes, and Run re-panics with
+// the original value so a crashing loop body behaves like it would in a
+// plain sequential for-loop rather than killing an anonymous goroutine.
+func (r *runner) work(w, ph int) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.panicMu.Lock()
+			if r.panic == nil {
+				r.panic = p
+			}
+			r.panicMu.Unlock()
+			r.aborted.Store(true)
+		}
+	}()
+	for !r.aborted.Load() {
+		c, ok := r.d.fetch(r, w)
+		if !ok {
+			return
+		}
+		for i := c.Lo; i < c.Hi; i++ {
+			r.body(ph, i)
+		}
+		atomic.AddInt64(&r.stats.Iterations, int64(c.Len()))
+	}
+}
+
+// A dispatcher hands out chunks to workers for the current phase.
+type dispatcher interface {
+	initPhase(r *runner, ph, n int)
+	fetch(r *runner, w int) (sched.Chunk, bool)
+}
+
+// centralDispatch serialises all workers through one mutex-protected
+// dispenser — the central work queue of SS/GSS/FACTORING/TRAPEZOID etc.
+type centralDispatch struct {
+	mu      sync.Mutex
+	sizer   sched.Sizer
+	disp    *sched.Dispenser
+	waiters int64
+}
+
+func (d *centralDispatch) initPhase(r *runner, ph, n int) {
+	d.disp = sched.NewDispenser(d.sizer, n, r.p)
+}
+
+func (d *centralDispatch) fetch(r *runner, w int) (sched.Chunk, bool) {
+	atomic.AddInt64(&d.waiters, 1)
+	d.mu.Lock()
+	waiting := atomic.AddInt64(&d.waiters, -1)
+	if ag, isAdaptive := d.sizer.(*sched.AdaptiveGSS); isAdaptive {
+		ag.SetContention(int(waiting))
+	}
+	c, ok := d.disp.Next()
+	d.mu.Unlock()
+	if ok {
+		atomic.AddInt64(&r.stats.CentralOps, 1)
+	}
+	return c, ok
+}
+
+// staticDispatch precomputes the whole assignment; fetch is
+// synchronisation-free.
+type staticDispatch struct {
+	best     bool
+	costHint func(ph, i int) float64
+	assign   sched.Assignment
+	next     []int32
+	ph       int
+}
+
+func (d *staticDispatch) initPhase(r *runner, ph, n int) {
+	d.ph = ph
+	if d.best && d.costHint != nil {
+		d.assign = sched.BestStatic(n, r.p, func(i int) float64 { return d.costHint(ph, i) })
+	} else {
+		d.assign = sched.Static(n, r.p)
+	}
+	d.next = make([]int32, r.p)
+}
+
+func (d *staticDispatch) fetch(r *runner, w int) (sched.Chunk, bool) {
+	chs := d.assign[w]
+	i := int(d.next[w]) // next is only touched by worker w during a phase
+	if i >= len(chs) {
+		return sched.Chunk{}, false
+	}
+	d.next[w]++
+	return chs[i], true
+}
+
+// afsDispatch implements affinity scheduling over real per-worker
+// queues: each queue has its own mutex, queue lengths are published
+// with atomics so victim selection needs no locks (§2.2 footnote 4),
+// and stolen work is executed directly (an iteration migrates at most
+// once). The victim policy is configurable (most-loaded, random,
+// power-of-two); randomized policies use per-worker generators so the
+// hot path stays contention-free.
+type afsDispatch struct {
+	afs      sched.AFS
+	victim   sched.VictimPolicy
+	minChunk int
+	queues   []afsQueue
+	rngs     []workerRNG
+}
+
+// grained raises an amount to the configured chunk floor.
+func (d *afsDispatch) grained(amt int) int {
+	if amt < d.minChunk {
+		return d.minChunk
+	}
+	return amt
+}
+
+// workerRNG is a padded splitmix64 state, one per worker.
+type workerRNG struct {
+	state uint64
+	_     [7]uint64
+}
+
+func (r *workerRNG) next(n int) int {
+	r.state += 0x9e3779b97f4a7c15
+	x := r.state
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(n))
+}
+
+type afsQueue struct {
+	mu  sync.Mutex
+	q   sched.Queue
+	len atomic.Int64
+	_   [4]uint64 // reduce false sharing between neighbouring queues
+}
+
+func newAFSDispatch(p int, a sched.AFS, victim sched.VictimPolicy) *afsDispatch {
+	d := &afsDispatch{afs: a, victim: victim, queues: make([]afsQueue, p), rngs: make([]workerRNG, p)}
+	for w := range d.rngs {
+		d.rngs[w].state = uint64(w+1) * 0x9e3779b97f4a7c15
+	}
+	return d
+}
+
+func (d *afsDispatch) initPhase(r *runner, ph, n int) {
+	for i, chs := range sched.Static(n, r.p) {
+		q := &d.queues[i]
+		q.q = sched.Queue{}
+		for _, c := range chs {
+			q.q.Push(c)
+		}
+		q.len.Store(int64(q.q.Len()))
+	}
+}
+
+func (d *afsDispatch) fetch(r *runner, w int) (sched.Chunk, bool) {
+	self := &d.queues[w]
+	for {
+		// Local take: 1/k of our own queue.
+		if self.len.Load() > 0 {
+			self.mu.Lock()
+			if l := self.q.Len(); l > 0 {
+				amt := d.grained(d.afs.LocalAmount(l, r.p))
+				c, _ := self.q.TakeFront(amt)
+				self.len.Store(int64(self.q.Len()))
+				self.mu.Unlock()
+				atomic.AddInt64(&r.stats.LocalOps[w], 1)
+				return c, true
+			}
+			self.mu.Unlock()
+		}
+		// Steal: 1/P of a victim chosen without locks from the
+		// atomically-published lengths.
+		lens := make([]int, len(d.queues))
+		empty := true
+		for i := range d.queues {
+			lens[i] = int(d.queues[i].len.Load())
+			if lens[i] > 0 {
+				empty = false
+			}
+		}
+		if empty {
+			return sched.Chunk{}, false // every queue is empty
+		}
+		victim := sched.ChooseVictim(d.victim, lens, w, d.rngs[w].next)
+		if victim < 0 {
+			return sched.Chunk{}, false
+		}
+		vq := &d.queues[victim]
+		vq.mu.Lock()
+		l := vq.q.Len()
+		if l == 0 {
+			vq.mu.Unlock()
+			continue // raced with another thief; rescan
+		}
+		amt := d.grained(d.afs.StealAmount(l, r.p))
+		c, _ := vq.q.TakeBack(amt)
+		vq.len.Store(int64(vq.q.Len()))
+		vq.mu.Unlock()
+		atomic.AddInt64(&r.stats.RemoteOps[victim], 1)
+		atomic.AddInt64(&r.stats.Steals, 1)
+		atomic.AddInt64(&r.stats.MigratedIters, int64(c.Len()))
+		return c, true
+	}
+}
+
+// modfactDispatch serialises the §2.3 phase board behind one mutex.
+type modfactDispatch struct {
+	mu sync.Mutex
+	mf *sched.ModFactoring
+}
+
+func (d *modfactDispatch) initPhase(r *runner, ph, n int) {
+	d.mf.Init(n, r.p)
+}
+
+func (d *modfactDispatch) fetch(r *runner, w int) (sched.Chunk, bool) {
+	d.mu.Lock()
+	c, ok := d.mf.Claim(w)
+	d.mu.Unlock()
+	if ok {
+		atomic.AddInt64(&r.stats.CentralOps, 1)
+	}
+	return c, ok
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WriteArtifacts saves rendered results under dir: one <id>.txt per
+// experiment (the full rendering, checks included), one CSV per table
+// or figure, and an index.md linking everything with pass/fail status.
+// The directory is created if needed; existing files are overwritten
+// (regeneration is the point).
+func WriteArtifacts(dir string, results []*Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: creating %s: %w", dir, err)
+	}
+	var index strings.Builder
+	index.WriteString("# Regenerated experiment artifacts\n\n")
+	index.WriteString("| experiment | title | checks | files |\n|---|---|---|---|\n")
+	for _, r := range results {
+		base := safeName(r.ID)
+		var files []string
+
+		var txt strings.Builder
+		r.Render(&txt)
+		txtName := base + ".txt"
+		if err := os.WriteFile(filepath.Join(dir, txtName), []byte(txt.String()), 0o644); err != nil {
+			return err
+		}
+		files = append(files, txtName)
+
+		csvIdx := 0
+		writeCSV := func(render func(*strings.Builder)) error {
+			csvIdx++
+			name := fmt.Sprintf("%s-%d.csv", base, csvIdx)
+			var b strings.Builder
+			render(&b)
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(b.String()), 0o644); err != nil {
+				return err
+			}
+			files = append(files, name)
+			return nil
+		}
+		svgIdx := 0
+		for _, f := range r.Figures {
+			f := f
+			if err := writeCSV(func(b *strings.Builder) { f.Table().CSV(b) }); err != nil {
+				return err
+			}
+			svgIdx++
+			svgName := fmt.Sprintf("%s-%d.svg", base, svgIdx)
+			var b strings.Builder
+			f.SVG(&b)
+			if err := os.WriteFile(filepath.Join(dir, svgName), []byte(b.String()), 0o644); err != nil {
+				return err
+			}
+			files = append(files, svgName)
+		}
+		for _, t := range r.Tables {
+			t := t
+			if err := writeCSV(func(b *strings.Builder) { t.CSV(b) }); err != nil {
+				return err
+			}
+		}
+
+		status := "all pass"
+		pass, total := 0, len(r.Findings)
+		for _, f := range r.Findings {
+			if f.Pass {
+				pass++
+			}
+		}
+		if pass != total {
+			status = fmt.Sprintf("%d/%d pass", pass, total)
+		} else {
+			status = fmt.Sprintf("%d/%d pass", pass, total)
+		}
+		fmt.Fprintf(&index, "| %s | %s | %s | %s |\n",
+			r.ID, r.Title, status, strings.Join(files, ", "))
+	}
+	return os.WriteFile(filepath.Join(dir, "index.md"), []byte(index.String()), 0o644)
+}
+
+// safeName makes an experiment id filesystem-friendly.
+func safeName(id string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '_'
+		}
+	}, id)
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{ID: "fig10", Title: "Triangular workload (N-i) on the Butterfly: linear imbalance", Run: runFig10})
+	register(Experiment{ID: "fig11", Title: "Parabolic workload (N-i)^2 on the Butterfly: quadratic imbalance", Run: runFig11})
+	register(Experiment{ID: "fig12", Title: "Step workload (first 10% cost 100x) on the Butterfly", Run: runFig12})
+	register(Experiment{ID: "fig13", Title: "Balanced loop on the Butterfly: pure synchronisation overhead", Run: runFig13})
+}
+
+// The Butterfly experiments (§4.4) isolate load balancing: the loops
+// touch no memory and on the Butterfly even AFS's per-processor queues
+// live in remote memory, so affinity plays no role.
+const butterflyUnit = 4 // cycles per abstract work unit
+
+func runFig10(s Scale) (*Result, error) {
+	n := pick(s, 1000, 5000, 5000)
+	m := machine.ButterflyI()
+	fig, y, err := completionFigure(
+		fmt.Sprintf("Fig 10: triangular workload (N=%d) on %s", n, m.Name),
+		m, butterflyProcs(s), dynamicTrio(),
+		func() sim.Program {
+			return workload.Program("TRIANGULAR", n, workload.Triangular(n), butterflyUnit)
+		})
+	if err != nil {
+		return nil, err
+	}
+	// Theorem 3.3 (k=1): balanced chunks are 1/(2P) of the remainder —
+	// exactly TRAPEZOID's first chunk, so AFS ≈ TRAPEZOID, both > GSS.
+	return &Result{
+		ID: "fig10", Title: "Triangular workload on the Butterfly",
+		Figures: []*stats.Figure{fig},
+		Findings: []Finding{
+			checkRatio("GSS suffers imbalance vs AFS", last(y["GSS"]), last(y["AFS"]), 1.15, 0),
+			checkLess("TRAPEZOID comparable to AFS", last(y["TRAPEZOID"]), last(y["AFS"]), 1.2),
+		},
+	}, nil
+}
+
+func runFig11(s Scale) (*Result, error) {
+	n := pick(s, 100, 200, 200)
+	m := machine.ButterflyI()
+	fig, y, err := completionFigure(
+		fmt.Sprintf("Fig 11: parabolic workload (N=%d) on %s", n, m.Name),
+		m, butterflyProcs(s), dynamicTrio(),
+		func() sim.Program {
+			return workload.Program("PARABOLIC", n, workload.Parabolic(n), butterflyUnit)
+		})
+	if err != nil {
+		return nil, err
+	}
+	// Theorem 3.3 (k=2): balance needs 1/(3P) chunks. AFS uses N/P²
+	// (smaller), TRAPEZOID uses 1/(2P) (larger), GSS 1/P (largest):
+	// AFS ≤ TRAPEZOID ≤ GSS.
+	return &Result{
+		ID: "fig11", Title: "Parabolic workload on the Butterfly",
+		Figures: []*stats.Figure{fig},
+		Findings: []Finding{
+			checkRatio("GSS worst (first chunk too large)", last(y["GSS"]), last(y["TRAPEZOID"]), 1.05, 0),
+			checkLess("AFS best or tied", last(y["AFS"]), last(y["TRAPEZOID"]), 1.02),
+		},
+	}, nil
+}
+
+func runFig12(s Scale) (*Result, error) {
+	n := pick(s, 5000, 50000, 50000)
+	m := machine.ButterflyI()
+	fig, y, err := completionFigure(
+		fmt.Sprintf("Fig 12: step workload (N=%d, first 10%% cost 100x) on %s", n, m.Name),
+		m, butterflyProcs(s), dynamicTrio(),
+		func() sim.Program {
+			// One abstract unit ≈ 5 µs of 8 MHz Butterfly time, so a
+			// heavy iteration (100 units) dwarfs a 50 µs queue
+			// operation the way the paper's COMPUTE(100) bodies do.
+			return workload.Program("STEP", n, workload.Step(n, 0.1, 100, 1), 40)
+		})
+	if err != nil {
+		return nil, err
+	}
+	// A processor taking more than 1/(10P) of the iterations gets more
+	// than 1/P of the work; AFS's small N/P² chunks win clearly.
+	return &Result{
+		ID: "fig12", Title: "Step workload on the Butterfly",
+		Figures: []*stats.Figure{fig},
+		Findings: []Finding{
+			checkRatio("AFS clearly beats GSS", last(y["GSS"]), last(y["AFS"]), 1.3, 0),
+			checkRatio("AFS clearly beats TRAPEZOID", last(y["TRAPEZOID"]), last(y["AFS"]), 1.15, 0),
+		},
+	}, nil
+}
+
+func runFig13(s Scale) (*Result, error) {
+	n := pick(s, 2000, 10000, 10000)
+	m := machine.ButterflyI()
+	fig, y, err := completionFigure(
+		fmt.Sprintf("Fig 13: balanced loop (N=%d) on %s — sync overhead only", n, m.Name),
+		m, butterflyProcs(s), dynamicTrio(),
+		func() sim.Program {
+			return workload.Program("BALANCED", n, workload.Balanced(500), butterflyUnit)
+		})
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := last(y["GSS"]), last(y["GSS"])
+	for _, nm := range []string{"GSS", "TRAPEZOID", "AFS"} {
+		v := last(y[nm])
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return &Result{
+		ID: "fig13", Title: "Balanced loop on the Butterfly",
+		Figures: []*stats.Figure{fig},
+		Findings: []Finding{
+			{
+				Name:   "GSS, TRAPEZOID and AFS comparable without affinity or imbalance",
+				Pass:   hi <= lo*1.15,
+				Detail: fmt.Sprintf("spread %.4fs..%.4fs", lo, hi),
+			},
+		},
+	}, nil
+}

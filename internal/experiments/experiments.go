@@ -1,0 +1,277 @@
+// Package experiments defines one reproducible experiment per figure
+// and table in the paper's evaluation (§4-§5). Each experiment builds
+// the workload at a chosen scale, runs it through the machine simulator
+// (or the real runtime, for Table 2's wall-clock variant), renders the
+// same rows/series the paper reports, and self-checks the qualitative
+// shape the paper claims (who wins, by roughly what factor).
+//
+// cmd/paperfigs and the repository's bench harness both drive this
+// package; EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Scale selects problem sizes.
+type Scale int
+
+const (
+	// Short is for quick CI runs and -short benchmarks.
+	Short Scale = iota
+	// Default balances fidelity and runtime (the cmd/paperfigs default).
+	Default
+	// Paper uses the paper's exact sizes.
+	Paper
+)
+
+// ParseScale converts a flag value.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "short":
+		return Short, nil
+	case "default", "":
+		return Default, nil
+	case "paper", "full":
+		return Paper, nil
+	}
+	return Default, fmt.Errorf("experiments: unknown scale %q (short, default, paper)", s)
+}
+
+// pick returns the value for the current scale.
+func pick[T any](s Scale, short, def, paper T) T {
+	switch s {
+	case Short:
+		return short
+	case Paper:
+		return paper
+	default:
+		return def
+	}
+}
+
+// A Finding is one self-checked claim about an experiment's outcome.
+type Finding struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// Result is an experiment's rendered output plus its shape checks.
+type Result struct {
+	ID       string
+	Title    string
+	Tables   []*stats.Table
+	Figures  []*stats.Figure
+	Notes    []string
+	Findings []Finding
+}
+
+// Render writes the full result to w.
+func (r *Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n\n", r.ID, r.Title)
+	for _, f := range r.Figures {
+		f.Render(w)
+	}
+	for _, t := range r.Tables {
+		t.Render(w)
+		fmt.Fprintln(w)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	for _, f := range r.Findings {
+		status := "PASS"
+		if !f.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "  [%s] %s: %s\n", status, f.Name, f.Detail)
+	}
+	fmt.Fprintln(w)
+}
+
+// Failed reports whether any shape check failed.
+func (r *Result) Failed() bool {
+	for _, f := range r.Findings {
+		if !f.Pass {
+			return true
+		}
+	}
+	return false
+}
+
+// An Experiment regenerates one paper figure or table.
+type Experiment struct {
+	// ID is the paper reference: "fig3" … "fig17", "table2" …
+	// "table5", "sec5.3".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Run executes at the given scale.
+	Run func(s Scale) (*Result, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool { return orderKey(out[i].ID) < orderKey(out[j].ID) })
+	return out
+}
+
+// orderKey sorts fig3..fig17 before tables before sec5.3 in paper
+// order.
+func orderKey(id string) int {
+	var n int
+	switch {
+	case len(id) > 3 && id[:3] == "fig":
+		fmt.Sscanf(id[3:], "%d", &n)
+		return n
+	case len(id) > 5 && id[:5] == "table":
+		fmt.Sscanf(id[5:], "%d", &n)
+		// Table 2 sits between Fig 9 and Fig 10 in the paper, but
+		// grouping tables after figures keeps output tidy.
+		return 100 + n
+	case id == "sec5.3":
+		return 200
+	default:
+		// Extension experiments ("ext-*") come last, in registration
+		// order (SliceStable preserves it).
+		return 300
+	}
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, len(registry))
+	for i, e := range All() {
+		ids[i] = e.ID
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (known: %v)", id, ids)
+}
+
+// ---- shared helpers ----
+
+// irisProcs and friends are the processor sweeps used by the figures.
+func irisProcs(s Scale) []int {
+	if s == Short {
+		return []int{1, 2, 4}
+	}
+	return []int{1, 2, 4, 6, 8}
+}
+
+func butterflyProcs(s Scale) []int {
+	switch s {
+	case Short:
+		return []int{1, 4, 8}
+	case Paper:
+		return []int{1, 2, 4, 8, 16, 24, 32, 40, 48, 56}
+	default:
+		return []int{1, 2, 4, 8, 16, 32, 48, 56}
+	}
+}
+
+func ksrProcs(s Scale) []int {
+	switch s {
+	case Short:
+		return []int{1, 4, 8}
+	case Paper:
+		return []int{1, 2, 4, 8, 12, 16, 24, 32, 40, 48, 56}
+	default:
+		return []int{1, 2, 4, 8, 16, 24, 32, 48, 56}
+	}
+}
+
+func symmetryProcs(s Scale) []int {
+	if s == Short {
+		return []int{1, 2, 4}
+	}
+	return []int{1, 2, 4, 6, 8, 10}
+}
+
+// completionFigure runs build(p) for every algorithm × processor count
+// and collects completion seconds.
+func completionFigure(title string, m *machine.Machine, procs []int, specs []sched.Spec,
+	build func() sim.Program) (*stats.Figure, map[string][]float64, error) {
+	fig := stats.NewFigure(title, procs)
+	series := make(map[string][]float64, len(specs))
+	for _, spec := range specs {
+		y := make([]float64, len(procs))
+		for i, p := range procs {
+			res, err := sim.Run(m, p, spec, build())
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s on %s with %s at P=%d: %w", title, m.Name, spec.Name, p, err)
+			}
+			y[i] = res.Seconds
+		}
+		fig.Add(spec.Name, y)
+		series[spec.Name] = y
+	}
+	return fig, series, nil
+}
+
+// last returns the final element of a series.
+func last(y []float64) float64 { return y[len(y)-1] }
+
+// checkRatio asserts a/b ≥ lo (and ≤ hi when hi > 0) and formats the
+// finding.
+func checkRatio(name string, a, b, lo, hi float64) Finding {
+	r := a / b
+	pass := r >= lo && (hi <= 0 || r <= hi)
+	want := fmt.Sprintf("≥ %.2f", lo)
+	if hi > 0 {
+		want = fmt.Sprintf("in [%.2f, %.2f]", lo, hi)
+	}
+	return Finding{
+		Name:   name,
+		Pass:   pass,
+		Detail: fmt.Sprintf("ratio %.2f (want %s)", r, want),
+	}
+}
+
+// checkLess asserts a < b·slack.
+func checkLess(name string, a, b, slack float64) Finding {
+	pass := a < b*slack
+	return Finding{
+		Name:   name,
+		Pass:   pass,
+		Detail: fmt.Sprintf("%.4g vs %.4g (slack %.2f)", a, b, slack),
+	}
+}
+
+// paperIrisSpecs returns the algorithms shown in the Iris figures.
+func paperIrisSpecs() []sched.Spec {
+	return []sched.Spec{
+		sched.SpecSS(), sched.SpecGSS(), sched.SpecFactoring(),
+		sched.SpecTrapezoid(), sched.SpecStatic(), sched.SpecAFS(),
+		sched.SpecModFactoring(), sched.SpecBestStatic(),
+	}
+}
+
+// dynamicTrio is the Butterfly comparison set (§4.4).
+func dynamicTrio() []sched.Spec {
+	return []sched.Spec{sched.SpecGSS(), sched.SpecTrapezoid(), sched.SpecAFS()}
+}
+
+// ksrSpecs are the algorithms shown in the KSR-1 figures.
+func ksrSpecs() []sched.Spec {
+	return []sched.Spec{
+		sched.SpecGSS(), sched.SpecFactoring(), sched.SpecTrapezoid(),
+		sched.SpecStatic(), sched.SpecAFS(), sched.SpecModFactoring(),
+	}
+}

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+		"table2", "table3", "table4", "table5", "sec5.3",
+		"ext-k", "ext-steal", "ext-le", "ext-gssk", "ext-tapering", "ext-agss",
+		"ext-theory", "ext-quantum", "ext-reconfig",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("%d experiments registered, want %d", len(all), len(want))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("%s: incomplete definition", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !seen[id] {
+			t.Errorf("experiment %s missing", id)
+		}
+	}
+}
+
+func TestAllOrderedPaperStyle(t *testing.T) {
+	all := All()
+	// Figures first, in numeric order.
+	if all[0].ID != "fig3" || all[12].ID != "fig15" {
+		t.Errorf("ordering wrong: first=%s 13th=%s", all[0].ID, all[12].ID)
+	}
+	// sec5.3 follows the tables; extensions come last.
+	var sec, firstExt int
+	for i, e := range all {
+		if e.ID == "sec5.3" {
+			sec = i
+		}
+		if firstExt == 0 && len(e.ID) > 4 && e.ID[:4] == "ext-" {
+			firstExt = i
+		}
+	}
+	if sec > firstExt {
+		t.Errorf("sec5.3 (index %d) should precede extensions (first at %d)", sec, firstExt)
+	}
+	if all[len(all)-1].ID[:4] != "ext-" {
+		t.Errorf("last = %s, want an extension", all[len(all)-1].ID)
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("fig4")
+	if err != nil || e.ID != "fig4" {
+		t.Errorf("ByID(fig4) = %v, %v", e.ID, err)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for in, want := range map[string]Scale{
+		"short": Short, "default": Default, "": Default, "paper": Paper, "full": Paper,
+	} {
+		got, err := ParseScale(in)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestPick(t *testing.T) {
+	if pick(Short, 1, 2, 3) != 1 || pick(Default, 1, 2, 3) != 2 || pick(Paper, 1, 2, 3) != 3 {
+		t.Error("pick broken")
+	}
+}
+
+func TestCheckHelpers(t *testing.T) {
+	f := checkRatio("r", 2, 1, 1.5, 0)
+	if !f.Pass {
+		t.Errorf("ratio 2 ≥ 1.5 failed: %+v", f)
+	}
+	f = checkRatio("r", 2, 1, 1.5, 1.8)
+	if f.Pass {
+		t.Error("ratio 2 within [1.5,1.8] passed")
+	}
+	f = checkLess("l", 1, 1, 1.05)
+	if !f.Pass {
+		t.Error("1 < 1.05 failed")
+	}
+	f = checkLess("l", 2, 1, 1.5)
+	if f.Pass {
+		t.Error("2 < 1.5 passed")
+	}
+}
+
+func TestResultRender(t *testing.T) {
+	r := &Result{
+		ID: "x", Title: "T",
+		Notes:    []string{"a note"},
+		Findings: []Finding{{Name: "ok", Pass: true, Detail: "d"}, {Name: "bad", Pass: false, Detail: "e"}},
+	}
+	var b strings.Builder
+	r.Render(&b)
+	out := b.String()
+	for _, want := range []string{"== x: T ==", "note: a note", "[PASS] ok", "[FAIL] bad"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !r.Failed() {
+		t.Error("Failed() should be true with a failing finding")
+	}
+	if (&Result{}).Failed() {
+		t.Error("empty result reported failure")
+	}
+}
+
+// TestShortScaleExperimentsPass runs every experiment end to end at
+// Short scale — the repository's integration test of the entire
+// reproduction pipeline. The paper's qualitative claims are asserted at
+// Default/Paper scale by cmd/paperfigs; at Short scale we require only
+// successful execution plus the subset of findings that remain robust
+// on tiny inputs.
+func TestShortScaleExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short-scale sweep is itself several seconds")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			r, err := e.Run(Short)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(r.Figures) == 0 && len(r.Tables) == 0 {
+				t.Errorf("%s produced no output", e.ID)
+			}
+			var b strings.Builder
+			r.Render(&b)
+			if b.Len() == 0 {
+				t.Errorf("%s rendered nothing", e.ID)
+			}
+		})
+	}
+}
+
+func TestProcSweeps(t *testing.T) {
+	if got := irisProcs(Default); got[len(got)-1] != 8 {
+		t.Errorf("iris sweep should end at 8: %v", got)
+	}
+	if got := butterflyProcs(Paper); got[len(got)-1] != 56 {
+		t.Errorf("butterfly paper sweep should end at 56: %v", got)
+	}
+	if got := ksrProcs(Default); got[len(got)-1] > 64 {
+		t.Errorf("ksr sweep exceeds directory limit: %v", got)
+	}
+	for _, procs := range [][]int{irisProcs(Short), butterflyProcs(Short), ksrProcs(Short), symmetryProcs(Short)} {
+		for i := 1; i < len(procs); i++ {
+			if procs[i] <= procs[i-1] {
+				t.Errorf("sweep not increasing: %v", procs)
+			}
+		}
+	}
+}
+
+func TestLastHelper(t *testing.T) {
+	if last([]float64{1, 2, 3}) != 3 {
+		t.Error("last broken")
+	}
+}
+
+func TestWriteArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	e, err := ByID("table3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run(Short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := ByID("fig13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := fig.Run(Short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteArtifacts(dir, []*Result{r, rf}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"table3.txt", "table3-1.csv", "fig13.txt", "fig13-1.csv", "fig13-1.svg", "index.md"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+	idx, _ := os.ReadFile(filepath.Join(dir, "index.md"))
+	if !strings.Contains(string(idx), "table3") {
+		t.Error("index missing experiment row")
+	}
+}
+
+func TestSafeName(t *testing.T) {
+	cases := map[string]string{
+		"fig3":    "fig3",
+		"sec5.3":  "sec5_3",
+		"ext-k":   "ext-k",
+		"Weird X": "weird_x",
+	}
+	for in, want := range cases {
+		if got := safeName(in); got != want {
+			t.Errorf("safeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

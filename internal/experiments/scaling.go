@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{ID: "fig14", Title: "Gaussian elimination on the Symmetry: cheap communication mutes affinity (§5.1)", Run: runFig14})
+	register(Experiment{ID: "fig15", Title: "Gaussian elimination on the KSR-1 (§5.2)", Run: runFig15})
+	register(Experiment{ID: "fig16", Title: "Transitive closure on the KSR-1", Run: runFig16})
+	register(Experiment{ID: "fig17", Title: "SOR on the KSR-1: software FP division mutes affinity", Run: runFig17})
+	register(Experiment{ID: "sec5.3", Title: "Scaling the problem size: large Gaussian elimination on 16 KSR-1 processors (§5.3)", Run: runSec53})
+}
+
+func runFig14(s Scale) (*Result, error) {
+	n := pick(s, 96, 256, 256)
+	m := machine.Symmetry()
+	fig, y, err := completionFigure(
+		fmt.Sprintf("Fig 14: Gaussian elimination (N=%d) on %s", n, m.Name),
+		m, symmetryProcs(s), dynamicTrio(),
+		func() sim.Program { return kernels.Gauss{N: n}.Program(m) })
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID: "fig14", Title: "Gauss on the Symmetry",
+		Figures: []*stats.Figure{fig},
+		Notes: []string{
+			"the paper reports TRAPEZOID 10-15% behind GSS/AFS here; our model reproduces the direction (TRAPEZOID never wins despite its lower sync count) but the gap is smaller because our TSS ends with single-iteration chunks, bounding its imbalance tighter than the authors' implementation",
+		},
+		Findings: []Finding{
+			{
+				Name: "AFS and GSS comparable when communication is cheap",
+				Pass: last(y["AFS"]) <= last(y["GSS"])*1.10 &&
+					last(y["GSS"]) <= last(y["AFS"])*1.35,
+				Detail: fmt.Sprintf("AFS %.3fs vs GSS %.3fs", last(y["AFS"]), last(y["GSS"])),
+			},
+			checkRatio("TRAPEZOID's lower sync count buys nothing on cheap-sync hardware",
+				last(y["TRAPEZOID"]), last(y["GSS"]), 1.0, 0),
+		},
+	}, nil
+}
+
+func runFig15(s Scale) (*Result, error) {
+	n := pick(s, 256, 768, 1024)
+	m := machine.KSR1()
+	fig, y, err := completionFigure(
+		fmt.Sprintf("Fig 15: Gaussian elimination (N=%d) on %s", n, m.Name),
+		m, ksrProcs(s), ksrSpecs(),
+		func() sim.Program { return kernels.Gauss{N: n}.Program(m) })
+	if err != nil {
+		return nil, err
+	}
+	findings := []Finding{
+		checkRatio("AFS ~3.7x better than FACTORING", last(y["FACTORING"]), last(y["AFS"]), 2.0, 0),
+		checkRatio("AFS ~3.7x better than GSS", last(y["GSS"]), last(y["AFS"]), 2.0, 0),
+		checkRatio("AFS ~2.8x better than TRAPEZOID", last(y["TRAPEZOID"]), last(y["AFS"]), 1.7, 0),
+		checkRatio("TRAPEZOID no worse than FACTORING (sync expensive on the KSR)",
+			last(y["FACTORING"]), last(y["TRAPEZOID"]), 1.0, 0),
+	}
+	if s != Short {
+		// MOD-FACTORING starts between AFS and TRAPEZOID but degrades
+		// toward FACTORING past ~12-15 processors.
+		procs := ksrProcs(s)
+		smallIdx := 0
+		for i, p := range procs {
+			if p <= 8 {
+				smallIdx = i
+			}
+		}
+		mfSmall := y["MOD-FACTORING"][smallIdx] / y["AFS"][smallIdx]
+		mfBig := last(y["MOD-FACTORING"]) / last(y["AFS"])
+		findings = append(findings, Finding{
+			Name: "MOD-FACTORING degrades as processors grow",
+			Pass: mfSmall < 1.6 && mfBig > mfSmall*1.3,
+			Detail: fmt.Sprintf("MF/AFS %.2f at %d procs vs %.2f at %d procs",
+				mfSmall, procs[smallIdx], mfBig, procs[len(procs)-1]),
+		})
+	}
+	return &Result{ID: "fig15", Title: "Gauss on the KSR-1",
+		Figures: []*stats.Figure{fig}, Findings: findings}, nil
+}
+
+func runFig16(s Scale) (*Result, error) {
+	n := pick(s, 256, 768, 1024)
+	m := machine.KSR1()
+	g := workload.CliqueGraph(n, n*2/5) // 40% of the nodes form a clique
+	fig, y, err := completionFigure(
+		fmt.Sprintf("Fig 16: transitive closure (%d nodes, 40%% clique) on %s", n, m.Name),
+		m, ksrProcs(s), ksrSpecs(),
+		func() sim.Program { return kernels.TClosure{Input: g}.Program(m) })
+	if err != nil {
+		return nil, err
+	}
+	bestCentral := last(y["GSS"])
+	if v := last(y["FACTORING"]); v < bestCentral {
+		bestCentral = v
+	}
+	findings := []Finding{
+		checkRatio("AFS best overall (vs TRAPEZOID)", last(y["TRAPEZOID"]), last(y["AFS"]), 1.2, 0),
+		checkLess("TRAPEZOID at least matches the other central-queue algorithms",
+			last(y["TRAPEZOID"]), bestCentral, 1.10),
+	}
+	if s != Short {
+		procs := ksrProcs(s)
+		idx12 := 0
+		for i, p := range procs {
+			if p <= 12 {
+				idx12 = i
+			}
+		}
+		findings = append(findings,
+			Finding{
+				Name: "central-queue algorithms cannot exploit more than ~12 processors",
+				Pass: last(y["GSS"]) > y["GSS"][idx12]*0.8,
+				Detail: fmt.Sprintf("GSS %.3fs at %d procs vs %.3fs at %d procs",
+					y["GSS"][idx12], procs[idx12], last(y["GSS"]), procs[len(procs)-1]),
+			},
+			Finding{
+				Name: "AFS keeps improving past 12 processors",
+				Pass: last(y["AFS"]) < y["AFS"][idx12]*0.9,
+				Detail: fmt.Sprintf("AFS %.3fs at %d procs vs %.3fs at %d procs",
+					y["AFS"][idx12], procs[idx12], last(y["AFS"]), procs[len(procs)-1]),
+			})
+	}
+	return &Result{ID: "fig16", Title: "Transitive closure on the KSR-1",
+		Figures: []*stats.Figure{fig}, Findings: findings}, nil
+}
+
+func runFig17(s Scale) (*Result, error) {
+	n := pick(s, 256, 1024, 1024)
+	phases := pick(s, 8, 32, 128)
+	m := machine.KSR1()
+	fig, y, err := completionFigure(
+		fmt.Sprintf("Fig 17: SOR (N=%d, %d sweeps) on %s", n, phases, m.Name),
+		m, ksrProcs(s), ksrSpecs(),
+		func() sim.Program { return kernels.SOR{N: n, Phases: phases}.Program(m) })
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID: "fig17", Title: "SOR on the KSR-1",
+		Figures: []*stats.Figure{fig},
+		Notes: []string{
+			"software floating-point division dominates SOR's inner loop on the KSR-1, so preserving affinity buys relatively little (the paper's anomaly)",
+		},
+		Findings: []Finding{
+			checkRatio("AFS still best", last(y["GSS"]), last(y["AFS"]), 1.0, 0),
+			checkLess("but the margin is modest (GSS within ~1.75x, vs ~9x on Fig 15's Gauss)",
+				last(y["GSS"]), last(y["AFS"]), 1.75),
+			checkLess("STATIC matches AFS", last(y["STATIC"]), last(y["AFS"]), 1.1),
+		},
+	}, nil
+}
+
+func runSec53(s Scale) (*Result, error) {
+	n := pick(s, 256, 1024, 4096)
+	const p = 16
+	m := machine.KSR1()
+	specs := []sched.Spec{
+		sched.SpecAFS(), sched.SpecStatic(), sched.SpecModFactoring(),
+		sched.SpecFactoring(), sched.SpecTrapezoid(), sched.SpecGSS(),
+	}
+	tab := stats.NewTable(
+		fmt.Sprintf("§5.3: Gaussian elimination (%d×%d) on %d KSR-1 processors", n, n, p),
+		"scheduling algorithm", "completion time (s)", "(minutes)")
+	times := map[string]float64{}
+	for _, sp := range specs {
+		res, err := sim.Run(m, p, sp, kernels.Gauss{N: n}.Program(m))
+		if err != nil {
+			return nil, err
+		}
+		times[sp.Name] = res.Seconds
+		tab.AddRow(sp.Name, stats.FormatSeconds(res.Seconds),
+			fmt.Sprintf("%.1f", res.Seconds/60))
+	}
+	return &Result{
+		ID: "sec5.3", Title: "Large-problem scaling",
+		Tables: []*stats.Table{tab},
+		Notes: []string{
+			"paper (4096×4096): AFS 20.6 min, STATIC 20.9, MOD-FACTORING 22.7, FACTORING 47.3, TRAPEZOID 50.7, GSS 73.7",
+			"our model reproduces the affinity-group-vs-central-group split (~2-3.6x); within the central group the paper ranks FACTORING < TRAPEZOID < GSS while our three land within a few percent of each other",
+		},
+		Findings: []Finding{
+			// Tiny matrices leave little affinity to reuse; thresholds
+			// relax at Short scale (the claims are asserted at
+			// default/paper sizes).
+			checkLess("AFS ≈ STATIC", times["AFS"], times["STATIC"], pick(s, 1.25, 1.05, 1.05)),
+			checkLess("MOD-FACTORING clearly closer to AFS than the central group",
+				times["MOD-FACTORING"], times["AFS"], pick(s, 6.0, 1.8, 1.8)),
+			checkRatio("FACTORING ~2.3x AFS", times["FACTORING"], times["AFS"], pick(s, 1.2, 1.6, 1.6), 0),
+			checkRatio("GSS far worse than AFS", times["GSS"], times["AFS"], pick(s, 1.2, 1.9, 1.9), 0),
+		},
+	}, nil
+}

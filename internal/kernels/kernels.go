@@ -1,0 +1,35 @@
+// Package kernels implements the paper's five application kernels (§4.2)
+// in two forms each:
+//
+//   - a *model* form — a sim.Program giving per-iteration compute cycles
+//     and memory footprints, executed by the machine simulator to
+//     regenerate the paper's figures; and
+//   - a *real* form — actual Go computation over real data, executed by
+//     the goroutine runtime (internal/core) in the examples and real
+//     benchmarks, and used to validate that every scheduler computes the
+//     same result as serial execution.
+package kernels
+
+import "repro/internal/sim"
+
+// Array identifiers for footprint naming.
+const (
+	arrA uint8 = 1 + iota // primary matrix
+	arrB                  // secondary matrix (Jacobi target) / vector B
+	arrC                  // vector C
+)
+
+// fp packs an (array, row) pair into a footprint ID.
+func fp(array uint8, row int) uint64 {
+	return uint64(array)<<56 | uint64(uint32(row))
+}
+
+// touchesOf is a convenience for building Touches callbacks from a
+// fixed slice (used by tests).
+func touchesOf(ts []sim.Touch) func(visit func(sim.Touch)) {
+	return func(visit func(sim.Touch)) {
+		for _, t := range ts {
+			visit(t)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package kernels
+
+import (
+	"math/rand"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// L4 is the hybrid benchmark from Polychronopoulos & Kuck's guided
+// self-scheduling paper, reproduced in the paper's Fig 2: an outer
+// sequential loop of 50 iterations, each containing three multi-way
+// nested parallel loops whose bodies cost fixed "time units" with
+// conditional extra work taken with probability one half. Nested
+// parallel loops are coalesced into single parallel loops (the paper
+// cites [24] for this transformation). L4 touches no shared data, so it
+// isolates scheduling overhead and load balance.
+type L4 struct {
+	// Outer is the sequential trip count (paper: 50).
+	Outer int
+	// UnitCycles scales one L4 "time unit" to machine cycles
+	// (default 20).
+	UnitCycles float64
+	// Seed drives the conditional branches (probability 0.5 each).
+	Seed int64
+}
+
+// l4Shapes describes the three coalesced parallel loops per outer
+// iteration:
+//
+//	loop A: 10×10×10 = 1000 iterations of {10} [+ {50} with p=.5]
+//	loop B: 100×5 = 500 iterations of {100} [+ {30} with p=.5],
+//	        plus {50} attributed to the first iteration of each
+//	        5-iteration group (the I5-level statement)
+//	loop C: 20×4 = 80 iterations of {30}
+const (
+	l4NA, l4BaseA, l4CondA = 1000, 10, 50
+	l4NB, l4BaseB, l4CondB = 500, 100, 30
+	l4GroupB, l4HeadB      = 5, 50
+	l4NC, l4BaseC          = 80, 30
+)
+
+// Program returns the simulator model on machine m. Branch outcomes are
+// drawn once, deterministically from Seed, so repeated simulations of
+// the same configuration see identical workloads.
+func (k L4) Program(m *machine.Machine) sim.Program {
+	outer := k.Outer
+	if outer == 0 {
+		outer = 50
+	}
+	unit := k.UnitCycles
+	if unit == 0 {
+		unit = 20
+	}
+	rng := rand.New(rand.NewSource(k.Seed + 4))
+	// Pre-draw branch outcomes for every (outer, loop, iteration).
+	condA := make([][]bool, outer)
+	condB := make([][]bool, outer)
+	for o := 0; o < outer; o++ {
+		condA[o] = randBools(rng, l4NA)
+		condB[o] = randBools(rng, l4NB)
+	}
+	return sim.Program{
+		Name:  "L4",
+		Steps: outer * 3,
+		Step: func(s int) sim.ParLoop {
+			o, which := s/3, s%3
+			switch which {
+			case 0:
+				ca := condA[o]
+				return sim.ParLoop{N: l4NA, Cost: func(i int) float64 {
+					c := float64(l4BaseA)
+					if ca[i] {
+						c += l4CondA
+					}
+					return c * unit
+				}}
+			case 1:
+				cb := condB[o]
+				return sim.ParLoop{N: l4NB, Cost: func(i int) float64 {
+					c := float64(l4BaseB)
+					if cb[i] {
+						c += l4CondB
+					}
+					if i%l4GroupB == 0 {
+						c += l4HeadB
+					}
+					return c * unit
+				}}
+			default:
+				return sim.ParLoop{N: l4NC, Cost: func(int) float64 {
+					return l4BaseC * unit
+				}}
+			}
+		},
+	}
+}
+
+func randBools(rng *rand.Rand, n int) []bool {
+	b := make([]bool, n)
+	for i := range b {
+		b[i] = rng.Intn(2) == 1
+	}
+	return b
+}
+
+// L4Real is the real form: the same loop structure with busy-work
+// bodies (Spin) instead of modelled costs.
+type L4Real struct {
+	Outer int
+	Seed  int64
+	// UnitWork is the Spin argument per L4 time unit (default 20).
+	UnitWork int
+
+	condA, condB [][]bool
+}
+
+// NewL4Real precomputes the branch outcomes.
+func NewL4Real(outer int, seed int64, unitWork int) *L4Real {
+	if outer == 0 {
+		outer = 50
+	}
+	if unitWork == 0 {
+		unitWork = 20
+	}
+	rng := rand.New(rand.NewSource(seed + 4))
+	r := &L4Real{Outer: outer, Seed: seed, UnitWork: unitWork}
+	for o := 0; o < outer; o++ {
+		r.condA = append(r.condA, randBools(rng, l4NA))
+		r.condB = append(r.condB, randBools(rng, l4NB))
+	}
+	return r
+}
+
+// Loops returns the number of parallel loops (3 per outer iteration).
+func (r *L4Real) Loops() int { return r.Outer * 3 }
+
+// LoopN returns the iteration count of parallel loop s.
+func (r *L4Real) LoopN(s int) int {
+	switch s % 3 {
+	case 0:
+		return l4NA
+	case 1:
+		return l4NB
+	default:
+		return l4NC
+	}
+}
+
+// Body executes iteration i of parallel loop s.
+func (r *L4Real) Body(s, i int) {
+	o := s / 3
+	units := 0
+	switch s % 3 {
+	case 0:
+		units = l4BaseA
+		if r.condA[o][i] {
+			units += l4CondA
+		}
+	case 1:
+		units = l4BaseB
+		if r.condB[o][i] {
+			units += l4CondB
+		}
+		if i%l4GroupB == 0 {
+			units += l4HeadB
+		}
+	default:
+		units = l4BaseC
+	}
+	Spin(units * r.UnitWork)
+}
+
+// spinSink defeats dead-code elimination of Spin's work loop.
+var spinSink float64
+
+// Spin burns roughly `units` small arithmetic operations of CPU time —
+// the real-form stand-in for the paper's abstract COMPUTE(n) bodies.
+func Spin(units int) {
+	x := 1.0001
+	for i := 0; i < units; i++ {
+		x += x * 1e-9
+	}
+	// x stays near 1, so the store never executes (keeping concurrent
+	// Spin calls race-free) but the compiler must keep the loop.
+	if x > 2 {
+		spinSink = x
+	}
+}

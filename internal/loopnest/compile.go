@@ -1,0 +1,322 @@
+package loopnest
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Options configures compilation.
+type Options struct {
+	// Name labels the resulting program.
+	Name string
+	// UnitCycles scales one abstract work unit to machine cycles
+	// (default 1).
+	UnitCycles float64
+	// Seed resolves probabilistic branches. A branch's outcome is a
+	// pure function of (seed, branch, loop indices), so repeated cost
+	// evaluations of the same iteration agree — a requirement of the
+	// simulator, which may evaluate costs for serial baselines and
+	// oracle partitions as well as execution.
+	Seed uint64
+}
+
+// Compile lowers a loop nest to a simulator program. Top-level
+// sequential loops unroll into program steps; each parallel loop
+// becomes one step, with any parallel loops nested inside it coalesced
+// into a single flat iteration space (the [24] transformation). A
+// parallel body may contain at most one nested parallel loop, whose
+// bound must not depend on the enclosing parallel index (both
+// restrictions match the coalescing literature; the paper's kernels
+// satisfy them).
+func Compile(top Node, opts Options) (sim.Program, error) {
+	if opts.UnitCycles == 0 {
+		opts.UnitCycles = 1
+	}
+	c := &compiler{opts: opts, branchIDs: map[*BranchNode]uint64{}}
+	if err := c.walk(top, Env{}); err != nil {
+		return sim.Program{}, err
+	}
+	name := opts.Name
+	if name == "" {
+		name = "LOOPNEST"
+	}
+	steps := c.steps
+	return sim.Program{
+		Name:  name,
+		Steps: len(steps),
+		Step: func(s int) sim.ParLoop {
+			return steps[s]
+		},
+	}, nil
+}
+
+type compiler struct {
+	opts      Options
+	steps     []sim.ParLoop
+	branchIDs map[*BranchNode]uint64
+	nextID    uint64
+}
+
+// walk unrolls the sequential structure, emitting one step per
+// parallel region (or per serial statement).
+func (c *compiler) walk(n Node, env Env) error {
+	switch node := n.(type) {
+	case *LoopNode:
+		if node.Parallel {
+			loop, err := c.parLoop(node, env)
+			if err != nil {
+				return err
+			}
+			c.steps = append(c.steps, loop)
+			return nil
+		}
+		bound := node.Bound(env)
+		for v := 0; v < bound; v++ {
+			inner := env.push(node.Name, v)
+			for _, b := range node.Body {
+				if err := c.walk(b, inner); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	case *StmtNode:
+		// Serial work between parallel loops: a one-iteration step.
+		cost := node.Cost(env) * c.opts.UnitCycles
+		c.steps = append(c.steps, sim.ParLoop{
+			N:    1,
+			Cost: func(int) float64 { return cost },
+		})
+		return nil
+	case *BranchNode:
+		if c.taken(node, env) {
+			for _, b := range node.Body {
+				if err := c.walk(b, env); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("loopnest: node %T not allowed at sequential level", n)
+	}
+}
+
+// splitBody separates a parallel body into straight-line items and the
+// (at most one) nested parallel loop.
+func splitBody(body []Node) (items []Node, nested *LoopNode, err error) {
+	for _, n := range body {
+		if l, ok := n.(*LoopNode); ok && l.Parallel {
+			if nested != nil {
+				return nil, nil, fmt.Errorf("loopnest: parallel body contains more than one nested parallel loop")
+			}
+			nested = l
+			continue
+		}
+		items = append(items, n)
+	}
+	return items, nested, nil
+}
+
+// parLoop builds the flattened ParLoop for a parallel region under a
+// fixed environment.
+func (c *compiler) parLoop(l *LoopNode, env Env) (sim.ParLoop, error) {
+	items, nested, err := splitBody(l.Body)
+	if err != nil {
+		return sim.ParLoop{}, err
+	}
+	bound := l.Bound(env)
+	if bound < 0 {
+		return sim.ParLoop{}, fmt.Errorf("loopnest: loop %q has negative bound %d", l.Name, bound)
+	}
+	if nested == nil {
+		unit := c.opts.UnitCycles
+		return sim.ParLoop{
+			N: bound,
+			Cost: func(i int) float64 {
+				return c.evalCost(items, env.push(l.Name, i)) * unit
+			},
+			Touches: c.touchesFunc(items, env, l.Name),
+		}, nil
+	}
+	// Coalesce: verify the nested flat bound is invariant in our index.
+	innerN := -1
+	for v := 0; v < bound; v++ {
+		n, err := c.flatN(nested, env.push(l.Name, v))
+		if err != nil {
+			return sim.ParLoop{}, err
+		}
+		if innerN == -1 {
+			innerN = n
+		} else if n != innerN {
+			return sim.ParLoop{}, fmt.Errorf(
+				"loopnest: nested parallel loop %q has bound varying with %q (%d vs %d); coalescing requires invariant bounds",
+				nested.Name, l.Name, innerN, n)
+		}
+	}
+	if innerN <= 0 {
+		innerN = 1
+	}
+	unit := c.opts.UnitCycles
+	total := bound * innerN
+	innerLoops := make([]sim.ParLoop, bound)
+	for v := 0; v < bound; v++ {
+		inner, err := c.parLoop(nested, env.push(l.Name, v))
+		if err != nil {
+			return sim.ParLoop{}, err
+		}
+		innerLoops[v] = inner
+	}
+	return sim.ParLoop{
+		N: total,
+		Cost: func(i int) float64 {
+			o, k := i/innerN, i%innerN
+			cost := innerLoops[o].Cost(k)
+			if k == 0 {
+				// Work at the outer level is attributed to the first
+				// iteration of each inner block.
+				cost += c.evalCost(items, env.push(l.Name, o)) * unit
+			}
+			return cost
+		},
+		Touches: func(i int, visit func(sim.Touch)) {
+			o, k := i/innerN, i%innerN
+			if innerLoops[o].Touches != nil {
+				innerLoops[o].Touches(k, visit)
+			}
+			if k == 0 {
+				c.visitTouches(items, env.push(l.Name, o), visit)
+			}
+		},
+	}, nil
+}
+
+// flatN computes the coalesced iteration count of a parallel loop.
+func (c *compiler) flatN(l *LoopNode, env Env) (int, error) {
+	_, nested, err := splitBody(l.Body)
+	if err != nil {
+		return 0, err
+	}
+	bound := l.Bound(env)
+	if nested == nil {
+		return bound, nil
+	}
+	if bound == 0 {
+		return 0, nil
+	}
+	inner, err := c.flatN(nested, env.push(l.Name, 0))
+	if err != nil {
+		return 0, err
+	}
+	return bound * inner, nil
+}
+
+// evalCost sums the work units of straight-line items under env,
+// expanding sequential loops and resolving branches.
+func (c *compiler) evalCost(items []Node, env Env) float64 {
+	total := 0.0
+	for _, n := range items {
+		switch node := n.(type) {
+		case *StmtNode:
+			total += node.Cost(env)
+		case *BranchNode:
+			if c.taken(node, env) {
+				total += c.evalCost(node.Body, env)
+			}
+		case *LoopNode:
+			// Sequential loop in a parallel body: sum its iterations.
+			bound := node.Bound(env)
+			for v := 0; v < bound; v++ {
+				total += c.evalCost(node.Body, env.push(node.Name, v))
+			}
+		case *AccessNode:
+			// Memory references carry no compute cost.
+		}
+	}
+	return total
+}
+
+// touchesFunc builds a Touches callback when the body contains any
+// memory accesses; loops without accesses return nil so the simulator
+// can use its fast inline path.
+func (c *compiler) touchesFunc(items []Node, env Env, idxName string) func(int, func(sim.Touch)) {
+	if !hasAccess(items) {
+		return nil
+	}
+	return func(i int, visit func(sim.Touch)) {
+		c.visitTouches(items, env.push(idxName, i), visit)
+	}
+}
+
+func hasAccess(items []Node) bool {
+	for _, n := range items {
+		switch node := n.(type) {
+		case *AccessNode:
+			return true
+		case *BranchNode:
+			if hasAccess(node.Body) {
+				return true
+			}
+		case *LoopNode:
+			if hasAccess(node.Body) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// visitTouches walks the straight-line items emitting memory accesses.
+func (c *compiler) visitTouches(items []Node, env Env, visit func(sim.Touch)) {
+	for _, n := range items {
+		switch node := n.(type) {
+		case *AccessNode:
+			visit(sim.Touch{
+				ID:    uint64(node.Array)<<56 | uint64(uint32(node.Row(env))),
+				Bytes: node.Bytes,
+				Write: node.Write,
+			})
+		case *BranchNode:
+			if c.taken(node, env) {
+				c.visitTouches(node.Body, env, visit)
+			}
+		case *LoopNode:
+			bound := node.Bound(env)
+			for v := 0; v < bound; v++ {
+				c.visitTouches(node.Body, env.push(node.Name, v), visit)
+			}
+		}
+	}
+}
+
+// taken resolves a branch deterministically and purely from the seed,
+// the branch identity, and the loop indices.
+func (c *compiler) taken(b *BranchNode, env Env) bool {
+	if b.Prob >= 1 {
+		return true
+	}
+	if b.Prob <= 0 {
+		return false
+	}
+	id, ok := c.branchIDs[b]
+	if !ok {
+		c.nextID++
+		id = c.nextID
+		c.branchIDs[b] = id
+	}
+	h := c.opts.Seed ^ id*0x9e3779b97f4a7c15
+	for _, v := range env.vals {
+		h = mix(h ^ uint64(v))
+	}
+	frac := float64(mix(h)>>11) / float64(1<<53)
+	return frac < b.Prob
+}
+
+// mix is splitmix64's finaliser.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

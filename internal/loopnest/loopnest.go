@@ -1,0 +1,143 @@
+// Package loopnest is a small loop-nest front end for the scheduling
+// engines: the paper's kernels are FORTRAN loop nests ("DO PARALLEL
+// ... DO SEQUENTIAL ..."), and §2.2 notes the affinity scheduler
+// "could easily be employed by a parallelizing compiler". This package
+// plays that compiler's role for model programs: express a nest of
+// sequential/parallel loops, statements with costs, probabilistic
+// branches and array accesses, and Compile it — coalescing nested
+// parallel loops into single parallel loops (the transformation the
+// paper cites as [24]) — into a sim.Program.
+//
+// The L4 benchmark, hand-flattened in internal/kernels, can be written
+// literally:
+//
+//	nest := Seq("I1", 50,
+//	    Par("I2", 1000, Work(10), Maybe(0.5, Work(50))),
+//	    Par("I5", 100, Work(50), Par("I6", 5, Work(100), Maybe(0.5, Work(30)))),
+//	    Par("I7", 80, Work(30)))
+//	prog, err := Compile(nest, Options{UnitCycles: 20, Seed: 1})
+package loopnest
+
+import "fmt"
+
+// Env binds loop-index names to values for bound and cost evaluation.
+type Env struct {
+	names []string
+	vals  []int
+}
+
+// Get returns the value of index name, or ok=false.
+func (e Env) Get(name string) (int, bool) {
+	for i := len(e.names) - 1; i >= 0; i-- {
+		if e.names[i] == name {
+			return e.vals[i], true
+		}
+	}
+	return 0, false
+}
+
+// Index returns the value of index name, panicking if unbound (for use
+// inside bound/cost callbacks, where the binding is a programming
+// invariant).
+func (e Env) Index(name string) int {
+	v, ok := e.Get(name)
+	if !ok {
+		panic(fmt.Sprintf("loopnest: index %q not bound", name))
+	}
+	return v
+}
+
+func (e Env) push(name string, v int) Env {
+	return Env{names: append(e.names[:len(e.names):len(e.names)], name),
+		vals: append(e.vals[:len(e.vals):len(e.vals)], v)}
+}
+
+// A Node is one element of a loop nest.
+type Node interface{ isNode() }
+
+// LoopNode is a sequential or parallel loop over [0, N(env)).
+type LoopNode struct {
+	Name     string
+	Parallel bool
+	// Bound gives the trip count, possibly depending on outer indices.
+	Bound func(Env) int
+	Body  []Node
+}
+
+func (*LoopNode) isNode() {}
+
+// StmtNode is straight-line work of Cost(env) abstract units.
+type StmtNode struct {
+	Cost func(Env) float64
+}
+
+func (*StmtNode) isNode() {}
+
+// BranchNode executes its body with probability Prob (resolved
+// deterministically per dynamic instance from the compile seed) —
+// the paper's "[if C then {50}]" statements.
+type BranchNode struct {
+	Prob float64
+	Body []Node
+}
+
+func (*BranchNode) isNode() {}
+
+// AccessNode is a memory reference to a named array footprint.
+type AccessNode struct {
+	Array uint8
+	// Row selects the footprint within the array.
+	Row func(Env) int
+	// Bytes is the footprint size.
+	Bytes int
+	Write bool
+}
+
+func (*AccessNode) isNode() {}
+
+// ---- constructors ----
+
+// Seq builds a sequential loop of n iterations.
+func Seq(name string, n int, body ...Node) *LoopNode {
+	return &LoopNode{Name: name, Bound: func(Env) int { return n }, Body: body}
+}
+
+// SeqN builds a sequential loop whose bound depends on outer indices
+// (the paper's triangular "DO 29 J = 1,I").
+func SeqN(name string, bound func(Env) int, body ...Node) *LoopNode {
+	return &LoopNode{Name: name, Bound: bound, Body: body}
+}
+
+// Par builds a parallel loop of n iterations.
+func Par(name string, n int, body ...Node) *LoopNode {
+	return &LoopNode{Name: name, Parallel: true, Bound: func(Env) int { return n }, Body: body}
+}
+
+// ParN builds a parallel loop with an env-dependent bound (Gaussian
+// elimination's "DO PARALLEL 29 I = K,N").
+func ParN(name string, bound func(Env) int, body ...Node) *LoopNode {
+	return &LoopNode{Name: name, Parallel: true, Bound: bound, Body: body}
+}
+
+// Work is a statement costing a constant number of units.
+func Work(units float64) *StmtNode {
+	return &StmtNode{Cost: func(Env) float64 { return units }}
+}
+
+// WorkN is a statement whose cost depends on the loop indices.
+func WorkN(cost func(Env) float64) *StmtNode { return &StmtNode{Cost: cost} }
+
+// Maybe executes body with the given probability per dynamic instance.
+func Maybe(prob float64, body ...Node) *BranchNode {
+	return &BranchNode{Prob: prob, Body: body}
+}
+
+// Access records a read of a footprint.
+func Access(array uint8, bytes int, row func(Env) int) *AccessNode {
+	return &AccessNode{Array: array, Row: row, Bytes: bytes}
+}
+
+// Update records a write of a footprint.
+func Update(array uint8, bytes int, row func(Env) int) *AccessNode {
+	return &AccessNode{Array: array, Row: row, Bytes: bytes, Write: true}
+}

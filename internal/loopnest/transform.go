@@ -1,0 +1,89 @@
+package loopnest
+
+import "fmt"
+
+// Interchange swaps a perfectly-nested loop pair, turning
+//
+//	PAR I { SEQ T { body } }   into   SEQ T { PAR I { body } }
+//
+// (or the reverse). §2.1 cites this transformation ([13]) as the way a
+// parallelizing compiler produces the parallel-loop-inside-sequential-
+// loop shape that affinity scheduling exploits: with the sequential
+// loop outermost, each parallel iteration re-touches the same data
+// every phase.
+//
+// Interchange is only *legal* when the two loops' iterations are
+// independent in both orders; like a real compiler's dependence test,
+// we cannot see into opaque cost closures, so the caller asserts
+// legality by calling this. Structural requirements checked here: the
+// outer loop's body must be exactly one loop, and the inner bound must
+// not depend on the outer index (non-rectangular nests do not
+// interchange).
+func Interchange(outer *LoopNode) (*LoopNode, error) {
+	if outer == nil || len(outer.Body) != 1 {
+		return nil, fmt.Errorf("loopnest: interchange requires a perfectly nested pair (outer body must be exactly one loop)")
+	}
+	inner, ok := outer.Body[0].(*LoopNode)
+	if !ok {
+		return nil, fmt.Errorf("loopnest: interchange requires a perfectly nested pair (outer body is %T)", outer.Body[0])
+	}
+	// Rectangularity: the inner bound must not read the outer index.
+	// Evaluate the inner bound with two different outer values and
+	// compare; a dependence on the outer index shows up as a panic
+	// (unbound in the swapped order) or differing bounds.
+	if varies, err := boundVaries(inner, outer); err != nil {
+		return nil, err
+	} else if varies {
+		return nil, fmt.Errorf("loopnest: inner loop %q bound varies with outer index %q; non-rectangular nests do not interchange", inner.Name, outer.Name)
+	}
+	swapped := &LoopNode{
+		Name:     inner.Name,
+		Parallel: inner.Parallel,
+		Bound:    inner.Bound,
+		Body: []Node{&LoopNode{
+			Name:     outer.Name,
+			Parallel: outer.Parallel,
+			Bound:    outer.Bound,
+			Body:     inner.Body,
+		}},
+	}
+	return swapped, nil
+}
+
+// boundVaries reports whether inner.Bound reads outer's index. The
+// probe evaluates the bound under two bindings of the outer index; a
+// bound that panics (because it reads an index we have not bound) is
+// reported as an error.
+func boundVaries(inner, outer *LoopNode) (varies bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("loopnest: inner bound of %q reads indices beyond %q: %v", inner.Name, outer.Name, r)
+		}
+	}()
+	var base Env
+	a := inner.Bound(base.push(outer.Name, 0))
+	b := inner.Bound(base.push(outer.Name, 1))
+	return a != b, nil
+}
+
+// Coalesceable reports whether a parallel loop's body satisfies the
+// structural requirements Compile imposes for coalescing (at most one
+// nested parallel loop with an invariant bound), without compiling.
+func Coalesceable(l *LoopNode) error {
+	if l == nil || !l.Parallel {
+		return fmt.Errorf("loopnest: not a parallel loop")
+	}
+	_, nested, err := splitBody(l.Body)
+	if err != nil {
+		return err
+	}
+	if nested == nil {
+		return nil
+	}
+	if varies, err := boundVaries(nested, l); err != nil {
+		return err
+	} else if varies {
+		return fmt.Errorf("loopnest: nested loop %q bound varies with %q", nested.Name, l.Name)
+	}
+	return Coalesceable(nested)
+}

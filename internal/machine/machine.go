@@ -1,0 +1,165 @@
+// Package machine describes the shared-memory multiprocessors the paper
+// evaluates on (§4, §5), as cost-model parameter sets consumed by the
+// discrete-event simulator (internal/sim).
+//
+// All costs are expressed in processor cycles of the machine being
+// modelled, where one "cycle" is also the unit of abstract compute work
+// used by the workloads (a COMPUTE(1) loop body burns one cycle).
+// CyclesPerSec converts simulated cycles to the seconds reported in the
+// paper's figures. The parameter sets are calibrated from the ratios the
+// paper itself reports (§5.1): relative CPU speed, non-local access
+// latency, interconnect bandwidth, synchronisation cost, and cache size.
+package machine
+
+import "fmt"
+
+// Interconnect classifies the shared communication medium.
+type Interconnect int
+
+const (
+	// Bus serialises all cache-line transfers (Iris, Symmetry).
+	Bus Interconnect = iota
+	// Switch provides parallel paths with per-access latency and no
+	// global serialisation (Butterfly's butterfly switch).
+	Switch
+	// Ring has high per-access latency, expensive synchronisation, and
+	// large aggregate bandwidth (KSR-1's ALLCACHE ring).
+	Ring
+)
+
+// String returns the interconnect name.
+func (ic Interconnect) String() string {
+	switch ic {
+	case Bus:
+		return "bus"
+	case Switch:
+		return "switch"
+	case Ring:
+		return "ring"
+	}
+	return "unknown"
+}
+
+// Machine is a cost-model description of a shared-memory multiprocessor.
+type Machine struct {
+	Name         string
+	MaxProcs     int
+	Interconnect Interconnect
+	// CyclesPerSec converts simulated cycles to wall-clock seconds.
+	CyclesPerSec float64
+
+	// CacheBytes is the per-processor cache (or coherent local memory)
+	// capacity. 0 models a machine where remote data is never cached
+	// locally (Butterfly I without OS-level page replication).
+	CacheBytes int
+	// LineBytes is the coherence/transfer granularity.
+	LineBytes int
+
+	// CentralQueueOp is the service time, in cycles, of one access to a
+	// central work queue. The queue is a serially-reusable resource, so
+	// this is also the occupancy that creates contention.
+	CentralQueueOp float64
+	// LocalQueueOp is the service time of a processor accessing its own
+	// per-processor work queue (AFS local take).
+	LocalQueueOp float64
+	// RemoteQueueOp is the service time of accessing another
+	// processor's work queue (AFS steal).
+	RemoteQueueOp float64
+	// LocalQueuesRemote marks machines (Butterfly, §4.4) where even the
+	// distributed per-processor queues live in non-local memory, so AFS
+	// local accesses cost RemoteQueueOp.
+	LocalQueuesRemote bool
+	// BarrierCycles is charged to every processor at the end of each
+	// parallel loop (the sequential outer loop's join).
+	BarrierCycles float64
+	// StartJitterCycles bounds the random per-processor skew at the
+	// start of each parallel loop (barrier release, OS noise). Without
+	// it, a deterministic simulator releases all processors in lockstep
+	// and central-queue algorithms would receive the *same* chunks every
+	// phase — accidental affinity no real machine provides (§4.5: "all
+	// processors do not start executing loop iterations at the same
+	// time"). Jitter is drawn deterministically from the run seed.
+	StartJitterCycles float64
+
+	// MissLatency is the fixed cost, in cycles, of initiating one
+	// footprint transfer from remote memory / another cache.
+	MissLatency float64
+	// LineTransfer is the per-line cost added to the *loading
+	// processor's* clock for each cache line transferred.
+	LineTransfer float64
+	// BusPerLine is the per-line occupancy of the shared interconnect
+	// resource. On a Bus it serialises all transfers; on Switch/Ring it
+	// models the (much larger) aggregate bandwidth, and may be 0.
+	BusPerLine float64
+
+	// QueueOpBusLines is the number of cache lines of shared-interconnect
+	// traffic one central-queue (or remote-queue) operation generates —
+	// the queue itself lives in shared memory, so on bus machines queue
+	// operations contend with data transfers (the §7 observation that
+	// "central work queues require the frequent movement of data among
+	// processors"). 0 disables the coupling.
+	QueueOpBusLines int
+
+	// FPOpCycles is the cost of one floating-point add/multiply.
+	FPOpCycles float64
+	// FPDivCycles is the cost of one floating-point division. On the
+	// KSR-1 division is implemented in software and dominates SOR's
+	// inner loop (§5.2, Fig 17).
+	FPDivCycles float64
+}
+
+// Validate reports configuration errors.
+func (m *Machine) Validate() error {
+	switch {
+	case m.MaxProcs < 1:
+		return fmt.Errorf("machine %s: MaxProcs must be >= 1", m.Name)
+	case m.LineBytes < 1:
+		return fmt.Errorf("machine %s: LineBytes must be >= 1", m.Name)
+	case m.CyclesPerSec <= 0:
+		return fmt.Errorf("machine %s: CyclesPerSec must be > 0", m.Name)
+	case m.CacheBytes < 0:
+		return fmt.Errorf("machine %s: CacheBytes must be >= 0", m.Name)
+	}
+	return nil
+}
+
+// Lines returns the number of cache lines needed for n bytes.
+func (m *Machine) Lines(bytes int) int {
+	if bytes <= 0 {
+		return 0
+	}
+	return (bytes + m.LineBytes - 1) / m.LineBytes
+}
+
+// TransferCycles is the loading processor's cost for a miss of the given
+// footprint size.
+func (m *Machine) TransferCycles(bytes int) float64 {
+	return m.MissLatency + float64(m.Lines(bytes))*m.LineTransfer
+}
+
+// BusCycles is the shared-resource occupancy for a miss of the given
+// footprint size (0 when the interconnect does not serialise).
+func (m *Machine) BusCycles(bytes int) float64 {
+	if m.BusPerLine == 0 {
+		return 0
+	}
+	return float64(m.Lines(bytes)) * m.BusPerLine
+}
+
+// Seconds converts simulated cycles to seconds.
+func (m *Machine) Seconds(cycles float64) float64 { return cycles / m.CyclesPerSec }
+
+// QueueOpBusCycles is the shared-interconnect occupancy of one
+// central/remote queue operation.
+func (m *Machine) QueueOpBusCycles() float64 {
+	return float64(m.QueueOpBusLines) * m.BusPerLine
+}
+
+// AFSLocalOp returns the service time of an AFS local-queue access on
+// this machine, honouring LocalQueuesRemote.
+func (m *Machine) AFSLocalOp() float64 {
+	if m.LocalQueuesRemote {
+		return m.RemoteQueueOp
+	}
+	return m.LocalQueueOp
+}

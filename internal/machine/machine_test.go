@@ -1,0 +1,168 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPresetsValid(t *testing.T) {
+	for _, m := range append(Presets(), Ideal(8)) {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Machine{
+		{Name: "p0", MaxProcs: 0, LineBytes: 64, CyclesPerSec: 1},
+		{Name: "l0", MaxProcs: 1, LineBytes: 0, CyclesPerSec: 1},
+		{Name: "hz0", MaxProcs: 1, LineBytes: 64, CyclesPerSec: 0},
+		{Name: "cneg", MaxProcs: 1, LineBytes: 64, CyclesPerSec: 1, CacheBytes: -1},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", m.Name)
+		}
+	}
+}
+
+func TestLines(t *testing.T) {
+	m := &Machine{LineBytes: 64}
+	cases := []struct{ bytes, want int }{
+		{0, 0}, {-5, 0}, {1, 1}, {64, 1}, {65, 2}, {4096, 64},
+	}
+	for _, c := range cases {
+		if got := m.Lines(c.bytes); got != c.want {
+			t.Errorf("Lines(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestTransferAndBusCycles(t *testing.T) {
+	m := &Machine{LineBytes: 64, MissLatency: 100, LineTransfer: 10, BusPerLine: 5}
+	if got := m.TransferCycles(128); got != 100+2*10 {
+		t.Errorf("TransferCycles(128) = %v", got)
+	}
+	if got := m.BusCycles(128); got != 2*5 {
+		t.Errorf("BusCycles(128) = %v", got)
+	}
+	m.BusPerLine = 0
+	if got := m.BusCycles(128); got != 0 {
+		t.Errorf("BusCycles with no bus = %v", got)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	m := &Machine{CyclesPerSec: 1e6}
+	if got := m.Seconds(2e6); got != 2 {
+		t.Errorf("Seconds = %v, want 2", got)
+	}
+}
+
+func TestAFSLocalOp(t *testing.T) {
+	m := &Machine{LocalQueueOp: 10, RemoteQueueOp: 100}
+	if got := m.AFSLocalOp(); got != 10 {
+		t.Errorf("local queues local: %v", got)
+	}
+	m.LocalQueuesRemote = true
+	if got := m.AFSLocalOp(); got != 100 {
+		t.Errorf("Butterfly-style queues: %v, want remote cost", got)
+	}
+}
+
+func TestQueueOpBusCycles(t *testing.T) {
+	m := &Machine{QueueOpBusLines: 2, BusPerLine: 60}
+	if got := m.QueueOpBusCycles(); got != 120 {
+		t.Errorf("QueueOpBusCycles = %v", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"iris", "Iris"}, {"IRIS", "Iris"}, {"sgi", "Iris"},
+		{"butterfly", "Butterfly"}, {"bbn", "Butterfly"},
+		{"symmetry", "Symmetry"}, {"sequent", "Symmetry"},
+		{"ksr1", "KSR-1"}, {"KSR-1", "KSR-1"}, {"ksr", "KSR-1"},
+		{"ideal", "Ideal"},
+	} {
+		m, err := ByName(tc.in)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", tc.in, err)
+			continue
+		}
+		if m.Name != tc.want {
+			t.Errorf("ByName(%q) = %s, want %s", tc.in, m.Name, tc.want)
+		}
+	}
+	if _, err := ByName("cray"); err == nil || !strings.Contains(err.Error(), "unknown machine") {
+		t.Errorf("ByName(cray) err = %v", err)
+	}
+}
+
+// TestPaperRatios spot-checks the calibration against the ratios the
+// paper reports in §5.1.
+func TestPaperRatios(t *testing.T) {
+	iris, sym, bfly, ksr := Iris(), Symmetry(), ButterflyI(), KSR1()
+
+	// Iris CPUs are ~30x Symmetry CPUs.
+	if r := iris.CyclesPerSec / sym.CyclesPerSec; r < 20 || r > 40 {
+		t.Errorf("Iris/Symmetry speed ratio %.1f, want ~30", r)
+	}
+	// Communication (cycles per byte over the shared medium) must be
+	// far cheaper relative to compute on the Symmetry than on the Iris.
+	irisPerByte := iris.BusPerLine / float64(iris.LineBytes)
+	symPerByte := sym.BusPerLine / float64(sym.LineBytes)
+	if irisPerByte <= 4*symPerByte {
+		t.Errorf("Iris bus per byte %.3f should dwarf Symmetry's %.3f", irisPerByte, symPerByte)
+	}
+	// Butterfly remote latency ≈ 7 µs (56 cycles at 8 MHz).
+	if bfly.MissLatency < 40 || bfly.MissLatency > 80 {
+		t.Errorf("Butterfly MissLatency %v, want ≈56 cycles", bfly.MissLatency)
+	}
+	// KSR-1: synchronisation very expensive, division in software.
+	if ksr.CentralQueueOp < 10*iris.CentralQueueOp/4 {
+		t.Errorf("KSR CentralQueueOp %v not >> Iris %v", ksr.CentralQueueOp, iris.CentralQueueOp)
+	}
+	if ksr.FPDivCycles < 20*ksr.FPOpCycles {
+		t.Errorf("KSR FP division %v not software-slow vs op %v", ksr.FPDivCycles, ksr.FPOpCycles)
+	}
+	// Butterfly per-processor queues live in shared memory.
+	if !bfly.LocalQueuesRemote {
+		t.Error("Butterfly should mark local queues remote")
+	}
+	// Cache capacities per the paper's §2.1 inventory.
+	if iris.CacheBytes != 1<<20 {
+		t.Errorf("Iris cache = %d, want 1 MB", iris.CacheBytes)
+	}
+	if sym.CacheBytes != 64<<10 {
+		t.Errorf("Symmetry cache = %d, want 64 KB", sym.CacheBytes)
+	}
+	if ksr.CacheBytes != 32<<20 {
+		t.Errorf("KSR cache = %d, want 32 MB", ksr.CacheBytes)
+	}
+	if bfly.CacheBytes != 0 {
+		t.Errorf("Butterfly cache = %d, want 0 (no coherent caching)", bfly.CacheBytes)
+	}
+}
+
+func TestInterconnectString(t *testing.T) {
+	cases := map[Interconnect]string{Bus: "bus", Switch: "switch", Ring: "ring", Interconnect(9): "unknown"}
+	for ic, want := range cases {
+		if got := ic.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ic, got, want)
+		}
+	}
+}
+
+func TestMaxProcsMatchPaper(t *testing.T) {
+	if Iris().MaxProcs != 8 {
+		t.Error("Iris is an 8-processor machine")
+	}
+	if ButterflyI().MaxProcs < 56 {
+		t.Error("Butterfly experiments use up to ~56 processors")
+	}
+	if KSR1().MaxProcs != 64 {
+		t.Error("KSR-1 is a 64-processor machine")
+	}
+}

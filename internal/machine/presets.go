@@ -1,0 +1,177 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Iris models the Silicon Graphics 4D/480GTX (§4): 8 fast RISC
+// processors, 1 MB second-level caches, a shared bus whose per-line cost
+// is large relative to one floating-point operation — which is why
+// central-queue schedulers saturate the bus on Gaussian elimination
+// (Fig 4) while affinity schedulers keep traffic off it.
+func Iris() *Machine {
+	return &Machine{
+		Name:         "Iris",
+		MaxProcs:     8,
+		Interconnect: Bus,
+		CyclesPerSec: 33e6,
+		CacheBytes:   1 << 20, // 1 MB
+		LineBytes:    64,
+
+		CentralQueueOp:    300,
+		LocalQueueOp:      25,
+		RemoteQueueOp:     200,
+		QueueOpBusLines:   2,
+		BarrierCycles:     200,
+		StartJitterCycles: 2000,
+
+		MissLatency:  120,
+		LineTransfer: 25,
+		BusPerLine:   60,
+
+		FPOpCycles:  4,
+		FPDivCycles: 12,
+	}
+}
+
+// ButterflyI models the BBN Butterfly I (§4.4): up to 56 usable slow
+// (8 MHz, no FPU) processors behind a butterfly switch. Remote access is
+// ~7 µs but the switch provides parallel paths, so there is no global
+// serialisation. Local memory is not a coherent cache of remote data
+// (CacheBytes = 0) and even the per-processor work queues live in
+// shared, non-local memory (LocalQueuesRemote), exactly as in the
+// paper's Butterfly implementation ("even the distributed work queues
+// require non-local access").
+func ButterflyI() *Machine {
+	return &Machine{
+		Name:         "Butterfly",
+		MaxProcs:     56,
+		Interconnect: Switch,
+		CyclesPerSec: 8e6,
+		CacheBytes:   0,
+		LineBytes:    16,
+
+		CentralQueueOp:    400,
+		LocalQueueOp:      400,
+		RemoteQueueOp:     400,
+		LocalQueuesRemote: true,
+		BarrierCycles:     500,
+		StartJitterCycles: 2000,
+
+		MissLatency:  56, // 7 µs at 8 MHz
+		LineTransfer: 32,
+		BusPerLine:   0, // switch: parallel paths
+
+		FPOpCycles:  20, // no FP coprocessor
+		FPDivCycles: 80,
+	}
+}
+
+// Symmetry models the Sequent Symmetry S81 (§5.1): processors ~30×
+// slower than the Iris's, 64 KB caches, and a bus whose bandwidth
+// (80 MB/s) exceeds the Iris bus — so in processor-cycle units
+// communication is cheap relative to computation, and AFS's affinity
+// advantage largely evaporates (Fig 14).
+func Symmetry() *Machine {
+	return &Machine{
+		Name:         "Symmetry",
+		MaxProcs:     24,
+		Interconnect: Bus,
+		CyclesPerSec: 1.1e6,
+		CacheBytes:   64 << 10,
+		LineBytes:    16,
+
+		CentralQueueOp:    60,
+		LocalQueueOp:      15,
+		RemoteQueueOp:     60,
+		QueueOpBusLines:   2,
+		BarrierCycles:     80,
+		StartJitterCycles: 300,
+
+		MissLatency:  8,
+		LineTransfer: 1,
+		BusPerLine:   1,
+
+		FPOpCycles:  4,
+		FPDivCycles: 16,
+	}
+}
+
+// KSR1 models the Kendall Square Research KSR-1 (§5.2): 64 processors,
+// 32 MB ALLCACHE local memory each, a ring interconnect with high
+// per-access latency and very expensive synchronisation primitives
+// (which is why TRAPEZOID, with the fewest queue operations, beats
+// GSS/FACTORING there), and software floating-point division (Fig 17's
+// anomaly).
+func KSR1() *Machine {
+	return &Machine{
+		Name:         "KSR-1",
+		MaxProcs:     64,
+		Interconnect: Ring,
+		CyclesPerSec: 20e6,
+		CacheBytes:   32 << 20,
+		LineBytes:    128,
+
+		CentralQueueOp:    2500,
+		LocalQueueOp:      80,
+		RemoteQueueOp:     1200,
+		QueueOpBusLines:   2,
+		BarrierCycles:     1500,
+		StartJitterCycles: 4000,
+
+		MissLatency:  600,
+		LineTransfer: 150, // ~7.5 µs per 128 B subpage at 20 MHz
+		BusPerLine:   4,   // ring: large aggregate bandwidth
+
+		FPOpCycles:  4,
+		FPDivCycles: 150, // software division
+	}
+}
+
+// Ideal is a PRAM-like machine for unit tests: infinite cache, free
+// communication, unit-cost queue operations.
+func Ideal(p int) *Machine {
+	return &Machine{
+		Name:         "Ideal",
+		MaxProcs:     p,
+		Interconnect: Switch,
+		CyclesPerSec: 1e6,
+		CacheBytes:   1 << 40,
+		LineBytes:    64,
+
+		CentralQueueOp: 1,
+		LocalQueueOp:   1,
+		RemoteQueueOp:  1,
+		BarrierCycles:  0,
+
+		MissLatency:  0,
+		LineTransfer: 0,
+		BusPerLine:   0,
+
+		FPOpCycles:  1,
+		FPDivCycles: 1,
+	}
+}
+
+// Presets returns the four paper machines.
+func Presets() []*Machine {
+	return []*Machine{Iris(), ButterflyI(), Symmetry(), KSR1()}
+}
+
+// ByName resolves a machine preset by (case-insensitive) name.
+func ByName(name string) (*Machine, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "iris", "sgi":
+		return Iris(), nil
+	case "butterfly", "bbn", "butterflyi":
+		return ButterflyI(), nil
+	case "symmetry", "sequent":
+		return Symmetry(), nil
+	case "ksr1", "ksr-1", "ksr":
+		return KSR1(), nil
+	case "ideal":
+		return Ideal(8), nil
+	}
+	return nil, fmt.Errorf("machine: unknown machine %q (known: iris, butterfly, symmetry, ksr1, ideal)", name)
+}

@@ -1,0 +1,259 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+)
+
+// SelfScheduling is the classical self-scheduling policy (paper refs
+// [25, 28]): one iteration per work-queue access. Perfect load balance,
+// maximal synchronisation (exactly N queue operations).
+type SelfScheduling struct{}
+
+func (SelfScheduling) Name() string       { return "SS" }
+func (SelfScheduling) Init(n, p int)      {}
+func (SelfScheduling) NextSize(r int) int { return 1 }
+
+// FixedChunk is uniform-sized chunking (Kruskal & Weiss [16]): K
+// iterations per access. K trades synchronisation against worst-case
+// imbalance of K iterations.
+type FixedChunk struct {
+	K int
+}
+
+func (f *FixedChunk) Name() string  { return fmt.Sprintf("CHUNK(%d)", f.K) }
+func (f *FixedChunk) Init(n, p int) {}
+func (f *FixedChunk) NextSize(r int) int {
+	if f.K < 1 {
+		return 1
+	}
+	if f.K > r {
+		return r
+	}
+	return f.K
+}
+
+// GSS is guided self-scheduling (Polychronopoulos & Kuck [24]): each
+// processor takes ⌈R/P⌉ of the R remaining iterations. With equal-cost
+// iterations all processors finish within one iteration of each other
+// using O(P log(N/P)) queue operations.
+type GSS struct {
+	p int
+}
+
+func (g *GSS) Name() string  { return "GSS" }
+func (g *GSS) Init(n, p int) { g.p = p }
+func (g *GSS) NextSize(r int) int {
+	return CeilDiv(r, g.p)
+}
+
+// GSSK is the "trivial change" to GSS the paper suggests in §4.3: take
+// ⌈R/(kP)⌉ instead of ⌈R/P⌉, starting with smaller chunks to leave room
+// for load balancing on loops with decreasing iteration costs.
+type GSSK struct {
+	K int
+	p int
+}
+
+func (g *GSSK) Name() string  { return fmt.Sprintf("GSS(k=%d)", g.K) }
+func (g *GSSK) Init(n, p int) { g.p = p }
+func (g *GSSK) NextSize(r int) int {
+	k := g.K
+	if k < 1 {
+		k = 1
+	}
+	return CeilDiv(r, k*g.p)
+}
+
+// Factoring (Hummel, Schonberg & Flynn [15]) allocates iterations in
+// phases: each phase splits half of the remaining iterations into P
+// equal-size chunks. All chunks within a phase have the same size, which
+// bounds the imbalance contributed by each phase.
+type Factoring struct {
+	p         int
+	phaseSize int // chunk size for the current phase
+	left      int // chunks left in the current phase
+}
+
+func (f *Factoring) Name() string { return "FACTORING" }
+func (f *Factoring) Init(n, p int) {
+	f.p = p
+	f.phaseSize = 0
+	f.left = 0
+}
+
+func (f *Factoring) NextSize(r int) int {
+	if f.left == 0 {
+		// Start a new phase: split half the remainder into P chunks.
+		f.phaseSize = CeilDiv(r, 2*f.p)
+		if f.phaseSize < 1 {
+			f.phaseSize = 1
+		}
+		f.left = f.p
+	}
+	f.left--
+	if f.phaseSize > r {
+		return r
+	}
+	return f.phaseSize
+}
+
+// Trapezoid is trapezoid self-scheduling (Tzen & Ni [31]): chunk sizes
+// decrease linearly from f = ⌈N/(2P)⌉ down to 1. The decrement is the
+// exact real-valued δ = (f-1)/(C-1) where C = ⌈2N/(f+1)⌉ is the chunk
+// count, so the schedule uses ≈4P queue operations (for f ≫ 1,
+// δ ≈ N/(8P²), the constant the paper quotes). Using an integer ⌈δ⌉
+// instead would hit the size-1 floor early and degenerate into hundreds
+// of single-iteration accesses.
+type Trapezoid struct {
+	first float64
+	delta float64
+	k     int // chunk index
+}
+
+func (t *Trapezoid) Name() string { return "TRAPEZOID" }
+func (t *Trapezoid) Init(n, p int) {
+	f := CeilDiv(n, 2*p)
+	if f < 1 {
+		f = 1
+	}
+	c := CeilDiv(2*n, f+1)
+	t.first = float64(f)
+	if c > 1 {
+		t.delta = float64(f-1) / float64(c-1)
+	} else {
+		t.delta = 0
+	}
+	t.k = 0
+}
+
+func (t *Trapezoid) NextSize(r int) int {
+	sz := int(math.Round(t.first - float64(t.k)*t.delta))
+	t.k++
+	if sz < 1 {
+		sz = 1
+	}
+	if sz > r {
+		sz = r
+	}
+	return sz
+}
+
+// Tapering is a simplified form of Lucco's tapering algorithm [19]
+// (an extension in this reproduction; the paper describes but does not
+// evaluate it). Tapering uses execution-profile information — the mean μ
+// and coefficient of variation v = σ/μ of iteration times — to shrink
+// the GSS chunk so that, with high probability, the imbalance introduced
+// by the chunk stays within a bound. We use the standard approximation
+//
+//	size = max(MinChunk, ⌈R/P⌉ · 1/(1 + Alpha·v))
+//
+// which degenerates to GSS for regular loops (v = 0) and approaches
+// self-scheduling as the variance grows.
+type Tapering struct {
+	// CV is the measured coefficient of variation of iteration times.
+	CV float64
+	// Alpha scales how aggressively variance shrinks chunks (default 1).
+	Alpha float64
+	// MinChunk is the smallest chunk worth the queue access (default 1).
+	MinChunk int
+	p        int
+}
+
+func (t *Tapering) Name() string { return "TAPERING" }
+func (t *Tapering) Init(n, p int) {
+	t.p = p
+	if t.Alpha == 0 {
+		t.Alpha = 1
+	}
+	if t.MinChunk < 1 {
+		t.MinChunk = 1
+	}
+}
+
+func (t *Tapering) NextSize(r int) int {
+	g := float64(CeilDiv(r, t.p))
+	sz := int(math.Ceil(g / (1 + t.Alpha*t.CV)))
+	if sz < t.MinChunk {
+		sz = t.MinChunk
+	}
+	if sz > r {
+		sz = r
+	}
+	return sz
+}
+
+// Grained wraps any Sizer with a minimum chunk size — the "grain"
+// control production parallel-for runtimes expose so that very cheap
+// loop bodies are not swamped by per-chunk dispatch overhead. It
+// preserves the coverage invariant (the dispenser clamps to the
+// remaining count) while capping the op count at ⌈N/Min⌉.
+type Grained struct {
+	Inner Sizer
+	Min   int
+}
+
+// Name reports the wrapped policy with its grain.
+func (g *Grained) Name() string { return fmt.Sprintf("%s/grain=%d", g.Inner.Name(), g.Min) }
+
+// Init forwards to the wrapped policy.
+func (g *Grained) Init(n, p int) { g.Inner.Init(n, p) }
+
+// NextSize raises the wrapped size to the grain floor.
+func (g *Grained) NextSize(r int) int {
+	sz := g.Inner.NextSize(r)
+	if sz < g.Min {
+		sz = g.Min
+	}
+	if sz > r {
+		sz = r
+	}
+	return sz
+}
+
+// AdaptiveGSS is a simplified form of Eager & Zahorjan's adaptive guided
+// self-scheduling [11] (extension). Two of its ideas are modelled:
+//
+//   - Backoff under contention: when the dispenser reports that other
+//     processors are waiting for the queue (via SetContention), the
+//     minimum chunk size is raised in proportion, so processors visit
+//     the queue less often. Raising the floor (rather than multiplying
+//     the whole chunk) targets the end-of-loop flurry of tiny chunks —
+//     GSS's actual contention zone — without letting an early grab
+//     exceed the 1/P fair share and create imbalance.
+//   - A base chunk floor (MinChunk) below which a queue access is never
+//     worth its cost.
+type AdaptiveGSS struct {
+	MinChunk int
+	p        int
+	waiters  int
+}
+
+func (a *AdaptiveGSS) Name() string { return "A-GSS" }
+func (a *AdaptiveGSS) Init(n, p int) {
+	a.p = p
+	a.waiters = 0
+	if a.MinChunk < 1 {
+		a.MinChunk = 1
+	}
+}
+
+// SetContention informs the policy how many processors were observed
+// waiting for the central queue. Engines call it before NextSize.
+func (a *AdaptiveGSS) SetContention(waiters int) {
+	if waiters < 0 {
+		waiters = 0
+	}
+	a.waiters = waiters
+}
+
+func (a *AdaptiveGSS) NextSize(r int) int {
+	sz := CeilDiv(r, a.p)
+	if floor := a.MinChunk * (1 + a.waiters); sz < floor {
+		sz = floor
+	}
+	if sz > r {
+		sz = r
+	}
+	return sz
+}

@@ -1,0 +1,121 @@
+package sched
+
+import (
+	"testing"
+)
+
+// FuzzQueueModel checks Queue against a naive reference deque under
+// arbitrary push/take sequences. Run with `go test -fuzz FuzzQueueModel`
+// for continuous fuzzing; the seed corpus runs in every `go test`.
+func FuzzQueueModel(f *testing.F) {
+	f.Add([]byte{0, 10, 1, 3, 2, 4})
+	f.Add([]byte{0, 200, 0, 50, 1, 255, 2, 255, 1, 1, 2, 1})
+	f.Add([]byte{2, 9, 1, 9})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		var q Queue
+		var ref []int // reference content, in order
+		next := 0     // next fresh iteration index for pushes
+		for i := 0; i+1 < len(ops); i += 2 {
+			op, arg := ops[i]%3, int(ops[i+1])
+			switch op {
+			case 0: // push a fresh chunk of arg iterations (gap keeps chunks distinct)
+				if arg == 0 {
+					continue
+				}
+				lo := next + 1 // leave a gap so chunks never coalesce accidentally
+				q.Push(Chunk{lo, lo + arg})
+				for v := lo; v < lo+arg; v++ {
+					ref = append(ref, v)
+				}
+				next = lo + arg
+			case 1: // take front
+				c, ok := q.TakeFront(arg)
+				if !ok {
+					if len(ref) != 0 && arg > 0 {
+						t.Fatalf("TakeFront(%d) failed with %d queued", arg, len(ref))
+					}
+					continue
+				}
+				for v := c.Lo; v < c.Hi; v++ {
+					if len(ref) == 0 || ref[0] != v {
+						t.Fatalf("TakeFront returned %d, reference head %v", v, ref[:min(3, len(ref))])
+					}
+					ref = ref[1:]
+				}
+			case 2: // take back
+				c, ok := q.TakeBack(arg)
+				if !ok {
+					if len(ref) != 0 && arg > 0 {
+						t.Fatalf("TakeBack(%d) failed with %d queued", arg, len(ref))
+					}
+					continue
+				}
+				for v := c.Hi - 1; v >= c.Lo; v-- {
+					if len(ref) == 0 || ref[len(ref)-1] != v {
+						t.Fatalf("TakeBack returned %d, reference tail mismatch", v)
+					}
+					ref = ref[:len(ref)-1]
+				}
+			}
+			if q.Len() != len(ref) {
+				t.Fatalf("length mismatch: queue %d, reference %d", q.Len(), len(ref))
+			}
+		}
+	})
+}
+
+// FuzzDispenserCoverage feeds arbitrary (n, p, policy) combinations to
+// every central policy and checks exact coverage.
+func FuzzDispenserCoverage(f *testing.F) {
+	f.Add(uint16(512), uint8(8), uint8(0))
+	f.Add(uint16(1), uint8(64), uint8(3))
+	f.Add(uint16(4097), uint8(1), uint8(5))
+	f.Fuzz(func(t *testing.T, n16 uint16, p8, which uint8) {
+		n := int(n16)%8192 + 1
+		p := int(p8)%64 + 1
+		sizers := allSizers()
+		s := sizers[int(which)%len(sizers)]
+		if err := Validate(Chunks(s, n, p), n); err != nil {
+			t.Fatalf("%s n=%d p=%d: %v", s.Name(), n, p, err)
+		}
+	})
+}
+
+// FuzzBestStaticCoverage checks the oracle partitioner with arbitrary
+// cost shapes.
+func FuzzBestStaticCoverage(f *testing.F) {
+	f.Add(uint16(100), uint8(4), int64(1))
+	f.Add(uint16(1000), uint8(8), int64(-5))
+	f.Fuzz(func(t *testing.T, n16 uint16, p8 uint8, costSeed int64) {
+		n := int(n16)%2048 + 1
+		p := int(p8)%32 + 1
+		cost := func(i int) float64 {
+			v := (int64(i)+1)*costSeed ^ int64(i)<<3
+			return float64(v % 1000) // may be negative: must be clamped inside
+		}
+		a := BestStatic(n, p, cost)
+		seen := make([]int, n)
+		for _, chs := range a {
+			for _, c := range chs {
+				if c.Lo < 0 || c.Hi > n {
+					t.Fatalf("chunk %v out of range", c)
+				}
+				for i := c.Lo; i < c.Hi; i++ {
+					seen[i]++
+				}
+			}
+		}
+		for i, s := range seen {
+			if s != 1 {
+				t.Fatalf("iteration %d assigned %d times (n=%d p=%d)", i, s, n, p)
+			}
+		}
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,190 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Family distinguishes how an algorithm is driven by an execution
+// engine.
+type Family int
+
+const (
+	// FamilyCentral algorithms are Sizers consuming a central dispenser.
+	FamilyCentral Family = iota
+	// FamilyStatic algorithms fix the whole assignment before execution.
+	FamilyStatic
+	// FamilyAFS algorithms use per-processor queues with stealing.
+	FamilyAFS
+	// FamilyModFactoring uses the central phase board of §2.3.
+	FamilyModFactoring
+)
+
+// String returns the family name.
+func (f Family) String() string {
+	switch f {
+	case FamilyCentral:
+		return "central"
+	case FamilyStatic:
+		return "static"
+	case FamilyAFS:
+		return "afs"
+	case FamilyModFactoring:
+		return "mod-factoring"
+	}
+	return "unknown"
+}
+
+// A Spec names a concrete algorithm configuration and knows how to
+// materialise fresh policy state for an execution engine.
+type Spec struct {
+	Name   string
+	Family Family
+
+	// NewSizer builds central-queue policy state (FamilyCentral only).
+	NewSizer func() Sizer
+	// AFS holds the affinity parameters (FamilyAFS only).
+	AFS AFS
+	// Victim selects the steal-victim policy (FamilyAFS only).
+	Victim VictimPolicy
+	// BestStatic marks the oracle-cost static variant (FamilyStatic).
+	BestStatic bool
+	// LastExecuted marks the AFS-LE extension: re-executions of an
+	// iteration go to the processor that last executed it.
+	LastExecuted bool
+}
+
+// Specs for the algorithms evaluated in the paper (§4.1) and the
+// extensions discussed but not implemented there.
+func SpecStatic() Spec     { return Spec{Name: "STATIC", Family: FamilyStatic} }
+func SpecBestStatic() Spec { return Spec{Name: "BEST-STATIC", Family: FamilyStatic, BestStatic: true} }
+func SpecSS() Spec {
+	return Spec{Name: "SS", Family: FamilyCentral, NewSizer: func() Sizer { return SelfScheduling{} }}
+}
+func SpecChunk(k int) Spec {
+	return Spec{Name: fmt.Sprintf("CHUNK(%d)", k), Family: FamilyCentral,
+		NewSizer: func() Sizer { return &FixedChunk{K: k} }}
+}
+func SpecGSS() Spec {
+	return Spec{Name: "GSS", Family: FamilyCentral, NewSizer: func() Sizer { return &GSS{} }}
+}
+func SpecGSSK(k int) Spec {
+	return Spec{Name: fmt.Sprintf("GSS(k=%d)", k), Family: FamilyCentral,
+		NewSizer: func() Sizer { return &GSSK{K: k} }}
+}
+func SpecFactoring() Spec {
+	return Spec{Name: "FACTORING", Family: FamilyCentral, NewSizer: func() Sizer { return &Factoring{} }}
+}
+func SpecTrapezoid() Spec {
+	return Spec{Name: "TRAPEZOID", Family: FamilyCentral, NewSizer: func() Sizer { return &Trapezoid{} }}
+}
+func SpecTapering(cv float64) Spec {
+	return Spec{Name: "TAPERING", Family: FamilyCentral,
+		NewSizer: func() Sizer { return &Tapering{CV: cv} }}
+}
+func SpecAdaptiveGSS() Spec {
+	return Spec{Name: "A-GSS", Family: FamilyCentral, NewSizer: func() Sizer { return &AdaptiveGSS{} }}
+}
+func SpecAFS() Spec { return Spec{Name: "AFS", Family: FamilyAFS} }
+func SpecAFSK(k int) Spec {
+	return Spec{Name: fmt.Sprintf("AFS(k=%d)", k), Family: FamilyAFS, AFS: AFS{K: k}}
+}
+func SpecAFSLE() Spec {
+	return Spec{Name: "AFS-LE", Family: FamilyAFS, LastExecuted: true}
+}
+func SpecAFSRandom() Spec {
+	return Spec{Name: "AFS-RAND", Family: FamilyAFS, Victim: VictimRandom}
+}
+func SpecAFSPow2() Spec {
+	return Spec{Name: "AFS-P2", Family: FamilyAFS, Victim: VictimPowerOfTwo}
+}
+func SpecModFactoring() Spec {
+	return Spec{Name: "MOD-FACTORING", Family: FamilyModFactoring}
+}
+
+// PaperSpecs returns the eight algorithms the paper implements by hand
+// on the Iris (§4.1), in the paper's presentation order.
+func PaperSpecs() []Spec {
+	return []Spec{
+		SpecStatic(), SpecSS(), SpecGSS(), SpecFactoring(),
+		SpecTrapezoid(), SpecAFS(), SpecModFactoring(), SpecBestStatic(),
+	}
+}
+
+// AllSpecs returns every algorithm this package implements, including
+// extensions, using default parameters where a parameter is required.
+func AllSpecs() []Spec {
+	return append(PaperSpecs(),
+		SpecChunk(8), SpecGSSK(2), SpecTapering(0.5), SpecAdaptiveGSS(),
+		SpecAFSK(2), SpecAFSLE(), SpecAFSRandom(), SpecAFSPow2(),
+	)
+}
+
+// Names lists the canonical names of AllSpecs, sorted.
+func Names() []string {
+	specs := AllSpecs()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName resolves a (case-insensitive) algorithm name, accepting the
+// parameterised forms "chunk(K)", "gss(k=K)", "afs(k=K)".
+func ByName(name string) (Spec, error) {
+	n := strings.ToUpper(strings.TrimSpace(name))
+	switch n {
+	case "STATIC":
+		return SpecStatic(), nil
+	case "BEST-STATIC", "BESTSTATIC":
+		return SpecBestStatic(), nil
+	case "SS", "SELF", "SELF-SCHEDULING":
+		return SpecSS(), nil
+	case "GSS":
+		return SpecGSS(), nil
+	case "FACTORING", "FS":
+		return SpecFactoring(), nil
+	case "TRAPEZOID", "TSS":
+		return SpecTrapezoid(), nil
+	case "TAPERING":
+		return SpecTapering(0.5), nil
+	case "A-GSS", "AGSS", "ADAPTIVE-GSS":
+		return SpecAdaptiveGSS(), nil
+	case "AFS":
+		return SpecAFS(), nil
+	case "AFS-LE", "AFSLE":
+		return SpecAFSLE(), nil
+	case "AFS-RAND", "AFSRAND":
+		return SpecAFSRandom(), nil
+	case "AFS-P2", "AFSP2", "AFS-POW2":
+		return SpecAFSPow2(), nil
+	case "MOD-FACTORING", "MODFACTORING", "MF":
+		return SpecModFactoring(), nil
+	}
+	if k, ok := parseParam(n, "CHUNK("); ok {
+		return SpecChunk(k), nil
+	}
+	if k, ok := parseParam(n, "GSS(K="); ok {
+		return SpecGSSK(k), nil
+	}
+	if k, ok := parseParam(n, "AFS(K="); ok {
+		return SpecAFSK(k), nil
+	}
+	return Spec{}, fmt.Errorf("sched: unknown algorithm %q (known: %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+func parseParam(s, prefix string) (int, bool) {
+	if !strings.HasPrefix(s, prefix) || !strings.HasSuffix(s, ")") {
+		return 0, false
+	}
+	v, err := strconv.Atoi(s[len(prefix) : len(s)-1])
+	if err != nil || v < 1 {
+		return 0, false
+	}
+	return v, true
+}

@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestByNameResolvesAll(t *testing.T) {
+	for _, spec := range AllSpecs() {
+		got, err := ByName(spec.Name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", spec.Name, err)
+			continue
+		}
+		if got.Name != spec.Name || got.Family != spec.Family {
+			t.Errorf("ByName(%q) = %q/%v, want %q/%v",
+				spec.Name, got.Name, got.Family, spec.Name, spec.Family)
+		}
+	}
+}
+
+func TestByNameCaseAndAliases(t *testing.T) {
+	cases := map[string]string{
+		"afs":           "AFS",
+		"Afs":           "AFS",
+		"gss":           "GSS",
+		"self":          "SS",
+		"mf":            "MOD-FACTORING",
+		"beststatic":    "BEST-STATIC",
+		"chunk(16)":     "CHUNK(16)",
+		"gss(k=3)":      "GSS(k=3)",
+		"afs(k=4)":      "AFS(k=4)",
+		"tss":           "TRAPEZOID",
+		" adaptive-gss": "A-GSS",
+		"afs-le":        "AFS-LE",
+	}
+	for in, want := range cases {
+		got, err := ByName(in)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", in, err)
+			continue
+		}
+		if got.Name != want {
+			t.Errorf("ByName(%q) = %q, want %q", in, got.Name, want)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	for _, bad := range []string{"", "wibble", "chunk()", "chunk(-1)", "afs(k=0)", "gss(k=x)"} {
+		if _, err := ByName(bad); err == nil {
+			t.Errorf("ByName(%q) succeeded, want error", bad)
+		}
+	}
+	_, err := ByName("nope")
+	if err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
+		t.Errorf("error %v lacks context", err)
+	}
+}
+
+func TestPaperSpecsComplete(t *testing.T) {
+	want := []string{"STATIC", "SS", "GSS", "FACTORING", "TRAPEZOID", "AFS", "MOD-FACTORING", "BEST-STATIC"}
+	got := PaperSpecs()
+	if len(got) != len(want) {
+		t.Fatalf("PaperSpecs has %d entries, want %d", len(got), len(want))
+	}
+	for i, s := range got {
+		if s.Name != want[i] {
+			t.Errorf("PaperSpecs[%d] = %q, want %q", i, s.Name, want[i])
+		}
+	}
+}
+
+func TestSpecFamilies(t *testing.T) {
+	cases := map[string]Family{
+		"STATIC": FamilyStatic, "BEST-STATIC": FamilyStatic,
+		"SS": FamilyCentral, "GSS": FamilyCentral, "FACTORING": FamilyCentral,
+		"TRAPEZOID": FamilyCentral, "TAPERING": FamilyCentral, "A-GSS": FamilyCentral,
+		"AFS": FamilyAFS, "AFS-LE": FamilyAFS,
+		"MOD-FACTORING": FamilyModFactoring,
+	}
+	for _, spec := range AllSpecs() {
+		if want, ok := cases[spec.Name]; ok && spec.Family != want {
+			t.Errorf("%s family = %v, want %v", spec.Name, spec.Family, want)
+		}
+	}
+}
+
+func TestCentralSpecsProduceFreshSizers(t *testing.T) {
+	for _, spec := range AllSpecs() {
+		if spec.Family != FamilyCentral {
+			continue
+		}
+		// Two sizers must be independent: interleaving their use cannot
+		// corrupt either schedule. (SS is a stateless value type, so
+		// identity comparison would be meaningless; behaviour is what
+		// matters.)
+		a, b := spec.NewSizer(), spec.NewSizer()
+		da := NewDispenser(a, 333, 5)
+		db := NewDispenser(b, 333, 5)
+		var ca, cb []Chunk
+		for {
+			x, okA := da.Next()
+			y, okB := db.Next()
+			if okA != okB {
+				t.Errorf("%s: interleaved dispensers diverged", spec.Name)
+				break
+			}
+			if !okA {
+				break
+			}
+			ca = append(ca, x)
+			cb = append(cb, y)
+		}
+		if err := Validate(ca, 333); err != nil {
+			t.Errorf("%s (a): %v", spec.Name, err)
+		}
+		if err := Validate(cb, 333); err != nil {
+			t.Errorf("%s (b): %v", spec.Name, err)
+		}
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	cases := map[Family]string{
+		FamilyCentral: "central", FamilyStatic: "static",
+		FamilyAFS: "afs", FamilyModFactoring: "mod-factoring",
+		Family(99): "unknown",
+	}
+	for f, want := range cases {
+		if got := f.String(); got != want {
+			t.Errorf("Family(%d).String() = %q, want %q", f, got, want)
+		}
+	}
+}
+
+func TestNamesSortedUnique(t *testing.T) {
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Errorf("Names not sorted/unique at %d: %q, %q", i, names[i-1], names[i])
+		}
+	}
+}

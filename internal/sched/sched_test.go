@@ -1,0 +1,397 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestChunkBasics(t *testing.T) {
+	c := Chunk{3, 10}
+	if c.Len() != 7 {
+		t.Errorf("Len = %d, want 7", c.Len())
+	}
+	if c.Empty() {
+		t.Error("non-empty chunk reported empty")
+	}
+	if !(Chunk{5, 5}).Empty() {
+		t.Error("empty chunk not reported empty")
+	}
+	if got := c.String(); got != "[3,10)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestChunkSplit(t *testing.T) {
+	c := Chunk{0, 10}
+	head, tail := c.Split(4)
+	if head != (Chunk{0, 4}) || tail != (Chunk{4, 10}) {
+		t.Errorf("Split(4) = %v, %v", head, tail)
+	}
+	head, tail = c.Split(15)
+	if head != (Chunk{0, 10}) || !tail.Empty() {
+		t.Errorf("over-split = %v, %v", head, tail)
+	}
+	head, tail = c.Split(-3)
+	if !head.Empty() || tail != (Chunk{0, 10}) {
+		t.Errorf("negative split = %v, %v", head, tail)
+	}
+}
+
+func TestChunkSplitTail(t *testing.T) {
+	c := Chunk{0, 10}
+	head, tail := c.SplitTail(4)
+	if head != (Chunk{0, 6}) || tail != (Chunk{6, 10}) {
+		t.Errorf("SplitTail(4) = %v, %v", head, tail)
+	}
+	head, tail = c.SplitTail(99)
+	if !head.Empty() || tail != (Chunk{0, 10}) {
+		t.Errorf("over-SplitTail = %v, %v", head, tail)
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 5, 0}, {1, 5, 1}, {5, 5, 1}, {6, 5, 2}, {10, 3, 4}, {9, 3, 3},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// allSizers instantiates every central-queue policy for coverage tests.
+func allSizers() []Sizer {
+	return []Sizer{
+		SelfScheduling{},
+		&FixedChunk{K: 1}, &FixedChunk{K: 7}, &FixedChunk{K: 1000},
+		&GSS{}, &GSSK{K: 2}, &GSSK{K: 5},
+		&Factoring{},
+		&Trapezoid{},
+		&Tapering{}, &Tapering{CV: 2.5},
+		&AdaptiveGSS{},
+	}
+}
+
+// TestSizersCoverExactly is the fundamental soundness property: every
+// central policy schedules each iteration exactly once, in order.
+func TestSizersCoverExactly(t *testing.T) {
+	for _, s := range allSizers() {
+		for _, n := range []int{1, 2, 7, 64, 100, 1000, 4097} {
+			for _, p := range []int{1, 2, 3, 8, 16, 61} {
+				chunks := Chunks(s, n, p)
+				if err := Validate(chunks, n); err != nil {
+					t.Errorf("%s n=%d p=%d: %v", s.Name(), n, p, err)
+				}
+			}
+		}
+	}
+}
+
+// TestSizersCoverQuick drives the same property through testing/quick
+// with random sizes.
+func TestSizersCoverQuick(t *testing.T) {
+	f := func(n16 uint16, p8 uint8) bool {
+		n := int(n16)%5000 + 1
+		p := int(p8)%64 + 1
+		for _, s := range allSizers() {
+			if Validate(Chunks(s, n, p), n) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSizerReuse verifies Init fully resets internal state, so one
+// Sizer instance can drive the phases of an outer sequential loop.
+func TestSizerReuse(t *testing.T) {
+	for _, s := range allSizers() {
+		first := Chunks(s, 500, 7)
+		second := Chunks(s, 500, 7)
+		if len(first) != len(second) {
+			t.Errorf("%s: chunk count changed on reuse: %d vs %d",
+				s.Name(), len(first), len(second))
+			continue
+		}
+		for i := range first {
+			if first[i] != second[i] {
+				t.Errorf("%s: chunk %d changed on reuse: %v vs %v",
+					s.Name(), i, first[i], second[i])
+				break
+			}
+		}
+	}
+}
+
+func TestSelfSchedulingOneEach(t *testing.T) {
+	chunks := Chunks(SelfScheduling{}, 100, 8)
+	if len(chunks) != 100 {
+		t.Fatalf("SS produced %d chunks for 100 iterations", len(chunks))
+	}
+	for _, c := range chunks {
+		if c.Len() != 1 {
+			t.Fatalf("SS chunk %v has %d iterations", c, c.Len())
+		}
+	}
+}
+
+func TestFixedChunkSizes(t *testing.T) {
+	chunks := Chunks(&FixedChunk{K: 7}, 100, 4)
+	for i, c := range chunks[:len(chunks)-1] {
+		if c.Len() != 7 {
+			t.Errorf("chunk %d has size %d, want 7", i, c.Len())
+		}
+	}
+	if lastLen := chunks[len(chunks)-1].Len(); lastLen != 100%7 {
+		t.Errorf("last chunk %d, want %d", lastLen, 100%7)
+	}
+	// K<1 degrades to self-scheduling rather than looping forever.
+	if got := len(Chunks(&FixedChunk{K: 0}, 10, 2)); got != 10 {
+		t.Errorf("K=0 produced %d chunks, want 10", got)
+	}
+}
+
+// TestGSSChunkLaw checks each GSS chunk is ⌈R/P⌉ of the remaining R.
+func TestGSSChunkLaw(t *testing.T) {
+	n, p := 1000, 8
+	r := n
+	for _, c := range Chunks(&GSS{}, n, p) {
+		want := CeilDiv(r, p)
+		if c.Len() != want {
+			t.Fatalf("chunk %v: size %d, want ⌈%d/%d⌉ = %d", c, c.Len(), r, p, want)
+		}
+		r -= c.Len()
+	}
+}
+
+// TestGSSOpCount checks GSS's O(P log(N/P)) queue-operation bound [24].
+func TestGSSOpCount(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{1000, 8}, {512, 8}, {100000, 16}, {640, 6}} {
+		got := len(Chunks(&GSS{}, tc.n, tc.p))
+		bound := float64(tc.p) * (math.Log(float64(tc.n)/float64(tc.p))/math.Ln2 + 2)
+		if float64(got) > bound {
+			t.Errorf("GSS n=%d p=%d: %d ops exceeds P(log2(N/P)+2) = %.0f", tc.n, tc.p, got, bound)
+		}
+	}
+}
+
+// TestFactoringPhases checks that factoring allocates P equal chunks of
+// ⌈R/2P⌉ per phase.
+func TestFactoringPhases(t *testing.T) {
+	n, p := 1000, 4
+	chunks := Chunks(&Factoring{}, n, p)
+	r := n
+	for i := 0; i < len(chunks); i += p {
+		want := CeilDiv(r, 2*p)
+		for j := i; j < i+p && j < len(chunks); j++ {
+			got := chunks[j].Len()
+			if got != want && r > 0 {
+				// the final chunk of the loop may be clipped
+				if j != len(chunks)-1 {
+					t.Fatalf("phase %d chunk %d: size %d, want %d", i/p, j-i, got, want)
+				}
+			}
+			r -= got
+		}
+	}
+}
+
+// TestTrapezoidShape checks the trapezoid chunk series: first ⌈N/2P⌉,
+// non-increasing, ≈linear decrement, ≈4P chunks.
+func TestTrapezoidShape(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{512, 8}, {10000, 16}, {640, 8}, {5000, 50}} {
+		chunks := Chunks(&Trapezoid{}, tc.n, tc.p)
+		if first := chunks[0].Len(); first != CeilDiv(tc.n, 2*tc.p) {
+			t.Errorf("n=%d p=%d: first chunk %d, want %d", tc.n, tc.p, first, CeilDiv(tc.n, 2*tc.p))
+		}
+		for i := 1; i < len(chunks)-1; i++ {
+			if chunks[i].Len() > chunks[i-1].Len() {
+				t.Errorf("n=%d p=%d: chunk %d grew: %d after %d",
+					tc.n, tc.p, i, chunks[i].Len(), chunks[i-1].Len())
+			}
+		}
+		if got, maxOps := len(chunks), 4*tc.p+3; got > maxOps {
+			t.Errorf("n=%d p=%d: %d chunks, want ≤ ~4P = %d", tc.n, tc.p, got, maxOps)
+		}
+	}
+}
+
+// TestTrapezoidNoDegeneration regression-tests the integer-δ bug: the
+// series must not collapse into long runs of size-1 chunks (which
+// once produced 240 queue ops per 640-iteration loop).
+func TestTrapezoidNoDegeneration(t *testing.T) {
+	chunks := Chunks(&Trapezoid{}, 640, 8)
+	ones := 0
+	for _, c := range chunks {
+		if c.Len() == 1 {
+			ones++
+		}
+	}
+	if ones > 3 {
+		t.Errorf("trapezoid produced %d single-iteration chunks for N=640 P=8", ones)
+	}
+}
+
+func TestTaperingBetweenGSSAndSS(t *testing.T) {
+	n, p := 1000, 8
+	gss := Chunks(&GSS{}, n, p)
+	// Zero variance: tapering equals GSS.
+	tap0 := Chunks(&Tapering{CV: 0}, n, p)
+	if len(tap0) != len(gss) {
+		t.Errorf("CV=0 tapering %d chunks, GSS %d", len(tap0), len(gss))
+	}
+	// Higher variance: smaller chunks, more ops, never exceeding N.
+	tap2 := Chunks(&Tapering{CV: 2}, n, p)
+	if len(tap2) <= len(gss) {
+		t.Errorf("CV=2 tapering %d chunks, want more than GSS's %d", len(tap2), len(gss))
+	}
+	if len(tap2) > n {
+		t.Errorf("tapering exceeded one op per iteration: %d", len(tap2))
+	}
+}
+
+func TestAdaptiveGSSBackoff(t *testing.T) {
+	a := &AdaptiveGSS{}
+	a.Init(1000, 8)
+	// At the start, contention must NOT inflate the chunk beyond the
+	// 1/P fair share (that would create imbalance).
+	a.SetContention(4)
+	if got, fair := a.NextSize(1000), CeilDiv(1000, 8); got != fair {
+		t.Errorf("contended start chunk %d, want fair share %d", got, fair)
+	}
+	// At the tail, contention raises the floor above GSS's tiny chunks.
+	a.SetContention(0)
+	quiet := a.NextSize(10)
+	a.SetContention(4)
+	loud := a.NextSize(10)
+	if loud <= quiet {
+		t.Errorf("tail chunk %d not larger than quiet %d under contention", loud, quiet)
+	}
+	a.SetContention(-3) // clamped
+	if got := a.NextSize(100); got < 1 {
+		t.Errorf("negative contention broke sizing: %d", got)
+	}
+}
+
+func TestSizerNames(t *testing.T) {
+	want := map[string]Sizer{
+		"SS":        SelfScheduling{},
+		"CHUNK(7)":  &FixedChunk{K: 7},
+		"GSS":       &GSS{},
+		"GSS(k=2)":  &GSSK{K: 2},
+		"FACTORING": &Factoring{},
+		"TRAPEZOID": &Trapezoid{},
+		"TAPERING":  &Tapering{},
+		"A-GSS":     &AdaptiveGSS{},
+	}
+	for name, s := range want {
+		if s.Name() != name {
+			t.Errorf("Name() = %q, want %q", s.Name(), name)
+		}
+	}
+}
+
+func TestDispenserExhaustion(t *testing.T) {
+	d := NewDispenser(&GSS{}, 10, 4)
+	total := 0
+	for {
+		c, ok := d.Next()
+		if !ok {
+			break
+		}
+		total += c.Len()
+	}
+	if total != 10 {
+		t.Errorf("dispensed %d iterations, want 10", total)
+	}
+	if _, ok := d.Next(); ok {
+		t.Error("Next succeeded after exhaustion")
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("Remaining = %d after exhaustion", d.Remaining())
+	}
+}
+
+func TestValidateRejectsBadSequences(t *testing.T) {
+	if err := Validate([]Chunk{{0, 5}, {6, 10}}, 10); err == nil {
+		t.Error("gap not detected")
+	}
+	if err := Validate([]Chunk{{0, 5}, {4, 10}}, 10); err == nil {
+		t.Error("overlap not detected")
+	}
+	if err := Validate([]Chunk{{0, 5}}, 10); err == nil {
+		t.Error("short coverage not detected")
+	}
+	if err := Validate([]Chunk{{0, 5}, {5, 5}, {5, 10}}, 10); err == nil {
+		t.Error("empty chunk not detected")
+	}
+	if err := Validate([]Chunk{{0, 10}}, 10); err != nil {
+		t.Errorf("valid sequence rejected: %v", err)
+	}
+}
+
+func TestGrainedFloor(t *testing.T) {
+	g := &Grained{Inner: SelfScheduling{}, Min: 16}
+	if got := g.Name(); got != "SS/grain=16" {
+		t.Errorf("Name = %q", got)
+	}
+	chunks := Chunks(g, 100, 8)
+	if err := Validate(chunks, 100); err != nil {
+		t.Fatal(err)
+	}
+	// 100/16 → 6 chunks of 16 plus the 4-iteration remainder.
+	if len(chunks) != 7 {
+		t.Errorf("grained SS produced %d chunks, want 7", len(chunks))
+	}
+	for _, c := range chunks[:6] {
+		if c.Len() != 16 {
+			t.Errorf("chunk %v below grain", c)
+		}
+	}
+	// Grain must not inflate chunks already above the floor.
+	gg := &Grained{Inner: &GSS{}, Min: 2}
+	if first := Chunks(gg, 1024, 8)[0].Len(); first != 128 {
+		t.Errorf("grain inflated GSS first chunk to %d", first)
+	}
+}
+
+// Micro-benchmarks for the hot dispatch paths.
+func BenchmarkDispenserGSS(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := NewDispenser(&GSS{}, 1<<16, 8)
+		for {
+			if _, ok := d.Next(); !ok {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkQueueLocalTakes(b *testing.B) {
+	b.ReportAllocs()
+	a := AFS{}
+	for i := 0; i < b.N; i++ {
+		var q Queue
+		q.Push(Chunk{0, 1 << 14})
+		for q.Len() > 0 {
+			q.TakeFront(a.LocalAmount(q.Len(), 8))
+		}
+	}
+}
+
+func BenchmarkChooseVictimMostLoaded(b *testing.B) {
+	lens := make([]int, 64)
+	for i := range lens {
+		lens[i] = i * 3 % 17
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ChooseVictim(VictimMostLoaded, lens, 0, nil)
+	}
+}

@@ -1,0 +1,81 @@
+package sched
+
+// VictimPolicy selects which queue an idle processor steals from. The
+// paper's implementation scans all queues for the most loaded (§2.2)
+// and notes that "this implementation would not be efficient on a
+// large-scale machine, where a scalable or randomized policy would be
+// more appropriate [9]" — the two randomized policies below are that
+// extension.
+type VictimPolicy int
+
+const (
+	// VictimMostLoaded scans every queue and picks the longest (the
+	// paper's policy). O(P) reads per steal, best balance.
+	VictimMostLoaded VictimPolicy = iota
+	// VictimRandom probes one random non-empty candidate. O(1), no
+	// global scan, weakest balance.
+	VictimRandom
+	// VictimPowerOfTwo probes two random queues and steals from the
+	// longer — the classic "power of two choices" load balancer.
+	VictimPowerOfTwo
+)
+
+// String returns the policy name used in experiment output.
+func (v VictimPolicy) String() string {
+	switch v {
+	case VictimMostLoaded:
+		return "most-loaded"
+	case VictimRandom:
+		return "random"
+	case VictimPowerOfTwo:
+		return "pow2"
+	}
+	return "unknown"
+}
+
+// ChooseVictim picks a steal victim among queues with the given
+// lengths, never self, using rng(n) ∈ [0, n) for the randomized
+// policies. It returns -1 when every queue is empty. Randomized
+// policies fall back to a scan when their probes miss, so a thief
+// never gives up while work remains (the fallback is what keeps the
+// runtime's termination argument identical across policies).
+func ChooseVictim(policy VictimPolicy, lens []int, self int, rng func(n int) int) int {
+	switch policy {
+	case VictimRandom:
+		if v := randomProbe(lens, self, rng, 1); v >= 0 {
+			return v
+		}
+	case VictimPowerOfTwo:
+		if v := randomProbe(lens, self, rng, 2); v >= 0 {
+			return v
+		}
+	}
+	// Most-loaded scan (also the randomized policies' fallback).
+	best, bestLen := -1, 0
+	for i, l := range lens {
+		if i != self && l > bestLen {
+			best, bestLen = i, l
+		}
+	}
+	return best
+}
+
+// randomProbe draws `probes` random candidates and returns the longest
+// non-empty one, or -1 if all probes hit empty queues.
+func randomProbe(lens []int, self int, rng func(n int) int, probes int) int {
+	n := len(lens)
+	if n == 0 || rng == nil {
+		return -1
+	}
+	best, bestLen := -1, 0
+	for t := 0; t < probes; t++ {
+		i := rng(n)
+		if i == self || i < 0 || i >= n {
+			continue
+		}
+		if lens[i] > bestLen {
+			best, bestLen = i, lens[i]
+		}
+	}
+	return best
+}

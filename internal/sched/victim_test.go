@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func fixedRNG(vals ...int) func(int) int {
+	i := 0
+	return func(n int) int {
+		v := vals[i%len(vals)] % n
+		i++
+		return v
+	}
+}
+
+func TestVictimPolicyString(t *testing.T) {
+	cases := map[VictimPolicy]string{
+		VictimMostLoaded: "most-loaded",
+		VictimRandom:     "random",
+		VictimPowerOfTwo: "pow2",
+		VictimPolicy(9):  "unknown",
+	}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestChooseVictimMostLoaded(t *testing.T) {
+	lens := []int{3, 9, 9, 1}
+	if got := ChooseVictim(VictimMostLoaded, lens, 5, nil); got != 1 {
+		t.Errorf("most-loaded = %d, want 1 (tie breaks low)", got)
+	}
+	// Never self, even when self is longest.
+	if got := ChooseVictim(VictimMostLoaded, lens, 1, nil); got != 2 {
+		t.Errorf("self-excluding = %d, want 2", got)
+	}
+	if got := ChooseVictim(VictimMostLoaded, []int{0, 0}, 0, nil); got != -1 {
+		t.Errorf("all empty = %d, want -1", got)
+	}
+}
+
+func TestChooseVictimRandom(t *testing.T) {
+	lens := []int{5, 0, 7, 2}
+	// Probe hits index 2 → steal there.
+	if got := ChooseVictim(VictimRandom, lens, 0, fixedRNG(2)); got != 2 {
+		t.Errorf("random probe = %d, want 2", got)
+	}
+	// Probe hits an empty queue → falls back to the most-loaded scan.
+	if got := ChooseVictim(VictimRandom, lens, 0, fixedRNG(1)); got != 2 {
+		t.Errorf("fallback = %d, want 2 (most loaded)", got)
+	}
+	// Probe hits self → fallback (self excluded).
+	if got := ChooseVictim(VictimRandom, lens, 2, fixedRNG(2)); got != 0 {
+		t.Errorf("self-probe fallback = %d, want 0", got)
+	}
+	// nil RNG degrades to the scan.
+	if got := ChooseVictim(VictimRandom, lens, 0, nil); got != 2 {
+		t.Errorf("nil rng = %d, want 2", got)
+	}
+}
+
+func TestChooseVictimPowerOfTwo(t *testing.T) {
+	lens := []int{5, 3, 7, 2}
+	// Probes 0 and 1 → longer is 0.
+	if got := ChooseVictim(VictimPowerOfTwo, lens, 3, fixedRNG(0, 1)); got != 0 {
+		t.Errorf("pow2 = %d, want 0", got)
+	}
+	// Probes 1 and 2 → longer is 2.
+	if got := ChooseVictim(VictimPowerOfTwo, lens, 3, fixedRNG(1, 2)); got != 2 {
+		t.Errorf("pow2 = %d, want 2", got)
+	}
+	// Both probes empty/self → fallback scan.
+	lens2 := []int{0, 0, 9, 0}
+	if got := ChooseVictim(VictimPowerOfTwo, lens2, 2, fixedRNG(0, 1)); got != -1 {
+		t.Errorf("pow2 with only self loaded = %d, want -1", got)
+	}
+	lens3 := []int{0, 0, 9, 4}
+	if got := ChooseVictim(VictimPowerOfTwo, lens3, 3, fixedRNG(0, 1)); got != 2 {
+		t.Errorf("pow2 fallback = %d, want 2", got)
+	}
+}
+
+// TestChooseVictimNeverInvalid: under random inputs, the chosen victim
+// is always a non-self index with a non-empty queue, or -1 only when no
+// such queue exists.
+func TestChooseVictimNeverInvalid(t *testing.T) {
+	f := func(raw []uint8, self8, r1, r2 uint8, which uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		lens := make([]int, len(raw))
+		anyWork := false
+		for i, v := range raw {
+			lens[i] = int(v % 16)
+			if lens[i] > 0 {
+				anyWork = true
+			}
+		}
+		self := int(self8) % len(lens)
+		policy := VictimPolicy(which % 3)
+		v := ChooseVictim(policy, lens, self, fixedRNG(int(r1), int(r2)))
+		workElsewhere := false
+		for i, l := range lens {
+			if i != self && l > 0 {
+				workElsewhere = true
+			}
+		}
+		if v == -1 {
+			// -1 is legitimate only when no other queue has work.
+			return !workElsewhere || !anyWork
+		}
+		return v != self && v >= 0 && v < len(lens) && lens[v] > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomProbeEdges(t *testing.T) {
+	if got := randomProbe(nil, 0, fixedRNG(0), 1); got != -1 {
+		t.Errorf("empty lens = %d", got)
+	}
+	if got := randomProbe([]int{1, 2}, 0, nil, 1); got != -1 {
+		t.Errorf("nil rng = %d", got)
+	}
+}

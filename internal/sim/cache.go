@@ -1,0 +1,165 @@
+package sim
+
+// Cache models one processor's cache (or coherent local memory) at
+// footprint granularity: a footprint is a named block of data an
+// iteration touches, e.g. "row i of matrix A". This matches the
+// granularity at which the paper reasons about affinity and keeps large
+// problems simulable (see DESIGN.md §2). Replacement is LRU by bytes.
+type Cache struct {
+	capacity int
+	used     int
+	entries  map[uint64]*cacheEntry
+	// Doubly-linked LRU list; head is most recently used.
+	head, tail *cacheEntry
+}
+
+type cacheEntry struct {
+	id         uint64
+	bytes      int
+	prev, next *cacheEntry
+}
+
+// NewCache creates a cache with the given byte capacity. Capacity 0
+// models a machine that never caches shared data locally.
+func NewCache(capacity int) *Cache {
+	return &Cache{capacity: capacity, entries: make(map[uint64]*cacheEntry)}
+}
+
+// Contains reports whether footprint id is resident.
+func (c *Cache) Contains(id uint64) bool {
+	_, ok := c.entries[id]
+	return ok
+}
+
+// Used returns resident bytes.
+func (c *Cache) Used() int { return c.used }
+
+// Len returns the number of resident footprints.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Touch records a reference to footprint id of the given size. If the
+// footprint is resident it becomes most-recently-used and Touch returns
+// true (a hit). Otherwise the footprint is loaded, evicting LRU entries
+// as needed (onEvict is called for each, if non-nil), and Touch returns
+// false. Footprints larger than the whole cache are never retained.
+func (c *Cache) Touch(id uint64, bytes int, onEvict func(id uint64)) bool {
+	if e, ok := c.entries[id]; ok {
+		if bytes > e.bytes {
+			// Footprint grew (e.g. a row touched more widely); account
+			// for the extra bytes.
+			c.used += bytes - e.bytes
+			e.bytes = bytes
+			c.evictOver(id, onEvict)
+		}
+		c.moveToFront(e)
+		return true
+	}
+	if bytes > c.capacity {
+		return false
+	}
+	e := &cacheEntry{id: id, bytes: bytes}
+	c.entries[id] = e
+	c.pushFront(e)
+	c.used += bytes
+	c.evictOver(id, onEvict)
+	return false
+}
+
+// evictOver evicts LRU entries (never `keep`) until used <= capacity.
+func (c *Cache) evictOver(keep uint64, onEvict func(id uint64)) {
+	for c.used > c.capacity && c.tail != nil {
+		victim := c.tail
+		if victim.id == keep {
+			// keep is the only entry left; nothing else to evict.
+			if victim.prev == nil {
+				return
+			}
+			victim = victim.prev
+		}
+		c.remove(victim)
+		if onEvict != nil {
+			onEvict(victim.id)
+		}
+	}
+}
+
+// Invalidate removes footprint id (coherence invalidation on a remote
+// write). It is a no-op if the footprint is not resident.
+func (c *Cache) Invalidate(id uint64) {
+	if e, ok := c.entries[id]; ok {
+		c.remove(e)
+	}
+}
+
+// Clear drops everything (used when a program wants cold caches).
+func (c *Cache) Clear() {
+	c.entries = make(map[uint64]*cacheEntry)
+	c.head, c.tail, c.used = nil, nil, 0
+}
+
+func (c *Cache) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) remove(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	delete(c.entries, e.id)
+	c.used -= e.bytes
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) moveToFront(e *cacheEntry) {
+	if c.head == e {
+		return
+	}
+	// Detach.
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	// Reattach at head.
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+}
+
+// directory tracks which processors hold a copy of each footprint, for
+// write-invalidate coherence. Processor sets are bitmasks, so the
+// simulator supports up to 64 processors — enough for the paper's
+// largest machine (the 64-processor KSR-1).
+type directory struct {
+	holders map[uint64]uint64
+}
+
+func newDirectory() *directory {
+	return &directory{holders: make(map[uint64]uint64)}
+}
+
+func (d *directory) addHolder(id uint64, p int)    { d.holders[id] |= 1 << uint(p) }
+func (d *directory) dropHolder(id uint64, p int)   { d.holders[id] &^= 1 << uint(p) }
+func (d *directory) holdersOf(id uint64) uint64    { return d.holders[id] }
+func (d *directory) setExclusive(id uint64, p int) { d.holders[id] = 1 << uint(p) }

@@ -1,0 +1,638 @@
+// Package sim is a deterministic discrete-event simulator of parallel
+// loop execution on the shared-memory machines described by
+// internal/machine. It reproduces the first-order effects the paper
+// measures: work-queue serialisation, cache affinity across the phases
+// of an outer sequential loop, coherence invalidations, shared-bus
+// contention, and load imbalance. See DESIGN.md §2 for the modelling
+// substitutions.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Options tunes one simulation run.
+type Options struct {
+	// StartDelay gives per-processor extra cycles before the processor
+	// begins fetching work in step 0 (the §4.5 delayed-start
+	// experiments). May be shorter than the processor count.
+	StartDelay []float64
+	// Seed drives the deterministic per-step start jitter (see
+	// machine.Machine.StartJitterCycles). Runs with equal seeds are
+	// bit-identical.
+	Seed uint64
+	// Trace, when non-nil, records every chunk execution and steal for
+	// post-mortem inspection (internal/trace).
+	Trace *trace.Trace
+	// ActiveProcs, when non-nil, gives the number of processors
+	// available during each step (clamped to [1, P]) — modelling a
+	// space-sharing operating system growing or shrinking the
+	// application's partition between phases (§2.2 claims the dynamic
+	// algorithms are "immune to the arrival and departure of
+	// processors"). Departed processors keep their cache contents and
+	// may rejoin later.
+	ActiveProcs func(step int) int
+	// FlushEverySteps, when positive, invalidates every processor's
+	// cache after each group of that many program steps — modelling
+	// time-sharing with another application whose quantum corrupts the
+	// caches between phases (the §2.1 discussion: affinity scheduling
+	// only pays off if data survives in local storage long enough to be
+	// reused; §6's Gupta/Vaswani debate). 0 means dedicated processors
+	// (space sharing), the paper's recommended regime.
+	FlushEverySteps int
+}
+
+// Run simulates prog on p processors of m under the scheduling
+// algorithm described by spec, with default options.
+func Run(m *machine.Machine, p int, spec sched.Spec, prog Program) (Metrics, error) {
+	return RunOpts(m, p, spec, prog, Options{})
+}
+
+// RunOpts is Run with explicit options.
+func RunOpts(m *machine.Machine, p int, spec sched.Spec, prog Program, opts Options) (Metrics, error) {
+	if err := m.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	if p < 1 {
+		return Metrics{}, fmt.Errorf("sim: need at least 1 processor, got %d", p)
+	}
+	if p > 64 {
+		return Metrics{}, fmt.Errorf("sim: at most 64 processors supported (coherence directory uses 64-bit holder masks), got %d", p)
+	}
+	e := newEngine(m, p, spec, prog)
+	e.tr = opts.Trace
+	e.activeFn = opts.ActiveProcs
+	e.flushEvery = opts.FlushEverySteps
+	e.seed = opts.Seed ^ 0x9e3779b97f4a7c15
+	for i, d := range opts.StartDelay {
+		if i < p && d > 0 {
+			e.state[i].clock += d
+		}
+	}
+	e.run()
+	return e.metrics(), nil
+}
+
+// event is one scheduled processor action.
+type event struct {
+	time float64
+	seq  int64
+	proc int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h eventHeap) peek() event   { return h[0] }
+func (h *eventHeap) push(t float64, seq int64, p int) {
+	heap.Push(h, event{t, seq, p})
+}
+
+// procState is one processor's execution state within a step.
+type procState struct {
+	clock      float64
+	chunk      sched.Chunk
+	chunkStart float64
+	idx        int
+	hasChunk   bool
+	done       bool
+}
+
+type engine struct {
+	m    *machine.Machine
+	p    int
+	spec sched.Spec
+	prog Program
+
+	caches []*Cache
+	dir    *directory
+	bus    Resource
+
+	state      []procState
+	heap       eventHeap
+	seq        int64
+	seed       uint64
+	step       int
+	tr         *trace.Trace
+	flushEvery int
+	activeFn   func(step int) int
+	active     int
+
+	f    fetcher
+	loop ParLoop
+
+	// AFS-LE execution history: lastExec[globalID] = last executing
+	// processor, or -1.
+	lastExec []int32
+
+	// accumulated metrics
+	centralOps    int
+	localOps      []int
+	remoteOps     []int
+	procBusy      []float64
+	steals        int
+	migratedIters int
+	hits, misses  int
+	bytesMoved    int64
+	busWait       float64
+	queueWait     float64
+}
+
+func newEngine(m *machine.Machine, p int, spec sched.Spec, prog Program) *engine {
+	e := &engine{
+		m:    m,
+		p:    p,
+		spec: spec,
+		prog: prog,
+		dir:  newDirectory(),
+	}
+	e.caches = make([]*Cache, p)
+	for i := range e.caches {
+		e.caches[i] = NewCache(m.CacheBytes)
+	}
+	e.state = make([]procState, p)
+	e.localOps = make([]int, p)
+	e.remoteOps = make([]int, p)
+	e.procBusy = make([]float64, p)
+	e.active = p
+	switch spec.Family {
+	case sched.FamilyCentral:
+		e.f = &centralFetcher{e: e}
+	case sched.FamilyStatic:
+		e.f = &staticFetcher{e: e}
+	case sched.FamilyAFS:
+		e.f = &afsFetcher{e: e, afs: spec.AFS}
+	case sched.FamilyModFactoring:
+		e.f = &modfactFetcher{e: e, mf: sched.NewModFactoring()}
+	default:
+		panic(fmt.Sprintf("sim: unknown scheduler family %v", spec.Family))
+	}
+	return e
+}
+
+func (e *engine) run() {
+	for s := 0; s < e.prog.Steps; s++ {
+		e.loop = e.prog.Step(s)
+		if e.loop.N <= 0 {
+			continue
+		}
+		e.step = s
+		e.active = e.p
+		if e.activeFn != nil {
+			if a := e.activeFn(s); a < 1 {
+				e.active = 1
+			} else if a < e.p {
+				e.active = a
+			}
+		}
+		if e.flushEvery > 0 && s > 0 && s%e.flushEvery == 0 {
+			// Another application's quantum ran between these phases:
+			// everything cached is gone.
+			for q := range e.caches {
+				e.caches[q].Clear()
+			}
+			e.dir = newDirectory()
+		}
+		e.applyJitter()
+		e.f.initStep(&e.loop)
+		e.runStep()
+		e.barrier()
+	}
+}
+
+// applyJitter skews each processor's release from the step-start
+// barrier by a deterministic pseudo-random amount bounded by the
+// machine's StartJitterCycles, so central-queue chunk assignment varies
+// from phase to phase the way it does on real hardware.
+func (e *engine) applyJitter() {
+	j := e.m.StartJitterCycles
+	if j <= 0 {
+		return
+	}
+	for p := range e.state {
+		h := splitmix64(e.seed ^ uint64(e.step)*0x9e3779b97f4a7c15 ^ uint64(p)<<32)
+		frac := float64(h>>11) / float64(1<<53)
+		e.state[p].clock += frac * j
+	}
+}
+
+// splitmix64 is the standard 64-bit mixing function; deterministic and
+// dependency-free.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// runStep executes the current parallel loop to completion.
+func (e *engine) runStep() {
+	e.heap = e.heap[:0]
+	for p := 0; p < e.active; p++ {
+		e.state[p].hasChunk = false
+		e.state[p].done = false
+		e.seq++
+		e.heap.push(e.state[p].clock, e.seq, p)
+	}
+	heap.Init(&e.heap)
+	for e.heap.Len() > 0 {
+		ev := heap.Pop(&e.heap).(event)
+		p := ev.proc
+		st := &e.state[p]
+		if st.done {
+			continue
+		}
+		if !st.hasChunk {
+			c, ready, ok := e.f.fetch(p, st.clock)
+			if !ok {
+				st.done = true
+				continue
+			}
+			e.queueWait += ready - st.clock
+			if ready > st.clock {
+				st.clock = ready
+			}
+			st.chunk = c
+			st.chunkStart = st.clock
+			st.idx = c.Lo
+			st.hasChunk = true
+			if e.loop.Touches == nil {
+				// No shared memory: execute the whole chunk inline.
+				for i := c.Lo; i < c.Hi; i++ {
+					st.clock += e.loop.Cost(i)
+					e.recordExec(i, p)
+				}
+				e.procBusy[p] += st.clock - st.chunkStart
+				st.hasChunk = false
+				e.traceExec(p, st)
+			}
+		} else {
+			e.execIteration(p, st)
+		}
+		e.seq++
+		e.heap.push(st.clock, e.seq, p)
+	}
+}
+
+// execIteration executes one iteration of st's current chunk, advancing
+// the processor's clock by memory-system costs and compute cost.
+func (e *engine) execIteration(p int, st *procState) {
+	i := st.idx
+	cache := e.caches[p]
+	if e.loop.Touches != nil {
+		e.loop.Touches(i, func(t Touch) {
+			hit := cache.Touch(t.ID, t.Bytes, func(ev uint64) { e.dir.dropHolder(ev, p) })
+			if hit {
+				e.hits++
+			} else {
+				e.misses++
+				e.bytesMoved += int64(t.Bytes)
+				if bc := e.m.BusCycles(t.Bytes); bc > 0 {
+					start, _ := e.bus.Acquire(st.clock, bc)
+					e.busWait += start - st.clock
+					st.clock = start + e.m.TransferCycles(t.Bytes)
+				} else {
+					st.clock += e.m.TransferCycles(t.Bytes)
+				}
+				if cache.Contains(t.ID) {
+					e.dir.addHolder(t.ID, p)
+				}
+			}
+			if t.Write {
+				others := e.dir.holdersOf(t.ID) &^ (1 << uint(p))
+				for q := 0; others != 0; q++ {
+					if others&(1<<uint(q)) != 0 {
+						e.caches[q].Invalidate(t.ID)
+						others &^= 1 << uint(q)
+					}
+				}
+				if cache.Contains(t.ID) {
+					e.dir.setExclusive(t.ID, p)
+				} else {
+					e.dir.holders[t.ID] = 0
+				}
+			}
+		})
+	}
+	st.clock += e.loop.Cost(i)
+	e.recordExec(i, p)
+	st.idx++
+	if st.idx >= st.chunk.Hi {
+		e.procBusy[p] += st.clock - st.chunkStart
+		st.hasChunk = false
+		e.traceExec(p, st)
+	}
+}
+
+// traceExec records a finished chunk in the optional trace.
+func (e *engine) traceExec(p int, st *procState) {
+	if e.tr == nil {
+		return
+	}
+	e.tr.Add(trace.Event{
+		Kind: trace.Exec, Proc: p, Victim: -1, Step: e.step,
+		Chunk: st.chunk, Start: st.chunkStart, End: st.clock,
+	})
+}
+
+// recordExec remembers which processor executed a global iteration, for
+// the AFS-LE extension's next-step assignment.
+func (e *engine) recordExec(i, p int) {
+	if !e.spec.LastExecuted {
+		return
+	}
+	gid := e.loop.GlobalID(i)
+	if gid < 0 {
+		return
+	}
+	for gid >= len(e.lastExec) {
+		e.lastExec = append(e.lastExec, -1)
+	}
+	e.lastExec[gid] = int32(p)
+}
+
+// barrier joins all processors at the end of a step.
+func (e *engine) barrier() {
+	max := 0.0
+	for p := range e.state {
+		if e.state[p].clock > max {
+			max = e.state[p].clock
+		}
+	}
+	max += e.m.BarrierCycles
+	for p := range e.state {
+		e.state[p].clock = max
+	}
+}
+
+func (e *engine) metrics() Metrics {
+	cycles := 0.0
+	for p := range e.state {
+		if e.state[p].clock > cycles {
+			cycles = e.state[p].clock
+		}
+	}
+	return Metrics{
+		Program: e.prog.Name,
+		Machine: e.m.Name,
+		Algo:    e.spec.Name,
+		Procs:   e.p,
+		Steps:   e.prog.Steps,
+
+		Cycles:  cycles,
+		Seconds: e.m.Seconds(cycles),
+
+		CentralOps: e.centralOps,
+		LocalOps:   append([]int(nil), e.localOps...),
+		RemoteOps:  append([]int(nil), e.remoteOps...),
+
+		Steals:        e.steals,
+		MigratedIters: e.migratedIters,
+
+		Hits:       e.hits,
+		Misses:     e.misses,
+		BytesMoved: e.bytesMoved,
+
+		BusWaitCycles:   e.busWait,
+		QueueWaitCycles: e.queueWait,
+
+		ProcBusyCycles: append([]float64(nil), e.procBusy...),
+
+		SerialComputeCycles: e.prog.SerialCycles(),
+	}
+}
+
+// ---- fetchers ----
+
+// A fetcher encapsulates one scheduler family's work-distribution
+// protocol inside the engine.
+type fetcher interface {
+	// initStep prepares for a new parallel loop.
+	initStep(loop *ParLoop)
+	// fetch returns proc p's next chunk, the time it becomes available
+	// (≥ now, accounting for queue service and contention), and whether
+	// any work remains for p.
+	fetch(p int, now float64) (c sched.Chunk, readyAt float64, ok bool)
+}
+
+// centralFetcher drives all Sizer-based policies through one central
+// work queue modelled as a FIFO resource.
+type centralFetcher struct {
+	e     *engine
+	sizer sched.Sizer
+	disp  *sched.Dispenser
+	queue Resource
+}
+
+func (f *centralFetcher) initStep(loop *ParLoop) {
+	if f.sizer == nil {
+		f.sizer = f.e.spec.NewSizer()
+	}
+	f.disp = sched.NewDispenser(f.sizer, loop.N, f.e.active)
+}
+
+func (f *centralFetcher) fetch(p int, now float64) (sched.Chunk, float64, bool) {
+	if f.disp.Remaining() == 0 {
+		return sched.Chunk{}, now, false
+	}
+	if ag, isAdaptive := f.sizer.(*sched.AdaptiveGSS); isAdaptive {
+		ag.SetContention(f.queue.Waiters(now, f.e.m.CentralQueueOp))
+	}
+	_, end := f.queue.Acquire(now, f.e.m.CentralQueueOp)
+	end = f.e.queueBusTraffic(end)
+	c, ok := f.disp.Next()
+	if !ok {
+		return sched.Chunk{}, end, false
+	}
+	f.e.centralOps++
+	return c, end, true
+}
+
+// queueBusTraffic charges the shared interconnect for the coherence
+// traffic a shared-memory queue operation generates, returning the new
+// ready time.
+func (e *engine) queueBusTraffic(t float64) float64 {
+	bc := e.m.QueueOpBusCycles()
+	if bc == 0 {
+		return t
+	}
+	start, end := e.bus.Acquire(t, bc)
+	e.busWait += start - t
+	return end
+}
+
+// staticFetcher serves precomputed assignments with no queue costs.
+type staticFetcher struct {
+	e      *engine
+	assign sched.Assignment
+	next   []int
+}
+
+func (f *staticFetcher) initStep(loop *ParLoop) {
+	if f.e.spec.BestStatic {
+		f.assign = sched.BestStatic(loop.N, f.e.active, func(i int) float64 { return loop.Cost(i) })
+	} else {
+		f.assign = sched.Static(loop.N, f.e.active)
+	}
+	f.next = make([]int, f.e.active)
+}
+
+func (f *staticFetcher) fetch(p int, now float64) (sched.Chunk, float64, bool) {
+	chs := f.assign[p]
+	if f.next[p] >= len(chs) {
+		return sched.Chunk{}, now, false
+	}
+	c := chs[f.next[p]]
+	f.next[p]++
+	return c, now, true
+}
+
+// afsFetcher implements affinity scheduling: per-processor queues (each
+// a FIFO resource), deterministic initial placement, 1/k local takes,
+// and stealing of 1/P from a victim chosen by the spec's policy
+// (most-loaded by default; random or power-of-two as extensions).
+type afsFetcher struct {
+	e        *engine
+	afs      sched.AFS
+	queues   []sched.Queue
+	qres     []Resource
+	lens     []int
+	rngState uint64
+}
+
+// rng draws a deterministic pseudo-random value in [0, n) for the
+// randomized victim policies.
+func (f *afsFetcher) rng(n int) int {
+	f.rngState++
+	return int(splitmix64(f.e.seed^f.rngState*0x9e3779b97f4a7c15) % uint64(n))
+}
+
+func (f *afsFetcher) initStep(loop *ParLoop) {
+	p := f.e.p
+	if f.queues == nil {
+		f.queues = make([]sched.Queue, p)
+		f.qres = make([]Resource, p)
+		f.lens = make([]int, p)
+	}
+	for i := range f.queues {
+		f.queues[i] = sched.Queue{}
+	}
+	if f.e.spec.LastExecuted && len(f.e.lastExec) > 0 {
+		f.assignByHistory(loop)
+		return
+	}
+	for i, chs := range sched.Static(loop.N, f.e.active) {
+		for _, c := range chs {
+			f.queues[i].Push(c)
+		}
+	}
+}
+
+// assignByHistory places each iteration on the processor that last
+// executed it (AFS-LE), falling back to the static owner for iterations
+// never seen. Runs of consecutive iterations with the same owner are
+// pushed as single chunks.
+func (f *afsFetcher) assignByHistory(loop *ParLoop) {
+	p := f.e.active
+	static := sched.Static(loop.N, p)
+	staticOwner := make([]int32, loop.N)
+	for proc, chs := range static {
+		for _, c := range chs {
+			for i := c.Lo; i < c.Hi; i++ {
+				staticOwner[i] = int32(proc)
+			}
+		}
+	}
+	owner := func(i int) int32 {
+		gid := loop.GlobalID(i)
+		if gid >= 0 && gid < len(f.e.lastExec) && f.e.lastExec[gid] >= 0 && int(f.e.lastExec[gid]) < p {
+			return f.e.lastExec[gid]
+		}
+		return staticOwner[i]
+	}
+	runStart := 0
+	cur := owner(0)
+	for i := 1; i <= loop.N; i++ {
+		if i == loop.N || owner(i) != cur {
+			f.queues[cur].Push(sched.Chunk{Lo: runStart, Hi: i})
+			if i < loop.N {
+				runStart, cur = i, owner(i)
+			}
+		}
+	}
+}
+
+func (f *afsFetcher) fetch(p int, now float64) (sched.Chunk, float64, bool) {
+	q := &f.queues[p]
+	if q.Len() > 0 {
+		amt := f.afs.LocalAmount(q.Len(), f.e.active)
+		_, end := f.qres[p].Acquire(now, f.e.m.AFSLocalOp())
+		c, _ := q.TakeFront(amt)
+		f.e.localOps[p]++
+		return c, end, true
+	}
+	for i := range f.queues {
+		f.lens[i] = f.queues[i].Len()
+	}
+	v := sched.ChooseVictim(f.e.spec.Victim, f.lens, p, f.rng)
+	if v < 0 {
+		return sched.Chunk{}, now, false
+	}
+	amt := f.afs.StealAmount(f.queues[v].Len(), f.e.active)
+	_, end := f.qres[v].Acquire(now, f.e.m.RemoteQueueOp)
+	end = f.e.queueBusTraffic(end)
+	c, ok := f.queues[v].TakeBack(amt)
+	if !ok {
+		return sched.Chunk{}, end, false
+	}
+	f.e.remoteOps[v]++
+	f.e.steals++
+	f.e.migratedIters += c.Len()
+	if f.e.tr != nil {
+		f.e.tr.Add(trace.Event{
+			Kind: trace.Steal, Proc: p, Victim: v, Step: f.e.step,
+			Chunk: c, Start: now, End: end,
+		})
+	}
+	return c, end, true
+}
+
+// modfactFetcher drives the §2.3 modified-factoring phase board through
+// the central queue resource.
+type modfactFetcher struct {
+	e     *engine
+	mf    *sched.ModFactoring
+	queue Resource
+}
+
+func (f *modfactFetcher) initStep(loop *ParLoop) {
+	f.mf.Init(loop.N, f.e.active)
+}
+
+func (f *modfactFetcher) fetch(p int, now float64) (sched.Chunk, float64, bool) {
+	if f.mf.Done() {
+		return sched.Chunk{}, now, false
+	}
+	_, end := f.queue.Acquire(now, f.e.m.CentralQueueOp)
+	end = f.e.queueBusTraffic(end)
+	c, ok := f.mf.Claim(p)
+	if !ok {
+		return sched.Chunk{}, end, false
+	}
+	f.e.centralOps++
+	return c, end, true
+}

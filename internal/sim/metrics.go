@@ -1,0 +1,120 @@
+package sim
+
+// Metrics reports one simulated execution of a Program.
+type Metrics struct {
+	Program string
+	Machine string
+	Algo    string
+	Procs   int
+	Steps   int
+
+	// Cycles is the completion time in simulated cycles; Seconds is the
+	// same converted with the machine's clock rate.
+	Cycles  float64
+	Seconds float64
+
+	// CentralOps counts successful chunk removals from the central work
+	// queue (SS/GSS/FACTORING/TRAPEZOID/... and MOD-FACTORING), summed
+	// over all steps — the paper's synchronisation metric (§4.6).
+	CentralOps int
+	// LocalOps[q] and RemoteOps[q] count removals from processor q's
+	// local work queue by its owner and by thieves, respectively (AFS).
+	LocalOps  []int
+	RemoteOps []int
+
+	// Steals counts AFS steal operations; MigratedIters the iterations
+	// they moved. An iteration migrates at most once (§3).
+	Steals        int
+	MigratedIters int
+
+	// Memory system counters.
+	Hits       int
+	Misses     int
+	BytesMoved int64
+
+	// BusWaitCycles is time processors spent queueing for the shared
+	// interconnect; QueueWaitCycles time spent queueing for work queues.
+	BusWaitCycles   float64
+	QueueWaitCycles float64
+
+	// ProcBusyCycles[q] is the time processor q spent executing
+	// iterations (compute + memory), excluding queue waits and idling —
+	// the per-processor utilisation behind the paper's load-balance
+	// claims.
+	ProcBusyCycles []float64
+
+	// SerialComputeCycles is the pure-compute lower bound (no memory,
+	// one processor), for context in reports.
+	SerialComputeCycles float64
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// TotalSyncOps returns all successful work-queue removal operations.
+func (m Metrics) TotalSyncOps() int {
+	return m.CentralOps + sum(m.LocalOps) + sum(m.RemoteOps)
+}
+
+// CentralOpsPerLoop returns central-queue removals per parallel loop,
+// the unit used in the paper's Tables 3-5.
+func (m Metrics) CentralOpsPerLoop() float64 {
+	if m.Steps == 0 {
+		return 0
+	}
+	return float64(m.CentralOps) / float64(m.Steps)
+}
+
+// LocalOpsPerQueuePerLoop averages AFS local removals per work queue per
+// parallel loop (the "local" column of Tables 3-5).
+func (m Metrics) LocalOpsPerQueuePerLoop() float64 {
+	if m.Steps == 0 || len(m.LocalOps) == 0 {
+		return 0
+	}
+	return float64(sum(m.LocalOps)) / float64(m.Steps) / float64(len(m.LocalOps))
+}
+
+// RemoteOpsPerQueuePerLoop averages AFS remote removals (steals) per
+// work queue per parallel loop (the "remote" column of Tables 3-5).
+func (m Metrics) RemoteOpsPerQueuePerLoop() float64 {
+	if m.Steps == 0 || len(m.RemoteOps) == 0 {
+		return 0
+	}
+	return float64(sum(m.RemoteOps)) / float64(m.Steps) / float64(len(m.RemoteOps))
+}
+
+// BusyImbalance returns (max-min)/max over per-processor busy time —
+// 0 for a perfectly balanced execution, approaching 1 when one
+// processor did all the work. Returns 0 when untracked.
+func (m Metrics) BusyImbalance() float64 {
+	if len(m.ProcBusyCycles) == 0 {
+		return 0
+	}
+	min, max := m.ProcBusyCycles[0], m.ProcBusyCycles[0]
+	for _, v := range m.ProcBusyCycles {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	return (max - min) / max
+}
+
+// MissRatio returns misses / (hits+misses), or 0 for memory-less runs.
+func (m Metrics) MissRatio() float64 {
+	t := m.Hits + m.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(m.Misses) / float64(t)
+}

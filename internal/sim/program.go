@@ -1,0 +1,82 @@
+package sim
+
+// A Touch is one footprint reference made by a loop iteration.
+type Touch struct {
+	// ID names the footprint (kernels encode e.g. matrix+row).
+	ID uint64
+	// Bytes is the footprint size.
+	Bytes int
+	// Write marks a modifying reference, which invalidates all other
+	// cached copies (write-invalidate coherence).
+	Write bool
+}
+
+// A ParLoop is one parallel loop: N independent iterations with known
+// per-iteration compute cost and memory footprints. Costs are in cycles
+// of the machine the enclosing Program was built for.
+type ParLoop struct {
+	// N is the iteration count. Iterations are indexed 0..N-1 in this
+	// loop's local index space.
+	N int
+	// Cost returns iteration i's compute cycles (excluding memory
+	// system effects, which the engine derives from Touches).
+	Cost func(i int) float64
+	// Touches visits the footprints iteration i references, in order.
+	// nil means the loop touches no shared memory (e.g. L4, the
+	// synthetic Butterfly workloads).
+	Touches func(i int, visit func(Touch))
+	// Ident maps the loop-local index to a stable global iteration
+	// identity, used by the AFS-LE extension to remember which
+	// processor last executed an iteration across steps whose index
+	// spaces shift (Gaussian elimination's parallel loop runs I = K..N).
+	// nil means identity.
+	Ident func(i int) int
+}
+
+// GlobalID resolves Ident with the identity default.
+func (l *ParLoop) GlobalID(i int) int {
+	if l.Ident == nil {
+		return i
+	}
+	return l.Ident(i)
+}
+
+// A Program is a sequence of parallel loop steps separated by barriers —
+// the paper's "parallel loop nested within a sequential loop" shape.
+// Steps are generated lazily so large programs (4096-phase Gaussian
+// elimination) need no materialised schedule.
+type Program struct {
+	// Name labels the program in metrics.
+	Name string
+	// Steps is the number of sequential steps.
+	Steps int
+	// Step returns the s-th parallel loop, s in [0, Steps).
+	Step func(s int) ParLoop
+}
+
+// SingleLoop wraps one parallel loop as a one-step program.
+func SingleLoop(name string, loop ParLoop) Program {
+	return Program{Name: name, Steps: 1, Step: func(int) ParLoop { return loop }}
+}
+
+// ConstLoop builds a memory-less loop of n iterations with uniform cost.
+func ConstLoop(name string, n int, cost float64) Program {
+	return SingleLoop(name, ParLoop{
+		N:    n,
+		Cost: func(int) float64 { return cost },
+	})
+}
+
+// SerialCycles computes the program's total single-processor compute
+// cycles (no memory system), a lower bound useful in tests and speedup
+// reports.
+func (p Program) SerialCycles() float64 {
+	total := 0.0
+	for s := 0; s < p.Steps; s++ {
+		loop := p.Step(s)
+		for i := 0; i < loop.N; i++ {
+			total += loop.Cost(i)
+		}
+	}
+	return total
+}

@@ -1,0 +1,51 @@
+package sim
+
+// Resource is a serially-reusable device (a central work queue, a
+// per-processor work queue, a shared bus) serviced in arrival order.
+// The simulator processes events in global time order, so calling
+// Acquire in event order yields FIFO service.
+type Resource struct {
+	nextFree float64
+	busy     float64
+	waited   float64
+	ops      int
+}
+
+// Acquire requests the resource at time t for dur cycles. It returns the
+// time service starts (≥ t) and the time service completes. The caller's
+// clock should advance to end (or to start plus its own transfer time,
+// for pipelined devices like a bus).
+func (r *Resource) Acquire(t, dur float64) (start, end float64) {
+	start = t
+	if r.nextFree > start {
+		start = r.nextFree
+	}
+	end = start + dur
+	r.nextFree = end
+	r.busy += dur
+	r.waited += start - t
+	r.ops++
+	return start, end
+}
+
+// Waiters estimates how many service times of backlog exist for a
+// request arriving at time t with the given service time. Used by the
+// adaptive-GSS contention heuristic.
+func (r *Resource) Waiters(t, service float64) int {
+	if service <= 0 || r.nextFree <= t {
+		return 0
+	}
+	return int((r.nextFree - t) / service)
+}
+
+// Busy returns total busy cycles, Waited total queueing delay imposed,
+// and Ops the number of acquisitions.
+func (r *Resource) Busy() float64   { return r.busy }
+func (r *Resource) Waited() float64 { return r.waited }
+func (r *Resource) Ops() int        { return r.ops }
+
+// Reset clears accumulated statistics but keeps the timeline (used
+// between steps of a program when statistics are reported per loop).
+func (r *Resource) Reset() {
+	r.busy, r.waited, r.ops = 0, 0, 0
+}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+// TestSmokeAllFamilies runs every algorithm on a small constant loop on
+// the ideal machine and checks that all iterations execute exactly once.
+func TestSmokeAllFamilies(t *testing.T) {
+	const n = 100
+	for _, spec := range sched.AllSpecs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			// Touches is invoked exactly once per executed iteration
+			// (Cost must be pure: the engine also evaluates it for
+			// serial baselines and oracle partitions).
+			executed := make([]int, n)
+			prog := SingleLoop("smoke", ParLoop{
+				N:    n,
+				Cost: func(i int) float64 { return 5 },
+				Touches: func(i int, visit func(Touch)) {
+					executed[i]++
+					visit(Touch{ID: 1, Bytes: 64})
+				},
+			})
+			m, err := Run(machine.Ideal(4), 4, spec, prog)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if m.Cycles <= 0 {
+				t.Fatalf("completion time %v, want > 0", m.Cycles)
+			}
+			for i, c := range executed {
+				if c != 1 {
+					t.Fatalf("iteration %d executed %d times, want 1", i, c)
+				}
+			}
+		})
+	}
+}
+
+// TestSmokeDeterminism checks bit-identical metrics across repeated runs.
+func TestSmokeDeterminism(t *testing.T) {
+	mk := func() Program {
+		return SingleLoop("det", ParLoop{
+			N:    500,
+			Cost: func(i int) float64 { return float64(1 + i%7) },
+			Touches: func(i int, visit func(Touch)) {
+				visit(Touch{ID: uint64(i % 50), Bytes: 256, Write: i%3 == 0})
+			},
+		})
+	}
+	for _, spec := range sched.AllSpecs() {
+		a, err := Run(machine.Iris(), 8, spec, mk())
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		b, err := Run(machine.Iris(), 8, spec, mk())
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if a.Cycles != b.Cycles || a.TotalSyncOps() != b.TotalSyncOps() || a.Misses != b.Misses {
+			t.Errorf("%s: nondeterministic: %+v vs %+v", spec.Name, a, b)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package stats renders experiment results as aligned text tables,
+// CSV, and simple ASCII charts — the output layer for cmd/paperfigs and
+// the benchmark harness.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.Columns) {
+		cells = append(cells, "")
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(t.Columns))
+		for i := range t.Columns {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cols := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = esc(c)
+	}
+	fmt.Fprintln(w, strings.Join(cols, ","))
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = esc(c)
+		}
+		fmt.Fprintln(w, strings.Join(cells, ","))
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// FormatSeconds renders a duration in seconds with sensible precision.
+func FormatSeconds(s float64) string {
+	switch {
+	case s == 0:
+		return "0"
+	case s >= 100:
+		return fmt.Sprintf("%.0f", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2f", s)
+	case s >= 0.001:
+		return fmt.Sprintf("%.4f", s)
+	default:
+		return fmt.Sprintf("%.2e", s)
+	}
+}
+
+// FormatCount renders a float count the way the paper's tables do:
+// integers without decimals, fractions with up to two.
+func FormatCount(v float64) string {
+	if v == math.Trunc(v) {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// A Series is one named line in a figure.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Figure holds completion-time-vs-processors data like the paper's
+// performance figures.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []int
+	Series []Series
+}
+
+// NewFigure creates an empty figure over the given x values.
+func NewFigure(title string, x []int) *Figure {
+	return &Figure{Title: title, XLabel: "processors", YLabel: "time (s)", X: x}
+}
+
+// Add appends a series; y must align with f.X.
+func (f *Figure) Add(name string, y []float64) {
+	f.Series = append(f.Series, Series{Name: name, Y: y})
+}
+
+// Table converts the figure to a Table (one row per x value).
+func (f *Figure) Table() *Table {
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Name)
+	}
+	t := NewTable(f.Title, cols...)
+	for i, x := range f.X {
+		row := []string{fmt.Sprintf("%d", x)}
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, FormatSeconds(s.Y[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Render writes the figure as a table followed by an ASCII chart and a
+// ratio summary at the largest processor count.
+func (f *Figure) Render(w io.Writer) {
+	f.Table().Render(w)
+	f.renderChart(w)
+	f.renderSummary(w)
+}
+
+// renderChart draws a crude log-scale ASCII bar chart of the final
+// column (largest processor count), which is where the paper's figures
+// separate the algorithms.
+func (f *Figure) renderChart(w io.Writer) {
+	if len(f.X) == 0 || len(f.Series) == 0 {
+		return
+	}
+	last := len(f.X) - 1
+	best, worst := math.Inf(1), 0.0
+	for _, s := range f.Series {
+		if last >= len(s.Y) {
+			return
+		}
+		v := s.Y[last]
+		if v <= 0 {
+			return
+		}
+		best = math.Min(best, v)
+		worst = math.Max(worst, v)
+	}
+	fmt.Fprintf(w, "  at %d %s (bar length ∝ log time):\n", f.X[last], f.XLabel)
+	span := math.Log(worst/best) + 1e-9
+	nameW := 0
+	for _, s := range f.Series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	for _, s := range f.Series {
+		frac := math.Log(s.Y[last]/best) / span
+		bars := 4 + int(frac*40)
+		fmt.Fprintf(w, "  %s %s %s\n", pad(s.Name, nameW),
+			strings.Repeat("#", bars), FormatSeconds(s.Y[last]))
+	}
+}
+
+// renderSummary prints each series' slowdown relative to the best at
+// the largest processor count.
+func (f *Figure) renderSummary(w io.Writer) {
+	if len(f.X) == 0 || len(f.Series) == 0 {
+		return
+	}
+	last := len(f.X) - 1
+	best := math.Inf(1)
+	bestName := ""
+	for _, s := range f.Series {
+		if last < len(s.Y) && s.Y[last] < best {
+			best, bestName = s.Y[last], s.Name
+		}
+	}
+	if math.IsInf(best, 1) || best <= 0 {
+		return
+	}
+	parts := make([]string, 0, len(f.Series))
+	for _, s := range f.Series {
+		if last < len(s.Y) {
+			parts = append(parts, fmt.Sprintf("%s %.2fx", s.Name, s.Y[last]/best))
+		}
+	}
+	fmt.Fprintf(w, "  best at %d %s: %s; relative: %s\n",
+		f.X[last], f.XLabel, bestName, strings.Join(parts, ", "))
+	if sp := f.speedupLine(); sp != "" {
+		fmt.Fprintf(w, "  %s\n", sp)
+	}
+	fmt.Fprintln(w)
+}
+
+// Speedup returns T(1)/T(P at index i) for the named series, or 0 when
+// the figure has no single-processor column.
+func (f *Figure) Speedup(name string, i int) float64 {
+	if len(f.X) == 0 || f.X[0] != 1 {
+		return 0
+	}
+	for _, s := range f.Series {
+		if s.Name == name && i < len(s.Y) && s.Y[i] > 0 {
+			return s.Y[0] / s.Y[i]
+		}
+	}
+	return 0
+}
+
+// speedupLine summarises each series' speedup at the largest processor
+// count, when a P=1 column exists (the way the paper's text discusses
+// "effectively using" N processors).
+func (f *Figure) speedupLine() string {
+	if len(f.X) == 0 || f.X[0] != 1 {
+		return ""
+	}
+	last := len(f.X) - 1
+	parts := make([]string, 0, len(f.Series))
+	for _, s := range f.Series {
+		if sp := f.Speedup(s.Name, last); sp > 0 {
+			parts = append(parts, fmt.Sprintf("%s %.1f", s.Name, sp))
+		}
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("speedup at %d %s: %s", f.X[last], f.XLabel, strings.Join(parts, ", "))
+}

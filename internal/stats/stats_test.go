@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Title", "a", "bbbb", "c")
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4", "5")
+	var b strings.Builder
+	tab.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, "Title") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: the header and first row start "a" and "1" at the
+	// same offset.
+	if strings.Index(lines[1], "bbbb") != strings.Index(lines[4], "4") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("t", "x", "y")
+	tab.AddRow("a,b", `say "hi"`)
+	var b strings.Builder
+	tab.CSV(&b)
+	want := "x,y\n\"a,b\",\"say \"\"hi\"\"\"\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		123.456: "123",
+		1.2345:  "1.23",
+		0.1234:  "0.1234",
+		1e-7:    "1.00e-07",
+	}
+	for in, want := range cases {
+		if got := FormatSeconds(in); got != want {
+			t.Errorf("FormatSeconds(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatCount(t *testing.T) {
+	if got := FormatCount(512); got != "512" {
+		t.Errorf("int count = %q", got)
+	}
+	if got := FormatCount(0.456); got != "0.46" {
+		t.Errorf("frac count = %q", got)
+	}
+}
+
+func TestFigureTable(t *testing.T) {
+	f := NewFigure("F", []int{1, 2, 4})
+	f.Add("AFS", []float64{3, 1.5, 0.8})
+	f.Add("GSS", []float64{3, 2, 1.9})
+	tab := f.Table()
+	if len(tab.Rows) != 3 || len(tab.Columns) != 3 {
+		t.Fatalf("shape %dx%d", len(tab.Rows), len(tab.Columns))
+	}
+	if tab.Rows[2][0] != "4" || tab.Rows[2][1] != "0.8000" {
+		t.Errorf("row = %v", tab.Rows[2])
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := NewFigure("F", []int{1, 8})
+	f.Add("AFS", []float64{3, 0.5})
+	f.Add("GSS", []float64{3, 2.0})
+	var b strings.Builder
+	f.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, "best at 8 processors: AFS") {
+		t.Errorf("summary missing:\n%s", out)
+	}
+	if !strings.Contains(out, "GSS 4.00x") {
+		t.Errorf("relative ratios missing:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Errorf("chart missing:\n%s", out)
+	}
+}
+
+func TestFigureRenderDegenerate(t *testing.T) {
+	// Empty figures and zero/negative times must not panic or divide by
+	// zero.
+	var b strings.Builder
+	NewFigure("empty", nil).Render(&b)
+	f := NewFigure("zeros", []int{1, 2})
+	f.Add("x", []float64{0, 0})
+	f.Render(&b)
+	short := NewFigure("short", []int{1, 2})
+	short.Add("y", []float64{1}) // shorter than X
+	short.Render(&b)
+}
+
+func TestSpeedup(t *testing.T) {
+	f := NewFigure("F", []int{1, 4, 8})
+	f.Add("AFS", []float64{8, 2, 1})
+	if got := f.Speedup("AFS", 2); got != 8 {
+		t.Errorf("Speedup = %v, want 8", got)
+	}
+	if got := f.Speedup("GSS", 2); got != 0 {
+		t.Errorf("unknown series speedup = %v", got)
+	}
+	// No P=1 column: speedups unavailable.
+	g := NewFigure("G", []int{2, 4})
+	g.Add("X", []float64{2, 1})
+	if g.Speedup("X", 1) != 0 {
+		t.Error("speedup without P=1 column")
+	}
+	var b strings.Builder
+	f.Render(&b)
+	if !strings.Contains(b.String(), "speedup at 8 processors: AFS 8.0") {
+		t.Errorf("speedup line missing:\n%s", b.String())
+	}
+}
+
+func TestSVG(t *testing.T) {
+	f := NewFigure("Fig X: test & <chart>", []int{1, 2, 4, 8})
+	f.Add("AFS", []float64{8, 4, 2, 1})
+	f.Add("GSS", []float64{8, 5, 4, 3.5})
+	var b strings.Builder
+	f.SVG(&b)
+	out := b.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "AFS", "GSS",
+		"Fig X: test &amp; &lt;chart&gt;", // escaping
+		`text-anchor="middle">8<`,         // x tick at 8 processors
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Errorf("want 2 polylines, got %d", strings.Count(out, "<polyline"))
+	}
+	// Degenerate figures produce a placeholder, not a panic.
+	var e strings.Builder
+	NewFigure("empty", nil).SVG(&e)
+	if !strings.Contains(e.String(), "no data") {
+		t.Error("empty figure placeholder missing")
+	}
+	var z strings.Builder
+	zf := NewFigure("zeros", []int{1, 2})
+	zf.Add("x", []float64{0, 0})
+	zf.SVG(&z)
+	if !strings.Contains(z.String(), "no data") {
+		t.Error("zero figure placeholder missing")
+	}
+	// Constant series (minY == maxY) still renders.
+	var c strings.Builder
+	cf := NewFigure("const", []int{1, 2})
+	cf.Add("flat", []float64{5, 5})
+	cf.SVG(&c)
+	if !strings.Contains(c.String(), "polyline") {
+		t.Error("constant series failed to render")
+	}
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// SVG renders the figure as a standalone line chart — completion time
+// vs. processors, one polyline per algorithm, in the style of the
+// paper's performance figures. Pure stdlib; the output is a valid
+// standalone .svg document.
+func (f *Figure) SVG(w io.Writer) {
+	const (
+		width, height  = 640, 420
+		left, right    = 70, 170 // right margin holds the legend
+		top, bottom    = 40, 50
+		plotW          = width - left - right
+		plotH          = height - top - bottom
+		tickLen        = 5
+		legendLineLen  = 22
+		legendRowPitch = 18
+	)
+	// Data ranges.
+	minY, maxY := math.Inf(1), 0.0
+	for _, s := range f.Series {
+		for _, v := range s.Y {
+			if v > 0 {
+				minY = math.Min(minY, v)
+				maxY = math.Max(maxY, v)
+			}
+		}
+	}
+	if len(f.X) == 0 || len(f.Series) == 0 || math.IsInf(minY, 1) || maxY <= 0 {
+		fmt.Fprint(w, `<svg xmlns="http://www.w3.org/2000/svg" width="200" height="40"><text x="10" y="25" font-family="sans-serif">no data</text></svg>`)
+		return
+	}
+	if minY == maxY {
+		minY = maxY / 2
+	}
+	maxX := float64(f.X[len(f.X)-1])
+	minX := float64(f.X[0])
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	// Log scale for y: the paper's algorithm spreads span ~10x.
+	logMin, logMax := math.Log10(minY), math.Log10(maxY)
+	span := logMax - logMin
+	if span == 0 {
+		span = 1
+	}
+	xpos := func(x float64) float64 {
+		return left + (x-minX)/(maxX-minX)*float64(plotW)
+	}
+	ypos := func(y float64) float64 {
+		return top + float64(plotH) - (math.Log10(y)-logMin)/span*float64(plotH)
+	}
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", width, height)
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	esc := func(s string) string {
+		s = strings.ReplaceAll(s, "&", "&amp;")
+		s = strings.ReplaceAll(s, "<", "&lt;")
+		return strings.ReplaceAll(s, ">", "&gt;")
+	}
+	// Title and axes.
+	fmt.Fprintf(w, `<text x="%d" y="20" font-size="13" font-weight="bold">%s</text>`+"\n", left, esc(f.Title))
+	fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		left, top+plotH, left+plotW, top+plotH)
+	fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		left, top, left, top+plotH)
+	fmt.Fprintf(w, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+		left+plotW/2, height-12, esc(f.XLabel))
+	fmt.Fprintf(w, `<text x="16" y="%d" text-anchor="middle" transform="rotate(-90 16 %d)">%s (log)</text>`+"\n",
+		top+plotH/2, top+plotH/2, esc(f.YLabel))
+	// X ticks at the measured processor counts.
+	for _, x := range f.X {
+		px := xpos(float64(x))
+		fmt.Fprintf(w, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			px, top+plotH, px, top+plotH+tickLen)
+		fmt.Fprintf(w, `<text x="%.1f" y="%d" text-anchor="middle">%d</text>`+"\n",
+			px, top+plotH+18, x)
+	}
+	// Y ticks at decades (and the extremes).
+	for d := math.Floor(logMin); d <= math.Ceil(logMax); d++ {
+		v := math.Pow(10, d)
+		if v < minY/1.01 || v > maxY*1.01 {
+			continue
+		}
+		py := ypos(v)
+		fmt.Fprintf(w, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ccc"/>`+"\n",
+			left, py, left+plotW, py)
+		fmt.Fprintf(w, `<text x="%d" y="%.1f" text-anchor="end">%s</text>`+"\n",
+			left-8, py+4, FormatSeconds(v))
+	}
+	// Series.
+	palette := []string{
+		"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+		"#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+	}
+	for si, s := range f.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i, v := range s.Y {
+			if i >= len(f.X) || v <= 0 {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xpos(float64(f.X[i])), ypos(v)))
+		}
+		if len(pts) > 0 {
+			fmt.Fprintf(w, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+				strings.Join(pts, " "), color)
+			for _, p := range pts {
+				var px, py float64
+				fmt.Sscanf(p, "%f,%f", &px, &py)
+				fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", px, py, color)
+			}
+		}
+		// Legend entry.
+		ly := top + 10 + si*legendRowPitch
+		lx := left + plotW + 16
+		fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly, lx+legendLineLen, ly, color)
+		fmt.Fprintf(w, `<text x="%d" y="%d">%s</text>`+"\n", lx+legendLineLen+6, ly+4, esc(s.Name))
+	}
+	fmt.Fprintln(w, `</svg>`)
+}

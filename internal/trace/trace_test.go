@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func mkTrace() *Trace {
+	t := New(2)
+	t.Add(Event{Kind: Exec, Proc: 0, Victim: -1, Step: 0, Chunk: sched.Chunk{Lo: 0, Hi: 5}, Start: 0, End: 50})
+	t.Add(Event{Kind: Steal, Proc: 1, Victim: 0, Step: 0, Chunk: sched.Chunk{Lo: 5, Hi: 8}, Start: 10, End: 20})
+	t.Add(Event{Kind: Exec, Proc: 1, Victim: -1, Step: 0, Chunk: sched.Chunk{Lo: 5, Hi: 8}, Start: 20, End: 60})
+	return t
+}
+
+func TestKindString(t *testing.T) {
+	if Exec.String() != "exec" || Steal.String() != "steal" || Kind(9).String() != "unknown" {
+		t.Error("kind names wrong")
+	}
+}
+
+func TestSteals(t *testing.T) {
+	tr := mkTrace()
+	st := tr.Steals()
+	if len(st) != 1 || st[0].Victim != 0 || st[0].Proc != 1 {
+		t.Errorf("steals = %+v", st)
+	}
+}
+
+func TestExecutedBy(t *testing.T) {
+	tr := mkTrace()
+	owner := tr.ExecutedBy(0, 10)
+	for i := 0; i < 5; i++ {
+		if owner[i] != 0 {
+			t.Errorf("iteration %d owner %d, want 0", i, owner[i])
+		}
+	}
+	for i := 5; i < 8; i++ {
+		if owner[i] != 1 {
+			t.Errorf("iteration %d owner %d, want 1", i, owner[i])
+		}
+	}
+	if owner[9] != -1 {
+		t.Error("unseen iteration should map to -1")
+	}
+}
+
+func TestMigrationCount(t *testing.T) {
+	tr := mkTrace()
+	// Static homes for n=10, p=2: 0-4 → P0, 5-9 → P1. Executions match
+	// homes, so no migration.
+	if got := tr.MigrationCount(0, 10); got != 0 {
+		t.Errorf("migrations = %d, want 0", got)
+	}
+	// Now record iteration 0 executed by P1.
+	tr.Add(Event{Kind: Exec, Proc: 1, Step: 1, Chunk: sched.Chunk{Lo: 0, Hi: 1}, Start: 60, End: 70})
+	if got := tr.MigrationCount(1, 10); got != 1 {
+		t.Errorf("migrations = %d, want 1", got)
+	}
+}
+
+func TestSpan(t *testing.T) {
+	tr := mkTrace()
+	s, e := tr.Span()
+	if s != 0 || e != 60 {
+		t.Errorf("span [%v,%v]", s, e)
+	}
+	s, e = New(1).Span()
+	if s != 0 || e != 0 {
+		t.Error("empty span")
+	}
+}
+
+func TestGantt(t *testing.T) {
+	var b strings.Builder
+	tr := mkTrace()
+	tr.Gantt(&b, 40)
+	out := b.String()
+	if !strings.Contains(out, "P0") || !strings.Contains(out, "P1") {
+		t.Errorf("missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, "*") {
+		t.Errorf("missing marks:\n%s", out)
+	}
+	b.Reset()
+	New(1).Gantt(&b, 40)
+	if !strings.Contains(b.String(), "empty trace") {
+		t.Error("empty trace not handled")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var b strings.Builder
+	mkTrace().Summary(&b)
+	out := b.String()
+	if !strings.Contains(out, "P0") || !strings.Contains(out, "stolen-from 1") {
+		t.Errorf("summary wrong:\n%s", out)
+	}
+}

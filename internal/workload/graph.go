@@ -1,0 +1,92 @@
+package workload
+
+import "math/rand"
+
+// Graph is a dense directed graph as a boolean adjacency matrix,
+// the input shape of the paper's transitive-closure kernel.
+type Graph struct {
+	N   int
+	Adj [][]bool
+}
+
+// NewGraph allocates an n-node graph with no edges. The adjacency
+// matrix is backed by one allocation so rows are contiguous.
+func NewGraph(n int) *Graph {
+	backing := make([]bool, n*n)
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = backing[i*n : (i+1)*n : (i+1)*n]
+	}
+	return &Graph{N: n, Adj: adj}
+}
+
+// RandomGraph builds an n-node graph where each directed edge is
+// present independently with the given probability (§4.3 uses 512 nodes
+// at ~8%). The seed makes inputs reproducible.
+func RandomGraph(n int, density float64, seed int64) *Graph {
+	g := NewGraph(n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < density {
+				g.Adj[i][j] = true
+			}
+		}
+	}
+	return g
+}
+
+// CliqueGraph builds the paper's skewed input (§4.3: 640 nodes with a
+// 320-node clique and no other edges; §5.2: 1024 nodes, 40% clique):
+// nodes [0, cliqueSize) are fully connected, all other nodes isolated.
+func CliqueGraph(n, cliqueSize int) *Graph {
+	g := NewGraph(n)
+	if cliqueSize > n {
+		cliqueSize = n
+	}
+	for i := 0; i < cliqueSize; i++ {
+		for j := 0; j < cliqueSize; j++ {
+			if i != j {
+				g.Adj[i][j] = true
+			}
+		}
+	}
+	return g
+}
+
+// Clone deep-copies the graph (transitive closure mutates its input).
+func (g *Graph) Clone() *Graph {
+	c := NewGraph(g.N)
+	for i := range g.Adj {
+		copy(c.Adj[i], g.Adj[i])
+	}
+	return c
+}
+
+// Edges counts the edges present.
+func (g *Graph) Edges() int {
+	e := 0
+	for i := range g.Adj {
+		for j := range g.Adj[i] {
+			if g.Adj[i][j] {
+				e++
+			}
+		}
+	}
+	return e
+}
+
+// Equal reports whether two graphs have identical adjacency.
+func (g *Graph) Equal(o *Graph) bool {
+	if g.N != o.N {
+		return false
+	}
+	for i := range g.Adj {
+		for j := range g.Adj[i] {
+			if g.Adj[i][j] != o.Adj[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,133 @@
+// Package workload provides the synthetic loop shapes and graph inputs
+// used throughout the paper's evaluation: the triangular, parabolic and
+// step workloads of §4.4, the balanced loop of §4.5/§4.6/Fig 13, and
+// the random/clique graphs that drive transitive closure (§4.3, §5.2).
+//
+// Loop shapes are expressed as per-iteration cost functions (in abstract
+// work units) so the same definition drives the simulator and the real
+// goroutine runtime.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// CostFunc gives the work, in abstract units, of iteration i.
+type CostFunc func(i int) float64
+
+// Triangular is the §4.4 linearly-decreasing workload: iteration i costs
+// (N-i) units, so by Theorem 3.3 a chunk of 1/(2P) of the remaining
+// iterations holds 1/P of the remaining work.
+//
+// (The paper's listing shows the loop body "DO 29 J = 1,I", which is
+// increasing in I, but the surrounding text and Theorem 3.3 analyse the
+// decreasing form; we implement the decreasing form the analysis uses.)
+func Triangular(n int) CostFunc {
+	return func(i int) float64 { return float64(n - i) }
+}
+
+// Parabolic is the §4.4 quadratically-decreasing workload: iteration i
+// costs (N-i)² units; Theorem 3.3 gives 1/(3P) as the balanced fraction.
+func Parabolic(n int) CostFunc {
+	return func(i int) float64 {
+		d := float64(n - i)
+		return d * d
+	}
+}
+
+// Step is the §4.4 workload with imbalance comparable to transitive
+// closure: the first frac·N iterations cost hi units, the rest cost lo.
+func Step(n int, frac, hi, lo float64) CostFunc {
+	cut := int(frac * float64(n))
+	return func(i int) float64 {
+		if i < cut {
+			return hi
+		}
+		return lo
+	}
+}
+
+// Balanced is a perfectly uniform workload of the given cost per
+// iteration (Fig 13, Table 2).
+func Balanced(cost float64) CostFunc {
+	return func(int) float64 { return cost }
+}
+
+// Increasing is iteration cost proportional to i+1 (the literal loop in
+// the paper's Fig-10 listing); easy to schedule per §3.
+func Increasing() CostFunc {
+	return func(i int) float64 { return float64(i + 1) }
+}
+
+// Irregular is the tapering-style workload ([19]): iteration times vary
+// widely and unpredictably — most iterations cost lo units, a random
+// heavyProb fraction cost hi. The placement of heavy iterations is
+// drawn once from the seed, so the cost function is pure and
+// reproducible.
+func Irregular(n int, heavyProb, hi, lo float64, seed int64) CostFunc {
+	rng := rand.New(rand.NewSource(seed))
+	costs := make([]float64, n)
+	for i := range costs {
+		if rng.Float64() < heavyProb {
+			costs[i] = hi
+		} else {
+			costs[i] = lo
+		}
+	}
+	return func(i int) float64 { return costs[i] }
+}
+
+// CV computes the coefficient of variation (σ/μ) of a cost function
+// over [0, n) — the profile statistic the tapering policy consumes.
+func CV(n int, cost CostFunc) float64 {
+	if n == 0 {
+		return 0
+	}
+	mean := TotalUnits(n, cost) / float64(n)
+	if mean == 0 {
+		return 0
+	}
+	varSum := 0.0
+	for i := 0; i < n; i++ {
+		d := cost(i) - mean
+		varSum += d * d
+	}
+	return math.Sqrt(varSum/float64(n)) / mean
+}
+
+// Program wraps a memory-less cost function as a one-step simulator
+// program, scaling abstract units by unitCycles.
+func Program(name string, n int, cost CostFunc, unitCycles float64) sim.Program {
+	return sim.SingleLoop(name, sim.ParLoop{
+		N:    n,
+		Cost: func(i int) float64 { return cost(i) * unitCycles },
+	})
+}
+
+// PhasedProgram repeats the loop for the given number of sequential
+// phases (used to average the synthetic experiments over several runs
+// within one simulation).
+func PhasedProgram(name string, n, phases int, cost CostFunc, unitCycles float64) sim.Program {
+	return sim.Program{
+		Name:  name,
+		Steps: phases,
+		Step: func(int) sim.ParLoop {
+			return sim.ParLoop{
+				N:    n,
+				Cost: func(i int) float64 { return cost(i) * unitCycles },
+			}
+		},
+	}
+}
+
+// TotalUnits sums the cost function over [0, n).
+func TotalUnits(n int, cost CostFunc) float64 {
+	t := 0.0
+	for i := 0; i < n; i++ {
+		t += cost(i)
+	}
+	return t
+}

@@ -1,0 +1,226 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTriangular(t *testing.T) {
+	c := Triangular(100)
+	if c(0) != 100 || c(99) != 1 {
+		t.Errorf("endpoints: %v, %v", c(0), c(99))
+	}
+	for i := 1; i < 100; i++ {
+		if c(i) >= c(i-1) {
+			t.Fatalf("not strictly decreasing at %d", i)
+		}
+	}
+	if got := TotalUnits(100, c); got != 100*101/2 {
+		t.Errorf("total = %v, want %v", got, 100*101/2)
+	}
+}
+
+func TestParabolic(t *testing.T) {
+	c := Parabolic(50)
+	if c(0) != 2500 || c(49) != 1 {
+		t.Errorf("endpoints: %v, %v", c(0), c(49))
+	}
+	// Decreasing and convex.
+	for i := 1; i < 50; i++ {
+		if c(i) >= c(i-1) {
+			t.Fatalf("not decreasing at %d", i)
+		}
+	}
+}
+
+func TestStep(t *testing.T) {
+	c := Step(1000, 0.1, 100, 1)
+	if c(0) != 100 || c(99) != 100 {
+		t.Error("head iterations not heavy")
+	}
+	if c(100) != 1 || c(999) != 1 {
+		t.Error("tail iterations not light")
+	}
+	// Work split: first 10% holds ~91% of the work.
+	head := TotalUnits(100, c)
+	total := TotalUnits(1000, c)
+	if frac := head / total; frac < 0.9 {
+		t.Errorf("head fraction = %v", frac)
+	}
+}
+
+func TestBalancedAndIncreasing(t *testing.T) {
+	b := Balanced(7)
+	if b(0) != 7 || b(123456) != 7 {
+		t.Error("balanced not constant")
+	}
+	inc := Increasing()
+	if inc(0) != 1 || inc(9) != 10 {
+		t.Error("increasing wrong")
+	}
+}
+
+func TestProgramScaling(t *testing.T) {
+	p := Program("x", 10, Balanced(3), 5)
+	if p.Steps != 1 {
+		t.Errorf("Steps = %d", p.Steps)
+	}
+	loop := p.Step(0)
+	if loop.N != 10 || loop.Cost(0) != 15 {
+		t.Errorf("N=%d cost=%v", loop.N, loop.Cost(0))
+	}
+	if loop.Touches != nil {
+		t.Error("synthetic loops must not touch memory")
+	}
+	ph := PhasedProgram("y", 10, 4, Balanced(3), 5)
+	if ph.Steps != 4 || ph.Step(2).Cost(0) != 15 {
+		t.Error("phased program wrong")
+	}
+}
+
+func TestNewGraphRowsContiguous(t *testing.T) {
+	g := NewGraph(10)
+	if g.N != 10 || len(g.Adj) != 10 || len(g.Adj[0]) != 10 {
+		t.Fatal("shape wrong")
+	}
+	g.Adj[3][7] = true
+	if g.Edges() != 1 {
+		t.Errorf("Edges = %d", g.Edges())
+	}
+}
+
+func TestRandomGraph(t *testing.T) {
+	g := RandomGraph(200, 0.08, 42)
+	// No self loops.
+	for i := 0; i < g.N; i++ {
+		if g.Adj[i][i] {
+			t.Fatal("self loop generated")
+		}
+	}
+	// Density within sampling tolerance.
+	density := float64(g.Edges()) / float64(200*199)
+	if math.Abs(density-0.08) > 0.02 {
+		t.Errorf("density = %v, want ≈0.08", density)
+	}
+	// Seeded: reproducible; different seed differs.
+	if !g.Equal(RandomGraph(200, 0.08, 42)) {
+		t.Error("same seed produced different graphs")
+	}
+	if g.Equal(RandomGraph(200, 0.08, 43)) {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestCliqueGraph(t *testing.T) {
+	g := CliqueGraph(10, 4)
+	if g.Edges() != 4*3 {
+		t.Errorf("edges = %d, want 12", g.Edges())
+	}
+	for i := 4; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if g.Adj[i][j] || g.Adj[j][i] {
+				t.Fatal("edge outside clique")
+			}
+		}
+	}
+	// Oversized clique clamps.
+	if CliqueGraph(5, 99).Edges() != 5*4 {
+		t.Error("clamp failed")
+	}
+}
+
+func TestGraphCloneIndependent(t *testing.T) {
+	g := CliqueGraph(6, 3)
+	c := g.Clone()
+	c.Adj[5][5] = true
+	if g.Adj[5][5] {
+		t.Error("clone shares storage")
+	}
+	if !g.Equal(g.Clone()) {
+		t.Error("clone not equal")
+	}
+	if g.Equal(NewGraph(7)) {
+		t.Error("different sizes compared equal")
+	}
+}
+
+// TestTotalUnitsMatchesSum is a property test tying TotalUnits to a
+// straightforward accumulation.
+func TestTotalUnitsMatchesSum(t *testing.T) {
+	f := func(n8 uint8) bool {
+		n := int(n8)%200 + 1
+		c := Triangular(n)
+		manual := 0.0
+		for i := 0; i < n; i++ {
+			manual += c(i)
+		}
+		return TotalUnits(n, c) == manual
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIrregular(t *testing.T) {
+	n := 2000
+	c := Irregular(n, 0.05, 1000, 10, 3)
+	heavy := 0
+	for i := 0; i < n; i++ {
+		switch c(i) {
+		case 1000:
+			heavy++
+		case 10:
+		default:
+			t.Fatalf("unexpected cost %v", c(i))
+		}
+	}
+	if heavy < 60 || heavy > 140 {
+		t.Errorf("heavy count %d, want ≈100", heavy)
+	}
+	// Pure: repeated evaluation agrees.
+	if c(7) != c(7) {
+		t.Error("cost not pure")
+	}
+	// Seeded: reproducible; different seeds differ somewhere.
+	c2 := Irregular(n, 0.05, 1000, 10, 3)
+	c3 := Irregular(n, 0.05, 1000, 10, 4)
+	same, diff := true, false
+	for i := 0; i < n; i++ {
+		if c(i) != c2(i) {
+			same = false
+		}
+		if c(i) != c3(i) {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed differs")
+	}
+	if !diff {
+		t.Error("different seeds identical")
+	}
+}
+
+func TestCV(t *testing.T) {
+	if got := CV(100, Balanced(5)); got != 0 {
+		t.Errorf("constant CV = %v", got)
+	}
+	if got := CV(0, Balanced(5)); got != 0 {
+		t.Errorf("empty CV = %v", got)
+	}
+	// Half 0, half 2 → mean 1, σ 1 → CV 1.
+	c := func(i int) float64 {
+		if i%2 == 0 {
+			return 0
+		}
+		return 2
+	}
+	if got := CV(100, c); math.Abs(got-1) > 1e-9 {
+		t.Errorf("CV = %v, want 1", got)
+	}
+	// More skew → higher CV.
+	if CV(1000, Irregular(1000, 0.05, 1000, 10, 1)) <= CV(1000, Irregular(1000, 0.3, 1000, 10, 1)) {
+		t.Error("rarer heavy iterations should raise CV")
+	}
+}

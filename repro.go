@@ -1,0 +1,216 @@
+// Package repro is a Go reproduction of Markatos & LeBlanc, "Using
+// Processor Affinity in Loop Scheduling on Shared-Memory
+// Multiprocessors" (Supercomputing 1992).
+//
+// It provides:
+//
+//   - a real parallel-for runtime implementing every loop scheduling
+//     algorithm the paper studies — static, self-scheduling, fixed
+//     chunking, guided self-scheduling, factoring, trapezoid
+//     self-scheduling, modified factoring, and affinity scheduling
+//     (AFS), plus the tapering / adaptive-GSS / AFS-LE extensions —
+//     over goroutine workers with per-worker work queues and
+//     most-loaded stealing (ParallelFor, ForPhases);
+//   - a deterministic discrete-event simulator of the paper's four
+//     machines (SGI Iris, BBN Butterfly I, Sequent Symmetry, KSR-1)
+//     that regenerates every figure and table in the paper's evaluation
+//     (Simulate; see cmd/paperfigs and EXPERIMENTS.md).
+//
+// Quick start:
+//
+//	stats, err := repro.ParallelFor(1_000_000, func(i int) { work(i) },
+//	    repro.WithScheduler("afs"), repro.WithProcs(8))
+package repro
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Scheduler identifies a loop scheduling algorithm configuration.
+type Scheduler = sched.Spec
+
+// Scheduler constructors for the paper's algorithms and extensions.
+var (
+	// Static divides iterations into P contiguous blocks up front.
+	Static = sched.SpecStatic
+	// BestStatic is the oracle static baseline (§4.1); supply per-
+	// iteration costs via WithCostHint.
+	BestStatic = sched.SpecBestStatic
+	// SelfScheduling takes one iteration per central-queue access.
+	SelfScheduling = sched.SpecSS
+	// Chunk takes K iterations per access.
+	Chunk = sched.SpecChunk
+	// GSS is guided self-scheduling: ⌈R/P⌉ of the remaining R.
+	GSS = sched.SpecGSS
+	// GSSK is GSS taking ⌈R/(kP)⌉ (the paper's §4.3 variant).
+	GSSK = sched.SpecGSSK
+	// Factoring allocates phases of P equal chunks covering half the
+	// remainder.
+	Factoring = sched.SpecFactoring
+	// Trapezoid decreases chunk sizes linearly from ⌈N/2P⌉.
+	Trapezoid = sched.SpecTrapezoid
+	// Tapering shrinks GSS chunks by the iteration-time variance
+	// (extension).
+	Tapering = sched.SpecTapering
+	// AdaptiveGSS backs off chunk sizes under queue contention
+	// (extension).
+	AdaptiveGSS = sched.SpecAdaptiveGSS
+	// AFS is affinity scheduling with k = P (the paper's default).
+	AFS = sched.SpecAFS
+	// AFSK is affinity scheduling with an explicit local divisor k.
+	AFSK = sched.SpecAFSK
+	// AFSLE assigns re-executions to the last executing processor
+	// (extension discussed in §4.3).
+	AFSLE = sched.SpecAFSLE
+	// AFSRandom steals from a random victim instead of scanning for the
+	// most loaded queue (the §2.2 scalability extension).
+	AFSRandom = sched.SpecAFSRandom
+	// AFSPow2 steals from the longer of two random victims.
+	AFSPow2 = sched.SpecAFSPow2
+	// ModFactoring is the affinity-preserving factoring of §2.3.
+	ModFactoring = sched.SpecModFactoring
+)
+
+// SchedulerByName resolves names like "afs", "gss", "chunk(8)",
+// "afs(k=2)" (case-insensitive).
+func SchedulerByName(name string) (Scheduler, error) { return sched.ByName(name) }
+
+// Schedulers returns every available algorithm with default parameters.
+func Schedulers() []Scheduler { return sched.AllSpecs() }
+
+// RunStats reports a real execution's scheduling activity.
+type RunStats = core.Stats
+
+// Option configures ParallelFor / ForPhases.
+type Option func(*config)
+
+type config struct {
+	core.Config
+	err error
+}
+
+// WithProcs sets the number of worker goroutines.
+func WithProcs(p int) Option { return func(c *config) { c.Procs = p } }
+
+// WithSpec selects the scheduling algorithm.
+func WithSpec(s Scheduler) Option { return func(c *config) { c.Spec = s } }
+
+// WithScheduler selects the scheduling algorithm by name; unknown names
+// surface as an error from ParallelFor/ForPhases.
+func WithScheduler(name string) Option {
+	return func(c *config) {
+		s, err := sched.ByName(name)
+		if err != nil {
+			c.err = err
+			return
+		}
+		c.Spec = s
+	}
+}
+
+// WithCostHint supplies per-iteration cost estimates (phase, index) for
+// the BEST-STATIC oracle partitioner.
+func WithCostHint(hint func(ph, i int) float64) Option {
+	return func(c *config) { c.CostHint = hint }
+}
+
+// WithStartDelay delays each worker's start by the given amount,
+// reproducing the §4.5 non-uniform processor arrival experiments.
+func WithStartDelay(delays ...time.Duration) Option {
+	return func(c *config) { c.StartDelay = delays }
+}
+
+// WithGrain sets the minimum iterations handed out per queue operation,
+// for loops whose bodies are too cheap to justify per-chunk dispatch.
+func WithGrain(min int) Option {
+	return func(c *config) { c.MinChunk = min }
+}
+
+func buildConfig(opts []Option) (core.Config, error) {
+	cfg := config{Config: core.Config{Spec: sched.SpecAFS()}}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg.Config, cfg.err
+}
+
+// ParallelFor executes body(i) for every i in [0, n) on a pool of
+// workers under the selected scheduling algorithm (default: AFS), and
+// returns scheduling statistics.
+func ParallelFor(n int, body func(i int), opts ...Option) (RunStats, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return RunStats{}, err
+	}
+	return core.ParallelFor(cfg, n, body)
+}
+
+// ForPhases executes a parallel loop nested inside a sequential loop —
+// the shape affinity scheduling exploits: for each phase ph in
+// [0, phases), body(ph, i) runs for i in [0, n(ph)) with a barrier
+// between phases, and AFS places the same iterations on the same worker
+// every phase.
+func ForPhases(phases int, n func(ph int) int, body func(ph, i int), opts ...Option) (RunStats, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return RunStats{}, err
+	}
+	return core.Run(cfg, phases, n, body)
+}
+
+// Machine is a simulated shared-memory multiprocessor description.
+type Machine = machine.Machine
+
+// Machine presets for the paper's four platforms, plus an ideal PRAM
+// for testing.
+var (
+	Iris         = machine.Iris
+	ButterflyI   = machine.ButterflyI
+	Symmetry     = machine.Symmetry
+	KSR1         = machine.KSR1
+	IdealMachine = machine.Ideal
+)
+
+// MachineByName resolves "iris", "butterfly", "symmetry", "ksr1",
+// "ideal".
+func MachineByName(name string) (*Machine, error) { return machine.ByName(name) }
+
+// SimProgram describes a phased parallel computation for the simulator
+// (per-iteration costs and memory footprints).
+type SimProgram = sim.Program
+
+// SimLoop is one parallel loop of a SimProgram.
+type SimLoop = sim.ParLoop
+
+// SimTouch is one memory-footprint reference made by an iteration.
+type SimTouch = sim.Touch
+
+// SimResult reports a simulated execution.
+type SimResult = sim.Metrics
+
+// SimOptions tunes a simulation run (per-processor start delays,
+// jitter seed, optional trace).
+type SimOptions = sim.Options
+
+// Trace records chunk executions and steals during a simulation; pass
+// NewTrace(p) via SimOptions.Trace and render with Gantt/Summary.
+type Trace = trace.Trace
+
+// NewTrace creates a trace for p processors.
+func NewTrace(p int) *Trace { return trace.New(p) }
+
+// Simulate runs prog on p simulated processors of m under s.
+func Simulate(m *Machine, p int, s Scheduler, prog SimProgram) (SimResult, error) {
+	return sim.Run(m, p, s, prog)
+}
+
+// SimulateOpts is Simulate with options.
+func SimulateOpts(m *Machine, p int, s Scheduler, prog SimProgram, opts SimOptions) (SimResult, error) {
+	return sim.RunOpts(m, p, s, prog, opts)
+}

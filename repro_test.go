@@ -1,0 +1,205 @@
+package repro_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+func TestParallelForDefaults(t *testing.T) {
+	var count int64
+	st, err := repro.ParallelFor(1000, func(i int) { atomic.AddInt64(&count, 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1000 || st.Iterations != 1000 {
+		t.Errorf("count=%d stats=%d", count, st.Iterations)
+	}
+}
+
+func TestParallelForEverySchedulerByName(t *testing.T) {
+	names := []string{
+		"static", "best-static", "ss", "chunk(8)", "gss", "gss(k=2)",
+		"factoring", "trapezoid", "tapering", "a-gss", "afs", "afs(k=2)",
+		"afs-le", "mod-factoring",
+	}
+	for _, name := range names {
+		var count int64
+		_, err := repro.ParallelFor(500, func(int) { atomic.AddInt64(&count, 1) },
+			repro.WithScheduler(name), repro.WithProcs(4))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if count != 500 {
+			t.Errorf("%s executed %d iterations", name, count)
+		}
+		count = 0
+	}
+}
+
+func TestWithSchedulerUnknown(t *testing.T) {
+	_, err := repro.ParallelFor(10, func(int) {}, repro.WithScheduler("quantum"))
+	if err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}
+
+func TestForPhases(t *testing.T) {
+	var count int64
+	st, err := repro.ForPhases(10,
+		func(ph int) int { return 100 },
+		func(ph, i int) { atomic.AddInt64(&count, 1) },
+		repro.WithSpec(repro.AFS()), repro.WithProcs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1000 {
+		t.Errorf("count = %d", count)
+	}
+	if st.Phases != 10 {
+		t.Errorf("phases = %d", st.Phases)
+	}
+}
+
+func TestWithCostHintAndDelay(t *testing.T) {
+	var count int64
+	_, err := repro.ForPhases(2,
+		func(int) int { return 200 },
+		func(_, i int) { atomic.AddInt64(&count, 1) },
+		repro.WithSpec(repro.BestStatic()),
+		repro.WithCostHint(func(ph, i int) float64 { return float64(i + 1) }),
+		repro.WithStartDelay(time.Millisecond),
+		repro.WithProcs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 400 {
+		t.Errorf("count = %d", count)
+	}
+}
+
+func TestSchedulerRegistry(t *testing.T) {
+	if len(repro.Schedulers()) < 10 {
+		t.Error("expected a full algorithm registry")
+	}
+	s, err := repro.SchedulerByName("AFS(k=3)")
+	if err != nil || s.Name != "AFS(k=3)" {
+		t.Errorf("SchedulerByName: %v %v", s.Name, err)
+	}
+}
+
+func TestSimulatePublicAPI(t *testing.T) {
+	m, err := repro.MachineByName("iris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := repro.SimProgram{
+		Name:  "api",
+		Steps: 2,
+		Step: func(int) repro.SimLoop {
+			return repro.SimLoop{
+				N:    100,
+				Cost: func(int) float64 { return 50 },
+			}
+		},
+	}
+	res, err := repro.Simulate(m, 4, repro.AFS(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds <= 0 || res.Procs != 4 || res.Machine != "Iris" {
+		t.Errorf("result %+v", res)
+	}
+	res2, err := repro.SimulateOpts(m, 4, repro.GSS(), prog, repro.SimOptions{
+		StartDelay: []float64{1e6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cycles <= res.Cycles {
+		t.Error("delayed GSS run should be slower than undelayed AFS run here")
+	}
+}
+
+func TestMachinePresets(t *testing.T) {
+	for _, m := range []*repro.Machine{repro.Iris(), repro.ButterflyI(), repro.Symmetry(), repro.KSR1(), repro.IdealMachine(4)} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	if _, err := repro.MachineByName("pdp11"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}
+
+// TestAffinityEndToEnd is the library's headline behaviour, exercised
+// through the public API only: on a simulated bus machine, AFS beats
+// GSS on a data-reusing phased loop.
+func TestAffinityEndToEnd(t *testing.T) {
+	m := repro.Iris()
+	build := func() repro.SimProgram {
+		return repro.SimProgram{
+			Name:  "reuse",
+			Steps: 6,
+			Step: func(int) repro.SimLoop {
+				return repro.SimLoop{
+					N:    256,
+					Cost: func(int) float64 { return 2000 },
+					Touches: func(i int, visit func(t repro.SimTouch)) {
+						visit(repro.SimTouch{ID: uint64(i), Bytes: 4096, Write: true})
+					},
+				}
+			},
+		}
+	}
+	afs, err := repro.Simulate(m, 8, repro.AFS(), build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gss, err := repro.Simulate(m, 8, repro.GSS(), build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gss.Seconds < afs.Seconds*1.2 {
+		t.Errorf("affinity advantage missing: AFS %.4fs vs GSS %.4fs", afs.Seconds, gss.Seconds)
+	}
+}
+
+func TestWithGrain(t *testing.T) {
+	var count int64
+	st, err := repro.ParallelFor(50000, func(int) { atomic.AddInt64(&count, 1) },
+		repro.WithScheduler("ss"), repro.WithProcs(4), repro.WithGrain(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 50000 {
+		t.Errorf("count = %d", count)
+	}
+	if st.CentralOps > 50000/256+8 {
+		t.Errorf("grain ignored: %d central ops", st.CentralOps)
+	}
+}
+
+func TestRandomizedStealPolicies(t *testing.T) {
+	for _, name := range []string{"afs-rand", "afs-p2"} {
+		counts := make([]int32, 5000)
+		_, err := repro.ParallelFor(len(counts), func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+			if i < 100 {
+				for s := 0; s < 2000; s++ {
+					_ = s * s
+				}
+			}
+		}, repro.WithScheduler(name), repro.WithProcs(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("%s: iteration %d ran %d times", name, i, c)
+			}
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 )
 
 // Config selects the workers and the scheduling algorithm for a Run.
@@ -38,6 +39,17 @@ type Config struct {
 	// StartDelay holds per-worker delays applied before the first
 	// phase, reproducing the §4.5 non-uniform start-time experiments.
 	StartDelay []time.Duration
+	// Events, when non-nil, receives the structured telemetry stream:
+	// exec, steal, queue-wait and phase-boundary events with
+	// nanosecond-since-start timestamps. The sink MUST be safe for
+	// concurrent use (telemetry.NewSyncStream, or wrap with
+	// telemetry.Synchronized). nil costs the hot path one pointer
+	// check per chunk.
+	Events telemetry.Sink
+	// Metrics, when non-nil, accumulates counters and histograms
+	// (chunk sizes, steal latencies, central-queue waits) and receives
+	// a time-series snapshot at every phase barrier.
+	Metrics *telemetry.Registry
 }
 
 func (c Config) procs() int {
@@ -120,11 +132,15 @@ func Run(cfg Config, phases int, n func(ph int) int, body func(ph, i int)) (Stat
 		return Stats{}, fmt.Errorf("core: unsupported scheduler family %v", cfg.Spec.Family)
 	}
 
-	r := &runner{cfg: cfg, p: p, d: d, body: body}
+	r := &runner{cfg: cfg, p: p, d: d, body: body, sink: cfg.Events}
 	r.stats.LocalOps = make([]int64, p)
 	r.stats.RemoteOps = make([]int64, p)
+	if cfg.Metrics != nil {
+		r.rh = newCoreHandles(cfg.Metrics)
+	}
 
 	start := time.Now()
+	r.t0 = start
 	starts := make([]chan int, p)
 	var wg sync.WaitGroup
 	var phaseWG sync.WaitGroup
@@ -147,12 +163,26 @@ func Run(cfg Config, phases int, n func(ph int) int, body func(ph, i int)) (Stat
 		if nn < 0 {
 			nn = 0
 		}
+		r.phaseNo.Store(int64(ph))
 		d.initPhase(r, ph, nn)
+		if r.sink != nil {
+			t := r.nowNS()
+			r.sink.Emit(telemetry.Event{Kind: telemetry.KindPhaseBegin,
+				Proc: -1, Victim: -1, Step: ph, Hi: nn, Start: t, End: t})
+		}
 		phaseWG.Add(p)
 		for w := 0; w < p; w++ {
 			starts[w] <- ph
 		}
 		phaseWG.Wait()
+		if r.sink != nil {
+			t := r.nowNS()
+			r.sink.Emit(telemetry.Event{Kind: telemetry.KindPhaseEnd,
+				Proc: -1, Victim: -1, Step: ph, Start: t, End: t})
+		}
+		if r.rh != nil {
+			r.snapshotPhase(ph)
+		}
 		if r.aborted.Load() {
 			break
 		}
@@ -177,10 +207,22 @@ type runner struct {
 	d       dispatcher
 	body    func(ph, i int)
 	stats   Stats
+	t0      time.Time
+	sink    telemetry.Sink
+	rh      *coreHandles
+	phaseNo atomic.Int64
 	aborted atomic.Bool
 	panicMu sync.Mutex
 	panic   any // first panic value observed in any worker
 }
+
+// nowNS is the telemetry clock: nanoseconds since the run started.
+func (r *runner) nowNS() float64 { return float64(time.Since(r.t0)) }
+
+// phase is the current phase number, for event labelling from
+// dispatchers (phases are barrier-separated, so the relaxed read is
+// always current for an in-phase worker).
+func (r *runner) phase() int { return int(r.phaseNo.Load()) }
 
 // work is one worker's phase loop: fetch a chunk, execute it, repeat.
 // A panic in the body is captured — the remaining workers stop fetching
@@ -203,8 +245,21 @@ func (r *runner) work(w, ph int) {
 		if !ok {
 			return
 		}
-		for i := c.Lo; i < c.Hi; i++ {
-			r.body(ph, i)
+		if r.rh != nil {
+			r.rh.chunkSize.Observe(float64(c.Len()))
+		}
+		if r.sink != nil {
+			start := r.nowNS()
+			for i := c.Lo; i < c.Hi; i++ {
+				r.body(ph, i)
+			}
+			r.sink.Emit(telemetry.Event{Kind: telemetry.KindExec,
+				Proc: w, Victim: -1, Step: ph, Lo: c.Lo, Hi: c.Hi,
+				Start: start, End: r.nowNS()})
+		} else {
+			for i := c.Lo; i < c.Hi; i++ {
+				r.body(ph, i)
+			}
 		}
 		atomic.AddInt64(&r.stats.Iterations, int64(c.Len()))
 	}
@@ -231,7 +286,24 @@ func (d *centralDispatch) initPhase(r *runner, ph, n int) {
 
 func (d *centralDispatch) fetch(r *runner, w int) (sched.Chunk, bool) {
 	atomic.AddInt64(&d.waiters, 1)
+	instrumented := r.sink != nil || r.rh != nil
+	var lockStart float64
+	if instrumented {
+		lockStart = r.nowNS()
+	}
 	d.mu.Lock()
+	if instrumented {
+		wait := r.nowNS() - lockStart
+		if r.rh != nil {
+			r.rh.queueWait.Observe(wait)
+		}
+		// Only contended acquisitions (>1µs) are worth an event; an
+		// uncontended mutex would drown the stream in noise.
+		if r.sink != nil && wait > 1e3 {
+			r.sink.Emit(telemetry.Event{Kind: telemetry.KindQueueWait,
+				Proc: w, Victim: -1, Step: r.phase(), Start: lockStart, End: lockStart + wait})
+		}
+	}
 	waiting := atomic.AddInt64(&d.waiters, -1)
 	if ag, isAdaptive := d.sizer.(*sched.AdaptiveGSS); isAdaptive {
 		ag.SetContention(int(waiting))
@@ -372,6 +444,10 @@ func (d *afsDispatch) fetch(r *runner, w int) (sched.Chunk, bool) {
 			return sched.Chunk{}, false
 		}
 		vq := &d.queues[victim]
+		var stealStart float64
+		if r.sink != nil || r.rh != nil {
+			stealStart = r.nowNS()
+		}
 		vq.mu.Lock()
 		l := vq.q.Len()
 		if l == 0 {
@@ -385,6 +461,17 @@ func (d *afsDispatch) fetch(r *runner, w int) (sched.Chunk, bool) {
 		atomic.AddInt64(&r.stats.RemoteOps[victim], 1)
 		atomic.AddInt64(&r.stats.Steals, 1)
 		atomic.AddInt64(&r.stats.MigratedIters, int64(c.Len()))
+		if r.sink != nil || r.rh != nil {
+			end := r.nowNS()
+			if r.rh != nil {
+				r.rh.stealLatency.Observe(end - stealStart)
+			}
+			if r.sink != nil {
+				r.sink.Emit(telemetry.Event{Kind: telemetry.KindSteal,
+					Proc: w, Victim: victim, Step: r.phase(), Lo: c.Lo, Hi: c.Hi,
+					Start: stealStart, End: end})
+			}
+		}
 		return c, true
 	}
 }

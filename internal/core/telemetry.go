@@ -1,0 +1,62 @@
+package core
+
+import "repro/internal/telemetry"
+
+// coreHandles caches the metric objects the real runtime updates so
+// instrumented hot paths never do a registry map lookup.
+type coreHandles struct {
+	reg *telemetry.Registry
+
+	centralOps    *telemetry.Counter
+	localOps      *telemetry.Counter
+	remoteOps     *telemetry.Counter
+	steals        *telemetry.Counter
+	migratedIters *telemetry.Counter
+	iterations    *telemetry.Counter
+
+	chunkSize    *telemetry.Histogram
+	queueWait    *telemetry.Histogram
+	stealLatency *telemetry.Histogram
+}
+
+func newCoreHandles(r *telemetry.Registry) *coreHandles {
+	ns := telemetry.ExpBuckets(100, 4, 12)  // 100ns .. ~1.6s
+	sizes := telemetry.ExpBuckets(1, 2, 16) // 1 .. 32768 iterations
+	return &coreHandles{
+		reg:           r,
+		centralOps:    r.Counter("central_ops"),
+		localOps:      r.Counter("local_ops"),
+		remoteOps:     r.Counter("remote_ops"),
+		steals:        r.Counter("steals"),
+		migratedIters: r.Counter("migrated_iters"),
+		iterations:    r.Counter("iterations"),
+		chunkSize:     r.Histogram("chunk_size", sizes),
+		queueWait:     r.Histogram("queue_wait_ns", ns),
+		stealLatency:  r.Histogram("steal_latency_ns", ns),
+	}
+}
+
+// snapshotPhase reconciles the registry counters with the run's stats
+// and records one time-series sample at phase ph. Called between
+// phases (workers are at the barrier), so the plain stats reads are
+// race-free.
+func (r *runner) snapshotPhase(ph int) {
+	rh := r.rh
+	syncCounter := func(c *telemetry.Counter, want int64) {
+		if d := want - c.Value(); d > 0 {
+			c.Add(d)
+		}
+	}
+	var local, remote int64
+	for i := range r.stats.LocalOps {
+		local += r.stats.LocalOps[i]
+		remote += r.stats.RemoteOps[i]
+	}
+	syncCounter(rh.centralOps, r.stats.CentralOps)
+	syncCounter(rh.localOps, local)
+	syncCounter(rh.remoteOps, remote)
+	syncCounter(rh.steals, r.stats.Steals)
+	syncCounter(rh.migratedIters, r.stats.MigratedIters)
+	syncCounter(rh.iterations, r.stats.Iterations)
+	rh.reg.Snapshot(ph)
+}

@@ -1,0 +1,117 @@
+package core
+
+// Race-sensitive telemetry tests for the real goroutine runtime: CI
+// runs these under -race, so concurrent event emission and registry
+// updates from live workers are exercised for real.
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/telemetry"
+)
+
+// bodySink gives every iteration its own slot, so the busy-work write
+// below is race-free (iterations within a phase are distinct; phases
+// are barrier-separated).
+var bodySink [128]float64
+
+func imbalancedBody(ph, i int) {
+	n := 20
+	if i < 16 {
+		n = 2000
+	}
+	x := 1.0
+	for k := 0; k < n; k++ {
+		x += x * 1e-9
+	}
+	bodySink[i%len(bodySink)] = x
+}
+
+// TestRealRuntimeTelemetryCheck: the real runtime's event stream
+// passes the paper's invariants for central-queue, AFS and
+// mod-factoring families, and the stream agrees with Stats.
+func TestRealRuntimeTelemetryCheck(t *testing.T) {
+	for _, name := range []string{"ss", "gss", "static", "afs", "afs-le", "mod-factoring"} {
+		spec, err := sched.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream := telemetry.NewSyncStream()
+		reg := telemetry.NewRegistry()
+		cfg := Config{Procs: 4, Spec: spec, Events: stream, Metrics: reg}
+		st, err := Run(cfg, 5, func(int) int { return 128 }, imbalancedBody)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		events := stream.Events()
+		rep := telemetry.Check(events)
+		if err := rep.Err(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if rep.Steps != 5 {
+			t.Errorf("%s: %d steps seen, want 5", name, rep.Steps)
+		}
+		var steals, execIters int64
+		for _, e := range events {
+			switch e.Kind {
+			case telemetry.KindSteal:
+				steals++
+			case telemetry.KindExec:
+				execIters += int64(e.Hi - e.Lo)
+			}
+		}
+		if steals != st.Steals {
+			t.Errorf("%s: %d steal events vs %d stats steals", name, steals, st.Steals)
+		}
+		if execIters != st.Iterations {
+			t.Errorf("%s: %d exec-event iterations vs %d stats iterations", name, execIters, st.Iterations)
+		}
+		series := reg.Series()
+		if len(series) != 5 {
+			t.Fatalf("%s: %d registry samples, want 5", name, len(series))
+		}
+		last := series[len(series)-1].Values
+		if int64(last["iterations"]) != st.Iterations {
+			t.Errorf("%s: registry iterations %v vs stats %d", name, last["iterations"], st.Iterations)
+		}
+	}
+}
+
+// TestTelemetryOffCostsNothingExtra: with no sink and no registry the
+// runner takes the uninstrumented paths (guarded by nil checks), and
+// stats still come out right.
+func TestTelemetryOffCostsNothingExtra(t *testing.T) {
+	st, err := Run(Config{Procs: 4, Spec: sched.SpecAFS()}, 3,
+		func(int) int { return 64 }, func(ph, i int) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations != 3*64 {
+		t.Errorf("iterations = %d", st.Iterations)
+	}
+}
+
+// TestRealRuntimeChromeExport: a real-runtime stream renders to a
+// non-empty Chrome trace with per-worker tracks.
+func TestRealRuntimeChromeExport(t *testing.T) {
+	stream := telemetry.NewSyncStream()
+	if _, err := Run(Config{Procs: 2, Spec: sched.SpecAFS(), Events: stream}, 2,
+		func(int) int { return 32 }, imbalancedBody); err != nil {
+		t.Fatal(err)
+	}
+	var b testWriter
+	err := telemetry.WriteChromeTrace(&b, stream.Events(), telemetry.ChromeOptions{
+		Label: "core test", Procs: 2, TimeScale: 1e-3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.n == 0 {
+		t.Error("empty chrome trace")
+	}
+}
+
+type testWriter struct{ n int }
+
+func (w *testWriter) Write(p []byte) (int, error) { w.n += len(p); return len(p), nil }

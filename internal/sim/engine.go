@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -27,8 +28,18 @@ type Options struct {
 	// bit-identical.
 	Seed uint64
 	// Trace, when non-nil, records every chunk execution and steal for
-	// post-mortem inspection (internal/trace).
+	// post-mortem inspection (internal/trace). It is wired in as one
+	// consumer of the unified telemetry event stream.
 	Trace *trace.Trace
+	// Events, when non-nil, receives the full structured telemetry
+	// stream: exec, steal, queue-wait, cache-flush and phase-boundary
+	// events (internal/telemetry). The simulator is single-threaded,
+	// so an unsynchronised telemetry.Stream is fine.
+	Events telemetry.Sink
+	// Metrics, when non-nil, is updated with counters and histograms
+	// (sync ops, chunk sizes, queue waits, steal latency) and receives
+	// a time-series snapshot at every step barrier.
+	Metrics *telemetry.Registry
 	// ActiveProcs, when non-nil, gives the number of processors
 	// available during each step (clamped to [1, P]) — modelling a
 	// space-sharing operating system growing or shrinking the
@@ -65,7 +76,17 @@ func RunOpts(m *machine.Machine, p int, spec sched.Spec, prog Program, opts Opti
 		return Metrics{}, fmt.Errorf("sim: at most 64 processors supported (coherence directory uses 64-bit holder masks), got %d", p)
 	}
 	e := newEngine(m, p, spec, prog)
-	e.tr = opts.Trace
+	var sinks []telemetry.Sink
+	if opts.Trace != nil {
+		sinks = append(sinks, opts.Trace)
+	}
+	if opts.Events != nil {
+		sinks = append(sinks, opts.Events)
+	}
+	e.sink = telemetry.Tee(sinks...)
+	if opts.Metrics != nil {
+		e.rh = newRegHandles(opts.Metrics)
+	}
 	e.activeFn = opts.ActiveProcs
 	e.flushEvery = opts.FlushEverySteps
 	e.seed = opts.Seed ^ 0x9e3779b97f4a7c15
@@ -127,7 +148,8 @@ type engine struct {
 	seq        int64
 	seed       uint64
 	step       int
-	tr         *trace.Trace
+	sink       telemetry.Sink
+	rh         *regHandles
 	flushEvery int
 	activeFn   func(step int) int
 	active     int
@@ -206,12 +228,42 @@ func (e *engine) run() {
 				e.caches[q].Clear()
 			}
 			e.dir = newDirectory()
+			if e.sink != nil {
+				t := e.minClock()
+				e.sink.Emit(telemetry.Event{Kind: telemetry.KindCacheFlush,
+					Proc: -1, Victim: -1, Step: s, Start: t, End: t})
+			}
+		}
+		if e.sink != nil {
+			t := e.minClock()
+			e.sink.Emit(telemetry.Event{Kind: telemetry.KindPhaseBegin,
+				Proc: -1, Victim: -1, Step: s, Hi: e.loop.N, Start: t, End: t})
 		}
 		e.applyJitter()
 		e.f.initStep(&e.loop)
 		e.runStep()
 		e.barrier()
+		if e.sink != nil {
+			t := e.state[0].clock // all clocks equal after the barrier
+			e.sink.Emit(telemetry.Event{Kind: telemetry.KindPhaseEnd,
+				Proc: -1, Victim: -1, Step: s, Start: t, End: t})
+		}
+		if e.rh != nil {
+			e.snapshotStep(s)
+		}
 	}
+}
+
+// minClock returns the earliest processor clock — the step's logical
+// start time for phase-boundary events.
+func (e *engine) minClock() float64 {
+	min := e.state[0].clock
+	for p := 1; p < len(e.state); p++ {
+		if e.state[p].clock < min {
+			min = e.state[p].clock
+		}
+	}
+	return min
 }
 
 // applyJitter skews each processor's release from the step-start
@@ -264,7 +316,17 @@ func (e *engine) runStep() {
 			}
 			e.queueWait += ready - st.clock
 			if ready > st.clock {
+				if e.sink != nil {
+					e.sink.Emit(telemetry.Event{Kind: telemetry.KindQueueWait,
+						Proc: p, Victim: -1, Step: e.step, Start: st.clock, End: ready})
+				}
+				if e.rh != nil {
+					e.rh.queueWaitHist.Observe(ready - st.clock)
+				}
 				st.clock = ready
+			}
+			if e.rh != nil {
+				e.rh.chunkSize.Observe(float64(c.Len()))
 			}
 			st.chunk = c
 			st.chunkStart = st.clock
@@ -338,14 +400,14 @@ func (e *engine) execIteration(p int, st *procState) {
 	}
 }
 
-// traceExec records a finished chunk in the optional trace.
+// traceExec records a finished chunk in the telemetry stream.
 func (e *engine) traceExec(p int, st *procState) {
-	if e.tr == nil {
+	if e.sink == nil {
 		return
 	}
-	e.tr.Add(trace.Event{
-		Kind: trace.Exec, Proc: p, Victim: -1, Step: e.step,
-		Chunk: st.chunk, Start: st.chunkStart, End: st.clock,
+	e.sink.Emit(telemetry.Event{
+		Kind: telemetry.KindExec, Proc: p, Victim: -1, Step: e.step,
+		Lo: st.chunk.Lo, Hi: st.chunk.Hi, Start: st.chunkStart, End: st.clock,
 	})
 }
 
@@ -602,11 +664,14 @@ func (f *afsFetcher) fetch(p int, now float64) (sched.Chunk, float64, bool) {
 	f.e.remoteOps[v]++
 	f.e.steals++
 	f.e.migratedIters += c.Len()
-	if f.e.tr != nil {
-		f.e.tr.Add(trace.Event{
-			Kind: trace.Steal, Proc: p, Victim: v, Step: f.e.step,
-			Chunk: c, Start: now, End: end,
+	if f.e.sink != nil {
+		f.e.sink.Emit(telemetry.Event{
+			Kind: telemetry.KindSteal, Proc: p, Victim: v, Step: f.e.step,
+			Lo: c.Lo, Hi: c.Hi, Start: now, End: end,
 		})
+	}
+	if f.e.rh != nil {
+		f.e.rh.stealLatency.Observe(end - now)
 	}
 	return c, end, true
 }

@@ -1,0 +1,74 @@
+package sim
+
+import "repro/internal/telemetry"
+
+// regHandles caches the metric objects the engine updates, so hot
+// paths do one nil check plus direct handle updates — never a
+// registry map lookup.
+type regHandles struct {
+	reg *telemetry.Registry
+
+	centralOps    *telemetry.Counter
+	localOps      *telemetry.Counter
+	remoteOps     *telemetry.Counter
+	steals        *telemetry.Counter
+	migratedIters *telemetry.Counter
+	hits          *telemetry.Counter
+	misses        *telemetry.Counter
+
+	busWait    *telemetry.Gauge
+	queueWait  *telemetry.Gauge
+	bytesMoved *telemetry.Gauge
+	active     *telemetry.Gauge
+
+	chunkSize     *telemetry.Histogram
+	queueWaitHist *telemetry.Histogram
+	stealLatency  *telemetry.Histogram
+}
+
+func newRegHandles(r *telemetry.Registry) *regHandles {
+	cyc := telemetry.ExpBuckets(1, 4, 12)   // 1 cycle .. ~4M cycles
+	sizes := telemetry.ExpBuckets(1, 2, 16) // 1 .. 32768 iterations
+	return &regHandles{
+		reg:           r,
+		centralOps:    r.Counter("central_ops"),
+		localOps:      r.Counter("local_ops"),
+		remoteOps:     r.Counter("remote_ops"),
+		steals:        r.Counter("steals"),
+		migratedIters: r.Counter("migrated_iters"),
+		hits:          r.Counter("cache_hits"),
+		misses:        r.Counter("cache_misses"),
+		busWait:       r.Gauge("bus_wait_cycles"),
+		queueWait:     r.Gauge("queue_wait_cycles"),
+		bytesMoved:    r.Gauge("bytes_moved"),
+		active:        r.Gauge("active_procs"),
+		chunkSize:     r.Histogram("chunk_size", sizes),
+		queueWaitHist: r.Histogram("queue_wait_cycles_hist", cyc),
+		stealLatency:  r.Histogram("steal_latency_cycles", cyc),
+	}
+}
+
+// snapshotStep reconciles the registry with the engine's accumulated
+// metrics and records one time-series sample at step s — this is how
+// affinity decay (migrated iterations creeping up phase over phase)
+// and contention (queue-wait growth) become per-step observables.
+func (e *engine) snapshotStep(s int) {
+	rh := e.rh
+	syncCounter := func(c *telemetry.Counter, want int64) {
+		if d := want - c.Value(); d > 0 {
+			c.Add(d)
+		}
+	}
+	syncCounter(rh.centralOps, int64(e.centralOps))
+	syncCounter(rh.localOps, int64(sum(e.localOps)))
+	syncCounter(rh.remoteOps, int64(sum(e.remoteOps)))
+	syncCounter(rh.steals, int64(e.steals))
+	syncCounter(rh.migratedIters, int64(e.migratedIters))
+	syncCounter(rh.hits, int64(e.hits))
+	syncCounter(rh.misses, int64(e.misses))
+	rh.busWait.Set(e.busWait)
+	rh.queueWait.Set(e.queueWait)
+	rh.bytesMoved.Set(float64(e.bytesMoved))
+	rh.active.Set(float64(e.active))
+	rh.reg.Snapshot(s)
+}

@@ -1,0 +1,209 @@
+package sim_test
+
+// Integration tests for the unified telemetry layer on the simulator
+// substrate: every registered scheduling algorithm, across the
+// paper's five kernels, must produce an event stream that passes the
+// tracecheck invariants (every iteration executed exactly once per
+// step, at most one migration per iteration per step, legal steals),
+// and the stream must agree with the engine's aggregate metrics.
+
+import (
+	"testing"
+
+	"repro/internal/cli"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// paperKernels builds small instances of the paper's five kernels.
+func paperKernels(t *testing.T, m *machine.Machine) map[string]func() sim.Program {
+	t.Helper()
+	out := make(map[string]func() sim.Program)
+	for name, args := range map[string][2]int{
+		"sor":     {24, 3}, // n, phases
+		"gauss":   {20, 0},
+		"tc-skew": {16, 0},
+		"adjoint": {8, 0},
+		"l4":      {64, 3},
+	} {
+		build, _, err := cli.BuildKernel(name, args[0], args[1], 1, m)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = build
+	}
+	return out
+}
+
+// TestTracecheckAllSchedulersAllKernels is the acceptance gate: the
+// invariant verifier passes on traces from every registered scheduler
+// across all five kernels.
+func TestTracecheckAllSchedulersAllKernels(t *testing.T) {
+	m := machine.Iris()
+	kernels := paperKernels(t, m)
+	for kname, build := range kernels {
+		for _, spec := range sched.AllSpecs() {
+			stream := telemetry.NewStream()
+			res, err := sim.RunOpts(m, 4, spec, build(), sim.Options{Events: stream})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", kname, spec.Name, err)
+			}
+			rep := telemetry.Check(stream.Events())
+			if err := rep.Err(); err != nil {
+				t.Errorf("%s/%s: %v", kname, spec.Name, err)
+			}
+			// The stream must agree with the aggregate metrics.
+			steals := 0
+			for _, e := range stream.Events() {
+				if e.Kind == telemetry.KindSteal {
+					steals++
+				}
+			}
+			if steals != res.Steals {
+				t.Errorf("%s/%s: %d steal events vs %d metric steals",
+					kname, spec.Name, steals, res.Steals)
+			}
+		}
+	}
+}
+
+// TestTelemetryMatchesLegacyTrace: wiring both a legacy trace and an
+// event stream records identical exec/steal sequences (the trace is
+// re-based on the stream).
+func TestTelemetryMatchesLegacyTrace(t *testing.T) {
+	m := machine.Ideal(8)
+	prog := sim.SingleLoop("imb", sim.ParLoop{
+		N: 256,
+		Cost: func(i int) float64 {
+			if i < 32 {
+				return 400
+			}
+			return 1
+		},
+	})
+	tr := trace.New(8)
+	stream := telemetry.NewStream()
+	if _, err := sim.RunOpts(m, 8, sched.SpecAFS(), prog, sim.Options{Trace: tr, Events: stream}); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := trace.FromStream(8, stream.Events())
+	if len(rebuilt.Events) != len(tr.Events) {
+		t.Fatalf("trace has %d events, rebuilt stream %d", len(tr.Events), len(rebuilt.Events))
+	}
+	for i := range tr.Events {
+		a, b := tr.Events[i], rebuilt.Events[i]
+		if a != b {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	if len(tr.Steals()) == 0 {
+		t.Error("imbalanced AFS run recorded no steals")
+	}
+}
+
+// TestSimRegistryTimeSeries: the metrics registry snapshots once per
+// step and its cumulative counters match the final metrics.
+func TestSimRegistryTimeSeries(t *testing.T) {
+	m := machine.Iris()
+	build, _, err := cli.BuildKernel("sor", 32, 5, 1, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	res, err := sim.RunOpts(m, 4, sched.SpecAFS(), build(), sim.Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := reg.Series()
+	if len(series) != res.Steps {
+		t.Fatalf("%d samples for %d steps", len(series), res.Steps)
+	}
+	last := series[len(series)-1].Values
+	if got := int(last["steals"]); got != res.Steals {
+		t.Errorf("registry steals %d vs metrics %d", got, res.Steals)
+	}
+	if got := int(last["local_ops"]); got != sumInts(res.LocalOps) {
+		t.Errorf("registry local_ops %d vs metrics %d", got, sumInts(res.LocalOps))
+	}
+	// Counters are cumulative, so the series must be non-decreasing.
+	prev := -1.0
+	for _, s := range series {
+		v := s.Values["local_ops"]
+		if v < prev {
+			t.Fatalf("local_ops series decreased: %v then %v", prev, v)
+		}
+		prev = v
+	}
+	if reg.Histogram("chunk_size", nil).Count() == 0 {
+		t.Error("no chunk sizes observed")
+	}
+}
+
+// TestPhaseAndQueueWaitEvents: the stream carries phase boundaries for
+// every step and queue waits under a contended central queue.
+func TestPhaseAndQueueWaitEvents(t *testing.T) {
+	m := machine.Symmetry()
+	build, _, err := cli.BuildKernel("sor", 32, 4, 1, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := telemetry.NewStream()
+	res, err := sim.RunOpts(m, 8, sched.SpecSS(), build(), sim.Options{Events: stream})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var begins, ends, waits int
+	for _, e := range stream.Events() {
+		switch e.Kind {
+		case telemetry.KindPhaseBegin:
+			begins++
+		case telemetry.KindPhaseEnd:
+			ends++
+		case telemetry.KindQueueWait:
+			waits++
+			if e.End <= e.Start {
+				t.Fatalf("queue-wait with no duration: %+v", e)
+			}
+		}
+	}
+	if begins != res.Steps || ends != res.Steps {
+		t.Errorf("phase events %d/%d for %d steps", begins, ends, res.Steps)
+	}
+	if waits == 0 {
+		t.Error("pure self-scheduling on 8 procs produced no queue waits")
+	}
+}
+
+// TestCacheFlushEvents: the time-sharing flush model emits cache-flush
+// markers.
+func TestCacheFlushEvents(t *testing.T) {
+	m := machine.Iris()
+	build, _, err := cli.BuildKernel("sor", 24, 6, 1, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := telemetry.NewStream()
+	if _, err := sim.RunOpts(m, 4, sched.SpecAFS(), build(), sim.Options{Events: stream, FlushEverySteps: 2}); err != nil {
+		t.Fatal(err)
+	}
+	flushes := 0
+	for _, e := range stream.Events() {
+		if e.Kind == telemetry.KindCacheFlush {
+			flushes++
+		}
+	}
+	if flushes != 2 { // steps 2 and 4 of 6
+		t.Errorf("flush events = %d, want 2", flushes)
+	}
+}
+
+func sumInts(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

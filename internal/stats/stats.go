@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -66,6 +67,42 @@ func (t *Table) Render(w io.Writer) {
 	for _, row := range t.Rows {
 		line(row)
 	}
+}
+
+// JSON writes the table as a machine-readable JSON object with
+// "title", "columns" and "rows" keys — the format consumed by
+// bench-trajectory tooling (realbench -json).
+func (t *Table) JSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(t.jsonForm())
+}
+
+// WriteTablesJSON writes several tables as one JSON document:
+// {"tables": [...]} — so consumers get a single parseable object per
+// run.
+func WriteTablesJSON(w io.Writer, tables ...*Table) error {
+	forms := make([]tableJSON, len(tables))
+	for i, t := range tables {
+		forms[i] = t.jsonForm()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Tables []tableJSON `json:"tables"`
+	}{forms})
+}
+
+type tableJSON struct {
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+func (t *Table) jsonForm() tableJSON {
+	rows := t.Rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return tableJSON{Title: t.Title, Columns: t.Columns, Rows: rows}
 }
 
 // CSV writes the table as comma-separated values.

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -166,5 +167,46 @@ func TestSVG(t *testing.T) {
 	cf.SVG(&c)
 	if !strings.Contains(c.String(), "polyline") {
 		t.Error("constant series failed to render")
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tab := NewTable("times", "workers", "afs")
+	tab.AddRow("4", "1.2ms")
+	var b strings.Builder
+	if err := tab.JSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != "times" || len(got.Columns) != 2 || got.Rows[0][1] != "1.2ms" {
+		t.Errorf("json = %+v", got)
+	}
+}
+
+func TestWriteTablesJSON(t *testing.T) {
+	a := NewTable("a", "x")
+	b := NewTable("b", "y") // no rows: must marshal as [], not null
+	var buf strings.Builder
+	if err := WriteTablesJSON(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Tables []struct {
+			Title string     `json:"title"`
+			Rows  [][]string `json:"rows"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tables) != 2 || got.Tables[1].Rows == nil {
+		t.Errorf("tables json = %+v", got)
 	}
 }

@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ChromeOptions tunes the Chrome trace-event export.
+type ChromeOptions struct {
+	// Label names the process track (e.g. "gauss on iris, afs, p=8").
+	Label string
+	// Procs is the processor count; tracks are emitted for all of
+	// 0..Procs-1 even if idle. 0 derives it from the events.
+	Procs int
+	// TimeScale converts event times to microseconds (the trace-event
+	// unit): ts = Start * TimeScale. Use 1e-3 for nanosecond streams
+	// from the real runtime; for simulator cycle streams, 1/MHz gives
+	// real time, or 1.0 keeps one cycle = 1µs. 0 means 1.0.
+	TimeScale float64
+}
+
+// chromeEvent is one entry of the trace-event JSON array. Field names
+// follow the Trace Event Format spec (ph = phase, ts = microseconds).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   int            `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the event stream in Chrome trace-event
+// format (JSON object form), loadable in chrome://tracing and
+// Perfetto. One thread track per processor; execs are complete ("X")
+// slices; steals are flow arrows ("s"→"f") from the victim's track to
+// the thief's plus a slice on the thief for the steal latency;
+// queue waits are slices in a "queue-wait" category; phase boundaries
+// are global instant events.
+func WriteChromeTrace(w io.Writer, events []Event, opts ChromeOptions) error {
+	scale := opts.TimeScale
+	if scale == 0 {
+		scale = 1.0
+	}
+	procs := opts.Procs
+	for _, e := range events {
+		if e.Proc >= procs {
+			procs = e.Proc + 1
+		}
+		if e.Victim >= procs {
+			procs = e.Victim + 1
+		}
+	}
+	label := opts.Label
+	if label == "" {
+		label = "loop schedule"
+	}
+
+	out := make([]chromeEvent, 0, 2*len(events)+procs+1)
+	out = append(out, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"name": label},
+	})
+	for p := 0; p < procs; p++ {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: p,
+			Args: map[string]any{"name": fmt.Sprintf("P%d", p)},
+		})
+		out = append(out, chromeEvent{
+			Name: "thread_sort_index", Ph: "M", Pid: 0, Tid: p,
+			Args: map[string]any{"sort_index": p},
+		})
+	}
+
+	flowID := 0
+	dur := func(e Event) *float64 {
+		d := (e.End - e.Start) * scale
+		if d < 0 {
+			d = 0
+		}
+		return &d
+	}
+	for _, e := range events {
+		ts := e.Start * scale
+		switch e.Kind {
+		case KindExec:
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("exec [%d,%d)", e.Lo, e.Hi),
+				Cat:  "exec", Ph: "X", Ts: ts, Dur: dur(e), Pid: 0, Tid: e.Proc,
+				Args: map[string]any{"step": e.Step, "lo": e.Lo, "hi": e.Hi, "iters": e.Hi - e.Lo},
+			})
+		case KindSteal:
+			flowID++
+			name := fmt.Sprintf("steal [%d,%d)", e.Lo, e.Hi)
+			args := map[string]any{"step": e.Step, "lo": e.Lo, "hi": e.Hi, "victim": e.Victim}
+			// Latency slice on the thief's track, then a flow arrow
+			// victim → thief so the migration is visible as an arc.
+			out = append(out,
+				chromeEvent{Name: name, Cat: "steal", Ph: "X", Ts: ts, Dur: dur(e), Pid: 0, Tid: e.Proc, Args: args},
+				chromeEvent{Name: "steal", Cat: "steal", Ph: "s", Ts: ts, Pid: 0, Tid: e.Victim, ID: flowID, Args: args},
+				chromeEvent{Name: "steal", Cat: "steal", Ph: "f", BP: "e", Ts: e.End * scale, Pid: 0, Tid: e.Proc, ID: flowID, Args: args},
+			)
+		case KindQueueWait:
+			out = append(out, chromeEvent{
+				Name: "queue wait", Cat: "queue-wait", Ph: "X", Ts: ts, Dur: dur(e), Pid: 0, Tid: e.Proc,
+				Args: map[string]any{"step": e.Step},
+			})
+		case KindCacheFlush:
+			out = append(out, chromeEvent{
+				Name: "cache flush", Cat: "cache", Ph: "i", Ts: ts, Pid: 0, Tid: maxInt(e.Proc, 0), S: "g",
+				Args: map[string]any{"step": e.Step},
+			})
+		case KindPhaseBegin:
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("phase %d (n=%d)", e.Step, e.Hi),
+				Cat:  "phase", Ph: "i", Ts: ts, Pid: 0, Tid: 0, S: "g",
+				Args: map[string]any{"step": e.Step, "n": e.Hi},
+			})
+		case KindPhaseEnd:
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("barrier %d", e.Step),
+				Cat:  "phase", Ph: "i", Ts: e.End * scale, Pid: 0, Tid: 0, S: "g",
+				Args: map[string]any{"step": e.Step},
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{out, "ms"})
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

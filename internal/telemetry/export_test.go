@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Kind: KindPhaseBegin, Proc: -1, Victim: -1, Step: 0, Hi: 8, Start: 0, End: 0},
+		{Kind: KindExec, Proc: 0, Victim: -1, Step: 0, Lo: 0, Hi: 4, Start: 0, End: 40},
+		{Kind: KindSteal, Proc: 1, Victim: 0, Step: 0, Lo: 4, Hi: 8, Start: 5, End: 9},
+		{Kind: KindQueueWait, Proc: 1, Victim: -1, Step: 0, Start: 1, End: 5},
+		{Kind: KindExec, Proc: 1, Victim: -1, Step: 0, Lo: 4, Hi: 8, Start: 9, End: 45},
+		{Kind: KindPhaseEnd, Proc: -1, Victim: -1, Step: 0, Start: 45, End: 45},
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSONL(&b, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	var obj map[string]any
+	if err := json.Unmarshal([]byte(lines[2]), &obj); err != nil {
+		t.Fatal(err)
+	}
+	if obj["kind"] != "steal" || obj["victim"] != float64(0) && obj["victim"] != nil {
+		t.Errorf("steal line = %v", obj)
+	}
+}
+
+func TestWriteEventsCSV(t *testing.T) {
+	var b strings.Builder
+	if err := WriteEventsCSV(&b, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 7 || recs[0][0] != "kind" || recs[3][0] != "steal" {
+		t.Errorf("csv = %v", recs)
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("steals")
+	c.Add(2)
+	r.Snapshot(0)
+	c.Add(3)
+	r.Snapshot(1)
+	var b strings.Builder
+	if err := WriteSeriesCSV(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[0][1] != "steals" || recs[1][1] != "2" || recs[2][1] != "5" {
+		t.Errorf("series csv = %v", recs)
+	}
+}
+
+func TestWriteSeriesJSONL(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("x").Set(1.5)
+	r.Snapshot(7)
+	var b strings.Builder
+	if err := WriteSeriesJSONL(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	var obj struct {
+		Step   int                `json:"step"`
+		Values map[string]float64 `json:"values"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(b.String())), &obj); err != nil {
+		t.Fatal(err)
+	}
+	if obj.Step != 7 || obj.Values["x"] != 1.5 {
+		t.Errorf("sample = %+v", obj)
+	}
+}
+
+func TestSinkWriterStreamsJSONL(t *testing.T) {
+	var b strings.Builder
+	s := NewSinkWriter(&b)
+	for _, e := range sampleEvents() {
+		s.Emit(e)
+	}
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	if got := strings.Count(b.String(), "\n"); got != 6 {
+		t.Errorf("%d lines", got)
+	}
+}
+
+// TestChromeTraceShape: the export is valid JSON with one named thread
+// track per processor, X slices for execs, and paired s/f flow events
+// for steals.
+func TestChromeTraceShape(t *testing.T) {
+	var b strings.Builder
+	err := WriteChromeTrace(&b, sampleEvents(), ChromeOptions{Label: "test", Procs: 2, TimeScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	threads := map[float64]bool{}
+	var execs, flowS, flowF int
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "M":
+			if e["name"] == "thread_name" {
+				threads[e["tid"].(float64)] = true
+			}
+		case "X":
+			if cat, _ := e["cat"].(string); cat == "exec" {
+				execs++
+			}
+		case "s":
+			flowS++
+		case "f":
+			flowF++
+		}
+	}
+	if !threads[0] || !threads[1] {
+		t.Errorf("missing per-processor tracks: %v", threads)
+	}
+	if execs != 2 {
+		t.Errorf("execs = %d", execs)
+	}
+	if flowS != 1 || flowF != 1 {
+		t.Errorf("steal flow events s=%d f=%d", flowS, flowF)
+	}
+}
+
+// TestChromeTraceDerivesProcs: with Procs unset, tracks cover every
+// processor seen in the events, victims included.
+func TestChromeTraceDerivesProcs(t *testing.T) {
+	var b strings.Builder
+	events := []Event{{Kind: KindSteal, Proc: 3, Victim: 5, Lo: 0, Hi: 1}}
+	if err := WriteChromeTrace(&b, events, ChromeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"P5"`) {
+		t.Error("victim track P5 missing")
+	}
+}

@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report is the outcome of a Check run over an event stream.
+type Report struct {
+	// Steps is the number of distinct program steps seen.
+	Steps int
+	// Events is the number of events examined.
+	Events int
+	// Violations lists every invariant breach found, in step order.
+	Violations []string
+}
+
+// OK reports whether no invariant was violated.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Err returns nil when OK, otherwise an error summarising the
+// violations (first few spelled out).
+func (r *Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	show := r.Violations
+	const max = 8
+	suffix := ""
+	if len(show) > max {
+		suffix = fmt.Sprintf(" (and %d more)", len(show)-max)
+		show = show[:max]
+	}
+	return fmt.Errorf("tracecheck: %d violation(s): %s%s",
+		len(r.Violations), strings.Join(show, "; "), suffix)
+}
+
+// Check verifies the paper's correctness properties over an event
+// stream, per program step:
+//
+//  1. coverage — every iteration of the step's parallel loop executes
+//     exactly once: exec chunks tile [0, N) with no overlap and no gap
+//     (N from the step's phase-begin event when present, else the max
+//     exec bound);
+//  2. single migration — an iteration is stolen at most once per step
+//     (§3's stability property: stolen work is executed directly, not
+//     re-queued), i.e. steal chunks within a step are disjoint;
+//  3. legal steals — every steal names a real victim other than the
+//     thief and carries a non-empty chunk (steals only target
+//     non-empty queues);
+//  4. sanity — events run forward in time (End ≥ Start) and exec
+//     chunks stay within the loop bounds.
+//
+// Both the simulator's cycle-time streams and the real runtime's
+// nanosecond streams satisfy the same invariants, so tests for either
+// substrate share this verifier.
+func Check(events []Event) *Report {
+	r := &Report{Events: len(events)}
+	type stepData struct {
+		n      int // loop size from phase-begin, or -1
+		execs  []Event
+		steals []Event
+	}
+	steps := map[int]*stepData{}
+	get := func(s int) *stepData {
+		d, ok := steps[s]
+		if !ok {
+			d = &stepData{n: -1}
+			steps[s] = d
+		}
+		return d
+	}
+	for _, e := range events {
+		if e.End < e.Start {
+			r.Violations = append(r.Violations,
+				fmt.Sprintf("step %d: %s event runs backwards (start %g > end %g)", e.Step, e.Kind, e.Start, e.End))
+		}
+		switch e.Kind {
+		case KindPhaseBegin:
+			get(e.Step).n = e.Hi
+		case KindExec:
+			get(e.Step).execs = append(get(e.Step).execs, e)
+		case KindSteal:
+			get(e.Step).steals = append(get(e.Step).steals, e)
+		}
+	}
+	order := make([]int, 0, len(steps))
+	for s := range steps {
+		order = append(order, s)
+	}
+	sort.Ints(order)
+	r.Steps = len(order)
+
+	for _, s := range order {
+		d := steps[s]
+		n := d.n
+		if n < 0 {
+			for _, e := range d.execs {
+				if e.Hi > n {
+					n = e.Hi
+				}
+			}
+		}
+		if n > 0 && len(d.execs) > 0 {
+			// Coverage: count executions per iteration via a sweep over
+			// chunk boundaries (O(chunks log chunks), not O(N)).
+			type edge struct {
+				at, delta int
+			}
+			edges := make([]edge, 0, 2*len(d.execs))
+			for _, e := range d.execs {
+				if e.Lo < 0 || e.Hi > n || e.Lo >= e.Hi {
+					r.Violations = append(r.Violations,
+						fmt.Sprintf("step %d: exec chunk [%d,%d) outside loop [0,%d)", s, e.Lo, e.Hi, n))
+					continue
+				}
+				edges = append(edges, edge{e.Lo, 1}, edge{e.Hi, -1})
+			}
+			sort.Slice(edges, func(i, j int) bool { return edges[i].at < edges[j].at })
+			depth, pos := 0, 0
+			report := func(from, to, times int) {
+				if from >= to {
+					return
+				}
+				switch {
+				case times == 0:
+					r.Violations = append(r.Violations,
+						fmt.Sprintf("step %d: iterations [%d,%d) never executed", s, from, to))
+				case times > 1:
+					r.Violations = append(r.Violations,
+						fmt.Sprintf("step %d: iterations [%d,%d) executed %d times", s, from, to, times))
+				}
+			}
+			for i := 0; i < len(edges); {
+				at := edges[i].at
+				if at > pos {
+					report(pos, at, depth)
+					pos = at
+				}
+				for i < len(edges) && edges[i].at == at {
+					depth += edges[i].delta
+					i++
+				}
+			}
+			report(pos, n, 0)
+		}
+		// Steals: legality and per-step single migration.
+		var claimed []Event
+		for _, e := range d.steals {
+			if e.Lo >= e.Hi {
+				r.Violations = append(r.Violations,
+					fmt.Sprintf("step %d: steal of empty chunk [%d,%d) by P%d", s, e.Lo, e.Hi, e.Proc))
+				continue
+			}
+			if e.Victim < 0 || e.Victim == e.Proc {
+				r.Violations = append(r.Violations,
+					fmt.Sprintf("step %d: steal [%d,%d) by P%d has illegal victim %d", s, e.Lo, e.Hi, e.Proc, e.Victim))
+			}
+			claimed = append(claimed, e)
+		}
+		sort.Slice(claimed, func(i, j int) bool { return claimed[i].Lo < claimed[j].Lo })
+		for i := 1; i < len(claimed); i++ {
+			if claimed[i].Lo < claimed[i-1].Hi {
+				r.Violations = append(r.Violations,
+					fmt.Sprintf("step %d: iterations [%d,%d) migrated more than once (steals by P%d and P%d)",
+						s, claimed[i].Lo, minInt(claimed[i-1].Hi, claimed[i].Hi), claimed[i-1].Proc, claimed[i].Proc))
+			}
+		}
+	}
+	return r
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

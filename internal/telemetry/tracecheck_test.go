@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckCleanStream(t *testing.T) {
+	r := Check(sampleEvents())
+	if !r.OK() {
+		t.Fatalf("clean stream flagged: %v", r.Violations)
+	}
+	if r.Err() != nil {
+		t.Error("Err should be nil when OK")
+	}
+	if r.Steps != 1 || r.Events != 6 {
+		t.Errorf("report = %+v", r)
+	}
+}
+
+func TestCheckDetectsGap(t *testing.T) {
+	events := []Event{
+		{Kind: KindPhaseBegin, Step: 0, Hi: 10},
+		{Kind: KindExec, Proc: 0, Step: 0, Lo: 0, Hi: 4},
+		{Kind: KindExec, Proc: 1, Step: 0, Lo: 6, Hi: 10},
+	}
+	r := Check(events)
+	if r.OK() {
+		t.Fatal("gap not detected")
+	}
+	if !strings.Contains(r.Err().Error(), "[4,6) never executed") {
+		t.Errorf("err = %v", r.Err())
+	}
+}
+
+func TestCheckDetectsDoubleExecution(t *testing.T) {
+	events := []Event{
+		{Kind: KindPhaseBegin, Step: 0, Hi: 8},
+		{Kind: KindExec, Proc: 0, Step: 0, Lo: 0, Hi: 6},
+		{Kind: KindExec, Proc: 1, Step: 0, Lo: 4, Hi: 8},
+	}
+	r := Check(events)
+	if r.OK() || !strings.Contains(r.Err().Error(), "executed 2 times") {
+		t.Errorf("overlap not detected: %v", r.Err())
+	}
+}
+
+func TestCheckDetectsDoubleMigration(t *testing.T) {
+	events := []Event{
+		{Kind: KindPhaseBegin, Step: 0, Hi: 8},
+		{Kind: KindExec, Proc: 0, Step: 0, Lo: 0, Hi: 8},
+		{Kind: KindSteal, Proc: 1, Victim: 0, Step: 0, Lo: 2, Hi: 6},
+		{Kind: KindSteal, Proc: 2, Victim: 0, Step: 0, Lo: 4, Hi: 8},
+	}
+	r := Check(events)
+	if r.OK() || !strings.Contains(r.Err().Error(), "migrated more than once") {
+		t.Errorf("double migration not detected: %v", r.Err())
+	}
+}
+
+func TestCheckDetectsIllegalSteals(t *testing.T) {
+	events := []Event{
+		{Kind: KindSteal, Proc: 1, Victim: 1, Step: 0, Lo: 0, Hi: 2}, // self-steal
+		{Kind: KindSteal, Proc: 2, Victim: 0, Step: 0, Lo: 5, Hi: 5}, // empty chunk
+	}
+	r := Check(events)
+	if len(r.Violations) != 2 {
+		t.Fatalf("violations = %v", r.Violations)
+	}
+	if !strings.Contains(r.Violations[0], "illegal victim") {
+		t.Errorf("self-steal: %v", r.Violations)
+	}
+	if !strings.Contains(r.Violations[1], "empty chunk") {
+		t.Errorf("empty steal: %v", r.Violations)
+	}
+}
+
+func TestCheckDetectsBackwardsTimeAndOutOfBounds(t *testing.T) {
+	events := []Event{
+		{Kind: KindPhaseBegin, Step: 0, Hi: 4},
+		{Kind: KindExec, Proc: 0, Step: 0, Lo: 0, Hi: 6, Start: 10, End: 5},
+	}
+	r := Check(events)
+	var backwards, bounds bool
+	for _, v := range r.Violations {
+		if strings.Contains(v, "backwards") {
+			backwards = true
+		}
+		if strings.Contains(v, "outside loop") {
+			bounds = true
+		}
+	}
+	if !backwards || !bounds {
+		t.Errorf("violations = %v", r.Violations)
+	}
+}
+
+// TestCheckWithoutPhaseBegin: with no phase event the loop size is
+// derived from the exec events, so gaps below the max bound are still
+// caught but trailing coverage cannot be asserted.
+func TestCheckWithoutPhaseBegin(t *testing.T) {
+	events := []Event{
+		{Kind: KindExec, Proc: 0, Step: 3, Lo: 0, Hi: 4},
+		{Kind: KindExec, Proc: 1, Step: 3, Lo: 6, Hi: 8},
+	}
+	r := Check(events)
+	if r.OK() || !strings.Contains(r.Err().Error(), "[4,6)") {
+		t.Errorf("gap not caught without phase-begin: %v", r.Err())
+	}
+}
+
+func TestCheckErrTruncates(t *testing.T) {
+	var events []Event
+	events = append(events, Event{Kind: KindPhaseBegin, Step: 0, Hi: 100})
+	for i := 0; i < 20; i++ {
+		events = append(events, Event{Kind: KindSteal, Proc: 1, Victim: 1, Step: 0, Lo: i, Hi: i + 1})
+	}
+	r := Check(events)
+	if r.OK() {
+		t.Fatal("expected violations")
+	}
+	if !strings.Contains(r.Err().Error(), "more)") {
+		t.Errorf("long report not truncated: %v", r.Err())
+	}
+}
+
+func TestCheckMultiStep(t *testing.T) {
+	var events []Event
+	for s := 0; s < 3; s++ {
+		events = append(events,
+			Event{Kind: KindPhaseBegin, Step: s, Hi: 6},
+			Event{Kind: KindExec, Proc: 0, Step: s, Lo: 0, Hi: 3},
+			Event{Kind: KindExec, Proc: 1, Step: s, Lo: 3, Hi: 6},
+			Event{Kind: KindPhaseEnd, Step: s},
+		)
+	}
+	r := Check(events)
+	if !r.OK() || r.Steps != 3 {
+		t.Errorf("multi-step report = %+v", r)
+	}
+}

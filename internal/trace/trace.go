@@ -1,10 +1,16 @@
-// Package trace records what the simulator actually did — which
-// processor executed which chunk when, and who stole from whom — and
-// renders it as a text Gantt chart. Traces make the scheduling
-// behaviour inspectable (e.g. watching AFS's deterministic placement
-// stay put while GSS's assignment churns between phases) and give
-// tests a way to assert fine-grained properties like
-// "an iteration is never reassigned twice".
+// Package trace records what a run actually did — which processor
+// executed which chunk when, and who stole from whom — and renders it
+// as a text Gantt chart. Traces make the scheduling behaviour
+// inspectable (e.g. watching AFS's deterministic placement stay put
+// while GSS's assignment churns between phases) and give tests a way
+// to assert fine-grained properties like "an iteration is never
+// reassigned twice".
+//
+// The package is a consumer of the unified telemetry event stream
+// (internal/telemetry): a *Trace is a telemetry.Sink, so it can be
+// plugged directly into either execution substrate, and FromStream
+// rebuilds a Trace from any recorded stream. Exec and steal events
+// are retained; other event kinds are ignored.
 package trace
 
 import (
@@ -14,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 )
 
 // Kind classifies an event.
@@ -60,6 +67,29 @@ func New(p int) *Trace { return &Trace{Procs: p} }
 // Add appends an event (engines call this; not safe for concurrent
 // use, matching the single-threaded simulator).
 func (t *Trace) Add(e Event) { t.Events = append(t.Events, e) }
+
+// Emit makes *Trace a telemetry.Sink: exec and steal events from the
+// unified stream are recorded, other kinds are ignored.
+func (t *Trace) Emit(e telemetry.Event) {
+	switch e.Kind {
+	case telemetry.KindExec:
+		t.Add(Event{Kind: Exec, Proc: e.Proc, Victim: -1, Step: e.Step,
+			Chunk: sched.Chunk{Lo: e.Lo, Hi: e.Hi}, Start: e.Start, End: e.End})
+	case telemetry.KindSteal:
+		t.Add(Event{Kind: Steal, Proc: e.Proc, Victim: e.Victim, Step: e.Step,
+			Chunk: sched.Chunk{Lo: e.Lo, Hi: e.Hi}, Start: e.Start, End: e.End})
+	}
+}
+
+// FromStream rebuilds a Trace for p processors from a recorded
+// telemetry event stream.
+func FromStream(p int, events []telemetry.Event) *Trace {
+	t := New(p)
+	for _, e := range events {
+		t.Emit(e)
+	}
+	return t
+}
 
 // Steals returns only the steal events.
 func (t *Trace) Steals() []Event {
@@ -151,8 +181,20 @@ func (t *Trace) Gantt(w io.Writer, width int) {
 		}
 		lo := int((from - start) * scale)
 		hi := int((to - start) * scale)
+		// Clamp BOTH ends into [0, width): a zero-duration event at the
+		// span's end maps to column width, and events recorded with
+		// from < Span() start (possible in merged traces) map below 0.
+		if lo < 0 {
+			lo = 0
+		}
+		if lo >= width {
+			lo = width - 1
+		}
 		if hi >= width {
 			hi = width - 1
+		}
+		if hi < lo {
+			hi = lo
 		}
 		for i := lo; i <= hi; i++ {
 			if ch == '*' || rows[p][i] == '.' {

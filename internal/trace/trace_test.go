@@ -99,3 +99,94 @@ func TestSummary(t *testing.T) {
 		t.Errorf("summary wrong:\n%s", out)
 	}
 }
+
+// TestSummaryEmptyTrace: a trace with no events renders a zero-span
+// summary without dividing by zero.
+func TestSummaryEmptyTrace(t *testing.T) {
+	var b strings.Builder
+	New(2).Summary(&b)
+	out := b.String()
+	if !strings.Contains(out, "span 0 cycles") {
+		t.Errorf("empty summary:\n%s", out)
+	}
+	if !strings.Contains(out, "P0") || !strings.Contains(out, "busy   0.0%") {
+		t.Errorf("empty summary rows:\n%s", out)
+	}
+}
+
+// TestSpanSingleEvent: one event defines both ends of the span.
+func TestSpanSingleEvent(t *testing.T) {
+	tr := New(1)
+	tr.Add(Event{Kind: Exec, Proc: 0, Chunk: sched.Chunk{Lo: 0, Hi: 3}, Start: 42, End: 99})
+	s, e := tr.Span()
+	if s != 42 || e != 99 {
+		t.Errorf("span [%v,%v], want [42,99]", s, e)
+	}
+}
+
+// TestExecutedByOverhangingChunk: chunks reaching past n are clipped
+// instead of indexing out of range.
+func TestExecutedByOverhangingChunk(t *testing.T) {
+	tr := New(2)
+	tr.Add(Event{Kind: Exec, Proc: 1, Chunk: sched.Chunk{Lo: 3, Hi: 12}, Start: 0, End: 10})
+	owner := tr.ExecutedBy(0, 5)
+	if len(owner) != 5 {
+		t.Fatalf("len = %d", len(owner))
+	}
+	for i := 0; i < 3; i++ {
+		if owner[i] != -1 {
+			t.Errorf("iteration %d owner %d, want -1", i, owner[i])
+		}
+	}
+	for i := 3; i < 5; i++ {
+		if owner[i] != 1 {
+			t.Errorf("iteration %d owner %d, want 1", i, owner[i])
+		}
+	}
+}
+
+// TestMigrationCountStolenChunk: a stolen chunk executed by the thief
+// counts every iteration that left its static home.
+func TestMigrationCountStolenChunk(t *testing.T) {
+	tr := New(2)
+	// Static homes for n=8, p=2: 0-3 → P0, 4-7 → P1.
+	tr.Add(Event{Kind: Exec, Proc: 0, Chunk: sched.Chunk{Lo: 0, Hi: 4}, Start: 0, End: 40})
+	tr.Add(Event{Kind: Steal, Proc: 0, Victim: 1, Chunk: sched.Chunk{Lo: 6, Hi: 8}, Start: 40, End: 42})
+	tr.Add(Event{Kind: Exec, Proc: 0, Chunk: sched.Chunk{Lo: 6, Hi: 8}, Start: 42, End: 60})
+	tr.Add(Event{Kind: Exec, Proc: 1, Chunk: sched.Chunk{Lo: 4, Hi: 6}, Start: 0, End: 55})
+	if got := tr.MigrationCount(0, 8); got != 2 {
+		t.Errorf("migrations = %d, want 2 (the stolen chunk)", got)
+	}
+}
+
+// TestGanttZeroDurationAtSpanEnd is the regression test for the
+// column-clamp bug: a zero-duration event exactly at the span's end
+// used to index column `width`, one past the row buffer.
+func TestGanttZeroDurationAtSpanEnd(t *testing.T) {
+	tr := New(2)
+	tr.Add(Event{Kind: Exec, Proc: 0, Chunk: sched.Chunk{Lo: 0, Hi: 4}, Start: 0, End: 100})
+	tr.Add(Event{Kind: Steal, Proc: 1, Victim: 0, Chunk: sched.Chunk{Lo: 4, Hi: 5}, Start: 100, End: 100})
+	var b strings.Builder
+	tr.Gantt(&b, 40) // must not panic
+	if !strings.Contains(b.String(), "*") {
+		t.Errorf("zero-duration steal not drawn:\n%s", b.String())
+	}
+}
+
+// TestGanttClampsBothEnds: events starting before the span (possible
+// in hand-merged traces) clamp to column 0 instead of panicking.
+func TestGanttClampsBothEnds(t *testing.T) {
+	tr := New(1)
+	tr.Events = append(tr.Events,
+		Event{Kind: Exec, Proc: 0, Chunk: sched.Chunk{Lo: 0, Hi: 1}, Start: 50, End: 100})
+	// Bypass Span by marking an event that ends before the others
+	// begin; Span still sees it, so instead check a wide width with a
+	// tiny span exercises hi<lo clamping.
+	tr.Events = append(tr.Events,
+		Event{Kind: Steal, Proc: 0, Victim: 0, Chunk: sched.Chunk{Lo: 0, Hi: 1}, Start: 50, End: 50})
+	var b strings.Builder
+	tr.Gantt(&b, 10)
+	if !strings.Contains(b.String(), "P0") {
+		t.Errorf("gantt:\n%s", b.String())
+	}
+}

@@ -23,12 +23,14 @@
 package repro
 
 import (
+	"io"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -132,6 +134,22 @@ func WithGrain(min int) Option {
 	return func(c *config) { c.MinChunk = min }
 }
 
+// WithEvents attaches a telemetry sink receiving the structured event
+// stream (exec / steal / queue-wait / phase-boundary events with
+// nanosecond timestamps). The sink must be safe for concurrent use —
+// NewEventStream returns a suitable one. With no sink the hot path
+// pays a single nil check.
+func WithEvents(s EventSink) Option {
+	return func(c *config) { c.Events = s }
+}
+
+// WithMetrics attaches a metrics registry accumulating counters and
+// histograms (chunk sizes, steal latencies, queue waits) with a
+// time-series snapshot taken at every phase barrier.
+func WithMetrics(r *MetricsRegistry) Option {
+	return func(c *config) { c.Metrics = r }
+}
+
 func buildConfig(opts []Option) (core.Config, error) {
 	cfg := config{Config: core.Config{Spec: sched.SpecAFS()}}
 	for _, o := range opts {
@@ -204,6 +222,47 @@ type Trace = trace.Trace
 
 // NewTrace creates a trace for p processors.
 func NewTrace(p int) *Trace { return trace.New(p) }
+
+// TelemetryEvent is one structured scheduling event (exec, steal,
+// queue wait, cache flush, phase boundary) from either substrate.
+type TelemetryEvent = telemetry.Event
+
+// EventSink consumes telemetry events as they happen.
+type EventSink = telemetry.Sink
+
+// EventStream is a concurrent-safe in-memory event sink, usable with
+// both the real runtime (WithEvents) and the simulator
+// (SimOptions.Events).
+type EventStream = telemetry.SyncStream
+
+// NewEventStream creates an empty concurrent-safe event stream.
+func NewEventStream() *EventStream { return telemetry.NewSyncStream() }
+
+// MetricsRegistry holds named counters, gauges and histograms with
+// per-step time-series snapshots.
+type MetricsRegistry = telemetry.Registry
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// TraceReport is the result of verifying an event stream against the
+// paper's correctness invariants.
+type TraceReport = telemetry.Report
+
+// CheckTrace verifies an event stream: every iteration executes
+// exactly once per phase, an iteration migrates at most once per
+// phase, and steals are legal (non-empty chunk, real victim).
+func CheckTrace(events []TelemetryEvent) *TraceReport { return telemetry.Check(events) }
+
+// WriteChromeTrace renders an event stream in Chrome trace-event
+// format (chrome://tracing / Perfetto). For real-runtime streams use
+// timeScale 1e-3 (ns → µs); for simulator streams use
+// 1e6 / machine.CyclesPerSec, or 1.0 to display raw cycles.
+func WriteChromeTrace(w io.Writer, events []TelemetryEvent, label string, procs int, timeScale float64) error {
+	return telemetry.WriteChromeTrace(w, events, telemetry.ChromeOptions{
+		Label: label, Procs: procs, TimeScale: timeScale,
+	})
+}
 
 // Simulate runs prog on p simulated processors of m under s.
 func Simulate(m *Machine, p int, s Scheduler, prog SimProgram) (SimResult, error) {

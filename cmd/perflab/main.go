@@ -1,0 +1,289 @@
+// Command perflab is the continuous performance lab's CLI: it runs the
+// registered benchmark suite over both execution substrates, persists
+// versioned baselines as BENCH_<n>.json at the repo root, compares
+// baselines statistically, gates on regressions, and serves a live
+// dashboard.
+//
+//	perflab run                        # full suite → BENCH_<n>.json
+//	perflab run -short                 # CI-sized problems
+//	perflab run -cases 'sim/.*afs'     # ID-regexp subset
+//	perflab compare                    # two latest baselines → markdown
+//	perflab compare -report out/       # + report.md and trend SVGs
+//	perflab gate                       # re-run gate cases vs latest
+//	                                   # baseline; exit 1 on regression
+//	perflab serve -addr :8080 -live    # HTML dashboard + streaming run
+//
+// The gate set is simulator-only (deterministic cycle counts), so a
+// committed baseline gates identically on any host. The hidden
+// -inject flag multiplies a case's samples — the hook tests and CI use
+// to prove the gate catches a synthetic slowdown:
+//
+//	perflab gate -inject 'sim/iris/gauss/afs/p8=1.25'   # must exit 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/perflab"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "gate":
+		err = cmdGate(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "perflab: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: perflab <subcommand> [flags]
+
+  run      execute the benchmark suite and write BENCH_<n>.json
+  compare  diff two baselines (markdown report, trend SVGs)
+  gate     re-run gate cases against the latest baseline; exit 1 on
+           a statistically significant regression
+  serve    live HTML dashboard over the baseline history
+
+Run 'perflab <subcommand> -h' for flags.
+`)
+}
+
+// suiteFlags are the case-selection flags shared by run and gate.
+type suiteFlags struct {
+	short     *bool
+	cases     *string
+	substrate *string
+	dir       *string
+	seed      *uint64
+	inject    *string
+}
+
+func addSuiteFlags(fs *flag.FlagSet, defaultSubstrate string) suiteFlags {
+	return suiteFlags{
+		short:     fs.Bool("short", false, "CI-sized problems and repeat counts"),
+		cases:     fs.String("cases", "", "regexp filtering case IDs"),
+		substrate: fs.String("substrate", defaultSubstrate, "sim, real, or both"),
+		dir:       fs.String("dir", ".", "baseline directory (the repo root)"),
+		seed:      fs.Uint64("seed", 1, "run seed (bootstrap + simulator jitter)"),
+		inject:    fs.String("inject", "", "testing hook: 'caseID=factor,...' multiplies samples"),
+	}
+}
+
+func (sf suiteFlags) select_(gateOnly bool) ([]perflab.Case, *perflab.Runner, error) {
+	cases, err := perflab.DefaultRegistry(*sf.short).Filter(*sf.cases, *sf.substrate, gateOnly)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(cases) == 0 {
+		return nil, nil, fmt.Errorf("perflab: no cases match -cases %q -substrate %q", *sf.cases, *sf.substrate)
+	}
+	inject, err := parseInject(*sf.inject)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cases, &perflab.Runner{BaseSeed: *sf.seed, Inject: inject}, nil
+}
+
+func parseInject(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]float64)
+	for _, pair := range strings.Split(s, ",") {
+		id, factor, ok := strings.Cut(pair, "=")
+		f, err := strconv.ParseFloat(factor, 64)
+		if !ok || err != nil || f <= 0 {
+			return nil, fmt.Errorf("perflab: bad -inject entry %q (want caseID=factor)", pair)
+		}
+		out[strings.TrimSpace(id)] = f
+	}
+	return out, nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("perflab run", flag.ExitOnError)
+	sf := addSuiteFlags(fs, "both")
+	fs.Parse(args)
+	cases, runner, err := sf.select_(false)
+	if err != nil {
+		return err
+	}
+	runner.Progress = func(done, total int, res perflab.CaseResult) {
+		fmt.Fprintf(os.Stderr, "[%d/%d] %s  median %.4gs\n", done, total, res.ID, res.Summary.Median)
+	}
+	results, err := runner.Run(cases)
+	if err != nil {
+		return err
+	}
+	b := perflab.NewBaseline(*sf.dir, *sf.short, results)
+	path, err := perflab.WriteNext(*sf.dir, b)
+	if err != nil {
+		return err
+	}
+	perflab.SummaryTable(fmt.Sprintf("perflab run → %s", path), results).Render(os.Stdout)
+	return nil
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("perflab compare", flag.ExitOnError)
+	dir := fs.String("dir", ".", "baseline directory")
+	oldPath := fs.String("old", "", "old baseline file (default: second-latest BENCH_<n>.json)")
+	newPath := fs.String("new", "", "new baseline file (default: latest BENCH_<n>.json)")
+	threshold := fs.Float64("threshold", perflab.DefaultThreshold, "relative median movement considered significant")
+	report := fs.String("report", "", "directory receiving report.md and trend SVGs (default: stdout only)")
+	fs.Parse(args)
+
+	old, new_, err := pickPair(*dir, *oldPath, *newPath)
+	if err != nil {
+		return err
+	}
+	cmp := perflab.Compare(old, new_, *threshold)
+	perflab.WriteReport(os.Stdout, cmp, old, new_)
+	if *report != "" {
+		if err := os.MkdirAll(*report, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(*report, "report.md"))
+		if err != nil {
+			return err
+		}
+		perflab.WriteReport(f, cmp, old, new_)
+		if err := f.Close(); err != nil {
+			return err
+		}
+		baselines, err := perflab.LoadAll(*dir)
+		if err != nil {
+			return err
+		}
+		paths, err := perflab.WriteTrendSVGs(*report, baselines)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote report.md and %d trend SVGs to %s\n", len(paths), *report)
+	}
+	return nil
+}
+
+func pickPair(dir, oldPath, newPath string) (old, new_ *perflab.Baseline, err error) {
+	files, err := perflab.BaselineFiles(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if newPath == "" {
+		if len(files) < 1 {
+			return nil, nil, fmt.Errorf("perflab: no BENCH_<n>.json in %s", dir)
+		}
+		newPath = files[len(files)-1]
+	}
+	if oldPath == "" {
+		if len(files) < 2 {
+			return nil, nil, fmt.Errorf("perflab: need two baselines in %s to compare (have %d)", dir, len(files))
+		}
+		oldPath = files[len(files)-2]
+	}
+	if old, err = perflab.Load(oldPath); err != nil {
+		return nil, nil, err
+	}
+	if new_, err = perflab.Load(newPath); err != nil {
+		return nil, nil, err
+	}
+	return old, new_, nil
+}
+
+func cmdGate(args []string) error {
+	fs := flag.NewFlagSet("perflab gate", flag.ExitOnError)
+	sf := addSuiteFlags(fs, "sim")
+	threshold := fs.Float64("threshold", perflab.DefaultThreshold, "relative median movement considered significant")
+	fs.Parse(args)
+
+	baseline, err := perflab.Latest(*sf.dir)
+	if err != nil {
+		return err
+	}
+	if baseline == nil {
+		fmt.Fprintf(os.Stderr, "perflab gate: no baseline in %s — nothing to gate against (run 'perflab run' first)\n", *sf.dir)
+		return nil
+	}
+	cases, runner, err := sf.select_(true)
+	if err != nil {
+		return err
+	}
+	runner.Progress = func(done, total int, res perflab.CaseResult) {
+		fmt.Fprintf(os.Stderr, "[%d/%d] %s  median %.4gs\n", done, total, res.ID, res.Summary.Median)
+	}
+	results, err := runner.Run(cases)
+	if err != nil {
+		return err
+	}
+	current := perflab.NewBaseline(*sf.dir, *sf.short, results)
+	current.Seq = baseline.Seq + 1 // unwritten; numbered for the report only
+	// Restrict the old baseline to the gated set so un-run cases (the
+	// real substrate, filtered-out IDs) don't report as "removed".
+	gated := *baseline
+	gated.Cases = nil
+	for _, c := range cases {
+		if old := baseline.Lookup(c.ID); old != nil {
+			gated.Cases = append(gated.Cases, *old)
+		}
+	}
+	cmp := perflab.Compare(&gated, current, *threshold)
+	perflab.WriteReport(os.Stdout, cmp, &gated, current)
+	return cmp.GateErr()
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("perflab serve", flag.ExitOnError)
+	sf := addSuiteFlags(fs, "both")
+	addr := fs.String("addr", ":8080", "listen address")
+	live := fs.Bool("live", false, "execute the suite in the background, streaming results to the dashboard")
+	fs.Parse(args)
+
+	state := &perflab.LiveState{}
+	if *live {
+		cases, runner, err := sf.select_(false)
+		if err != nil {
+			return err
+		}
+		runner.Progress = state.Record
+		go func() {
+			state.Begin(len(cases))
+			results, err := runner.Run(cases)
+			if err == nil {
+				b := perflab.NewBaseline(*sf.dir, *sf.short, results)
+				if _, werr := perflab.WriteNext(*sf.dir, b); werr != nil {
+					err = werr
+				}
+			}
+			state.Finish(err)
+		}()
+	}
+	fmt.Fprintf(os.Stderr, "perflab: dashboard on http://localhost%s (live run: %v)\n", *addr, *live)
+	return http.ListenAndServe(*addr, perflab.NewServer(*sf.dir, state))
+}

@@ -55,14 +55,20 @@ func main() {
 	if flag.NArg() > 0 {
 		fatal(fmt.Errorf("unexpected arguments: %v", flag.Args()))
 	}
+	if err := validateArgs(*n, *phases, *repeats); err != nil {
+		fatal(err)
+	}
 
+	// Parse errors name the offending flag: an unknown algorithm or a
+	// bad worker count must exit non-zero with a pointer to the flag,
+	// never fall through to an empty sweep.
 	counts, err := cli.ParseProcs(*workers)
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("-workers: %w", err))
 	}
 	specs, err := cli.ParseAlgos(*algosFlag)
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("-algos: %w", err))
 	}
 	run, desc, err := realKernel(*kernelName, *n, *phases)
 	if err != nil {
@@ -297,6 +303,22 @@ func realKernel(name string, n, phases int) (runFunc, string, error) {
 		}, fmt.Sprintf("step workload N=%d", n), nil
 	}
 	return nil, "", fmt.Errorf("unknown kernel %q for the real runtime", name)
+}
+
+// validateArgs rejects degenerate sweep parameters up front — with
+// -repeats 0 the median of zero samples would panic, and a
+// non-positive problem size yields a meaningless zero-row sweep.
+func validateArgs(n, phases, repeats int) error {
+	if repeats < 1 {
+		return fmt.Errorf("-repeats must be >= 1 (got %d)", repeats)
+	}
+	if n < 1 {
+		return fmt.Errorf("-n must be >= 1 (got %d)", n)
+	}
+	if phases < 1 {
+		return fmt.Errorf("-phases must be >= 1 (got %d)", phases)
+	}
+	return nil
 }
 
 func accumulate(total *repro.RunStats, st repro.RunStats) {

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cli"
+)
+
+func TestValidateArgs(t *testing.T) {
+	if err := validateArgs(384, 16, 3); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+	cases := []struct {
+		n, phases, repeats int
+		wantFlag           string
+	}{
+		{384, 16, 0, "-repeats"},
+		{384, 16, -2, "-repeats"},
+		{0, 16, 3, "-n"},
+		{384, 0, 3, "-phases"},
+	}
+	for _, c := range cases {
+		err := validateArgs(c.n, c.phases, c.repeats)
+		if err == nil {
+			t.Errorf("validateArgs(%d, %d, %d): no error", c.n, c.phases, c.repeats)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantFlag) {
+			t.Errorf("validateArgs(%d, %d, %d) = %q, should name %s",
+				c.n, c.phases, c.repeats, err, c.wantFlag)
+		}
+	}
+}
+
+// The sweep flags must reject unknown names with a pointer to what is
+// known, not produce an empty table.
+func TestSweepFlagRejection(t *testing.T) {
+	if _, err := cli.ParseAlgos("afs,warp-drive"); err == nil {
+		t.Error("unknown algorithm accepted")
+	} else if !strings.Contains(err.Error(), "warp-drive") || !strings.Contains(err.Error(), "AFS") {
+		t.Errorf("algo error unhelpful: %v", err)
+	}
+	for _, bad := range []string{"", "1,2,zero", "0", "-1", "1,,4"} {
+		if _, err := cli.ParseProcs(bad); err == nil {
+			t.Errorf("ParseProcs(%q): no error", bad)
+		}
+	}
+	if counts, err := cli.ParseProcs("1, 2,4"); err != nil || len(counts) != 3 {
+		t.Errorf("valid worker list rejected: %v %v", counts, err)
+	}
+}
+
+func TestRealKernelUnknown(t *testing.T) {
+	if _, _, err := realKernel("nope", 8, 2); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}

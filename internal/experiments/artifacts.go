@@ -19,8 +19,9 @@ func WriteArtifacts(dir string, results []*Result) error {
 	var index strings.Builder
 	index.WriteString("# Regenerated experiment artifacts\n\n")
 	index.WriteString("| experiment | title | checks | files |\n|---|---|---|---|\n")
+	used := make(map[string]int)
 	for _, r := range results {
-		base := safeName(r.ID)
+		base := uniqueName(safeName(r.ID), used)
 		var files []string
 
 		var txt strings.Builder
@@ -81,6 +82,27 @@ func WriteArtifacts(dir string, results []*Result) error {
 			r.ID, r.Title, status, strings.Join(files, ", "))
 	}
 	return os.WriteFile(filepath.Join(dir, "index.md"), []byte(index.String()), 0o644)
+}
+
+// uniqueName disambiguates sanitised names that collide — two
+// experiment IDs differing only in unsafe characters (e.g. "sec5.3"
+// and "sec5 3") both map to "sec5_3" and would silently overwrite each
+// other's files. The first keeps the plain name; later ones get a
+// "-2", "-3", … suffix (itself checked for collisions against real
+// names).
+func uniqueName(base string, used map[string]int) string {
+	if _, taken := used[base]; !taken {
+		used[base] = 1
+		return base
+	}
+	for n := used[base] + 1; ; n++ {
+		candidate := fmt.Sprintf("%s-%d", base, n)
+		if _, taken := used[candidate]; !taken {
+			used[base] = n
+			used[candidate] = 1
+			return candidate
+		}
+	}
 }
 
 // safeName makes an experiment id filesystem-friendly.

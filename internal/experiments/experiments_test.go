@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/stats"
 )
 
 func TestRegistryComplete(t *testing.T) {
@@ -215,6 +217,67 @@ func TestWriteArtifacts(t *testing.T) {
 	idx, _ := os.ReadFile(filepath.Join(dir, "index.md"))
 	if !strings.Contains(string(idx), "table3") {
 		t.Error("index missing experiment row")
+	}
+}
+
+// TestWriteArtifactsCollidingIDs: two experiment IDs differing only in
+// unsafe characters sanitise to the same base name; their artifacts
+// must not overwrite each other.
+func TestWriteArtifactsCollidingIDs(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(id, note string) *Result {
+		tab := stats.NewTable(id, "col")
+		tab.AddRow(note)
+		return &Result{ID: id, Title: "collision probe " + note, Tables: []*stats.Table{tab}}
+	}
+	// "sec5.3" and "sec5 3" both sanitise to "sec5_3".
+	a, b := mk("sec5.3", "first"), mk("sec5 3", "second")
+	if safeName(a.ID) != safeName(b.ID) {
+		t.Fatalf("test premise broken: %q vs %q", safeName(a.ID), safeName(b.ID))
+	}
+	if err := WriteArtifacts(dir, []*Result{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(filepath.Join(dir, "sec5_3.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(filepath.Join(dir, "sec5_3-2.txt"))
+	if err != nil {
+		t.Fatalf("colliding experiment did not get a unique name: %v", err)
+	}
+	if !strings.Contains(string(first), "first") || !strings.Contains(string(second), "second") {
+		t.Errorf("artifact contents crossed: %q / %q", first, second)
+	}
+	if _, err := os.ReadFile(filepath.Join(dir, "sec5_3-2-1.csv")); err != nil {
+		t.Errorf("second experiment's CSV missing: %v", err)
+	}
+	idx, _ := os.ReadFile(filepath.Join(dir, "index.md"))
+	if !strings.Contains(string(idx), "sec5.3") || !strings.Contains(string(idx), "sec5 3") {
+		t.Error("index lost one of the colliding experiments")
+	}
+}
+
+func TestUniqueName(t *testing.T) {
+	used := make(map[string]int)
+	if got := uniqueName("x", used); got != "x" {
+		t.Errorf("first = %q", got)
+	}
+	if got := uniqueName("x", used); got != "x-2" {
+		t.Errorf("second = %q", got)
+	}
+	if got := uniqueName("x", used); got != "x-3" {
+		t.Errorf("third = %q", got)
+	}
+	// A real name already shaped like a suffix must not be clobbered.
+	if got := uniqueName("y-2", used); got != "y-2" {
+		t.Errorf("y-2 = %q", got)
+	}
+	if got := uniqueName("y", used); got != "y" {
+		t.Errorf("y = %q", got)
+	}
+	if got := uniqueName("y", used); got != "y-3" {
+		t.Errorf("y collision = %q (y-2 is taken by a real name)", got)
 	}
 }
 

@@ -1,0 +1,146 @@
+package perflab
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Verdict classifies one case's old→new movement.
+type Verdict string
+
+const (
+	// VerdictRegression: median slowed beyond the threshold AND the
+	// bootstrap CIs are disjoint.
+	VerdictRegression Verdict = "regression"
+	// VerdictImprovement: median sped up beyond the threshold AND the
+	// CIs are disjoint.
+	VerdictImprovement Verdict = "improvement"
+	// VerdictUnchanged: movement within threshold or within noise
+	// (overlapping CIs).
+	VerdictUnchanged Verdict = "unchanged"
+	// VerdictNew: case absent from the old baseline.
+	VerdictNew Verdict = "new"
+	// VerdictRemoved: case absent from the new baseline.
+	VerdictRemoved Verdict = "removed"
+)
+
+// DefaultThreshold is the minimum relative median movement (10%)
+// considered meaningful even when the CIs are disjoint — deterministic
+// simulator cases have zero-width CIs, so without a floor every
+// one-cycle wobble would gate.
+const DefaultThreshold = 0.10
+
+// A Delta is one case's comparison between two baselines.
+type Delta struct {
+	ID      string         `json:"id"`
+	Gate    bool           `json:"gate"`
+	Old     *stats.Summary `json:"old,omitempty"`
+	New     *stats.Summary `json:"new,omitempty"`
+	Ratio   float64        `json:"ratio"` // new median / old median
+	Verdict Verdict        `json:"verdict"`
+}
+
+// A Comparison is the full old→new diff of two baselines.
+type Comparison struct {
+	OldSeq    int     `json:"old_seq"`
+	NewSeq    int     `json:"new_seq"`
+	OldSHA    string  `json:"old_sha"`
+	NewSHA    string  `json:"new_sha"`
+	Threshold float64 `json:"threshold"`
+	Deltas    []Delta `json:"deltas"`
+}
+
+// Compare diffs two baselines case by case. threshold <= 0 selects
+// DefaultThreshold. A case is significant only when BOTH tests agree:
+// its median ratio moves beyond the threshold, and its bootstrap 95%
+// CIs do not overlap (the noise test — wide intervals from jittery
+// hosts suppress the verdict).
+func Compare(old, new_ *Baseline, threshold float64) *Comparison {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	cmp := &Comparison{
+		OldSeq: old.Seq, NewSeq: new_.Seq,
+		OldSHA: old.GitSHA, NewSHA: new_.GitSHA,
+		Threshold: threshold,
+	}
+	seen := make(map[string]bool)
+	for i := range new_.Cases {
+		nc := &new_.Cases[i]
+		seen[nc.ID] = true
+		oc := old.Lookup(nc.ID)
+		if oc == nil {
+			cmp.Deltas = append(cmp.Deltas, Delta{ID: nc.ID, Gate: nc.Gate,
+				New: &nc.Summary, Verdict: VerdictNew})
+			continue
+		}
+		d := Delta{ID: nc.ID, Gate: nc.Gate, Old: &oc.Summary, New: &nc.Summary}
+		if oc.Summary.Median > 0 {
+			d.Ratio = nc.Summary.Median / oc.Summary.Median
+		}
+		d.Verdict = classify(oc.Summary, nc.Summary, d.Ratio, threshold)
+		cmp.Deltas = append(cmp.Deltas, d)
+	}
+	for i := range old.Cases {
+		oc := &old.Cases[i]
+		if !seen[oc.ID] {
+			cmp.Deltas = append(cmp.Deltas, Delta{ID: oc.ID, Gate: oc.Gate,
+				Old: &oc.Summary, Verdict: VerdictRemoved})
+		}
+	}
+	return cmp
+}
+
+// classify applies the two-test significance rule.
+func classify(old, new_ stats.Summary, ratio, threshold float64) Verdict {
+	if ratio == 0 {
+		return VerdictUnchanged
+	}
+	overlap := old.CIHi >= new_.CILo && new_.CIHi >= old.CILo
+	switch {
+	case ratio >= 1+threshold && !overlap:
+		return VerdictRegression
+	case ratio <= 1-threshold && !overlap:
+		return VerdictImprovement
+	}
+	return VerdictUnchanged
+}
+
+// Regressions returns the gate-relevant regressions: deltas whose case
+// is gate-eligible and whose verdict is VerdictRegression.
+func (c *Comparison) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Gate && d.Verdict == VerdictRegression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Improvements returns the significant speedups.
+func (c *Comparison) Improvements() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Verdict == VerdictImprovement {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// GateErr returns nil when no gate-eligible case regressed, or an
+// error naming every regression (the non-zero exit of `perflab gate`).
+func (c *Comparison) GateErr() error {
+	regs := c.Regressions()
+	if len(regs) == 0 {
+		return nil
+	}
+	msg := fmt.Sprintf("perflab: %d significant regression(s) vs baseline %d:", len(regs), c.OldSeq)
+	for _, d := range regs {
+		msg += fmt.Sprintf("\n  %-40s %.4gs -> %.4gs  (%.1f%% slower)",
+			d.ID, d.Old.Median, d.New.Median, (d.Ratio-1)*100)
+	}
+	return fmt.Errorf("%s", msg)
+}

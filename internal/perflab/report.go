@@ -1,0 +1,206 @@
+package perflab
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// WriteReport renders a comparison as a markdown document: a verdict
+// summary, the per-case table, and the counter movements behind any
+// significant case (steals, queue waits, cache misses — the telemetry
+// that explains *why* a case moved).
+func WriteReport(w io.Writer, cmp *Comparison, old, new_ *Baseline) {
+	fmt.Fprintf(w, "# Performance report: baseline %d → %d\n\n", cmp.OldSeq, cmp.NewSeq)
+	fmt.Fprintf(w, "- old: `%s` (%s)\n", short(cmp.OldSHA), old.Timestamp.Format("2006-01-02 15:04"))
+	fmt.Fprintf(w, "- new: `%s` (%s)\n", short(cmp.NewSHA), new_.Timestamp.Format("2006-01-02 15:04"))
+	fmt.Fprintf(w, "- significance: median moved >%.0f%% with disjoint bootstrap 95%% CIs\n\n",
+		cmp.Threshold*100)
+
+	regs, imps := cmp.Regressions(), cmp.Improvements()
+	switch {
+	case len(regs) > 0:
+		fmt.Fprintf(w, "**GATE: FAIL — %d regression(s).**\n\n", len(regs))
+	case len(imps) > 0:
+		fmt.Fprintf(w, "**GATE: PASS — no regressions, %d improvement(s).**\n\n", len(imps))
+	default:
+		fmt.Fprintf(w, "**GATE: PASS — no significant movement.**\n\n")
+	}
+
+	fmt.Fprintln(w, "| case | gate | old median | new median | Δ | old CI95 | new CI95 | verdict |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|")
+	for _, d := range cmp.Deltas {
+		gate := ""
+		if d.Gate {
+			gate = "✓"
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %s | %s | %s |\n",
+			d.ID, gate, medianCell(d.Old), medianCell(d.New), deltaCell(d),
+			ciCell(d.Old), ciCell(d.New), verdictCell(d.Verdict))
+	}
+	fmt.Fprintln(w)
+
+	for _, d := range cmp.Deltas {
+		if d.Verdict != VerdictRegression && d.Verdict != VerdictImprovement {
+			continue
+		}
+		oc, nc := old.Lookup(d.ID), new_.Lookup(d.ID)
+		if oc == nil || nc == nil || len(nc.Counters) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "## Counters: %s (%s)\n\n", d.ID, d.Verdict)
+		fmt.Fprintln(w, "| counter | old | new |")
+		fmt.Fprintln(w, "|---|---|---|")
+		for _, name := range sortedKeys(nc.Counters) {
+			fmt.Fprintf(w, "| %s | %s | %s |\n", name,
+				stats.FormatCount(oc.Counters[name]), stats.FormatCount(nc.Counters[name]))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func short(sha string) string {
+	if len(sha) > 10 {
+		return sha[:10]
+	}
+	return sha
+}
+
+func medianCell(s *stats.Summary) string {
+	if s == nil {
+		return "—"
+	}
+	return stats.FormatSeconds(s.Median) + "s"
+}
+
+func ciCell(s *stats.Summary) string {
+	if s == nil {
+		return "—"
+	}
+	return fmt.Sprintf("[%s, %s]", stats.FormatSeconds(s.CILo), stats.FormatSeconds(s.CIHi))
+}
+
+func deltaCell(d Delta) string {
+	if d.Ratio == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%+.1f%%", (d.Ratio-1)*100)
+}
+
+func verdictCell(v Verdict) string {
+	switch v {
+	case VerdictRegression:
+		return "**REGRESSION**"
+	case VerdictImprovement:
+		return "improvement"
+	}
+	return string(v)
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// TrendFigure plots one case's median (with CI bounds) across the
+// baseline sequence — x is the BENCH_<n> number, so gaps in history
+// show as gaps in x.
+func TrendFigure(id string, baselines []*Baseline) *stats.Figure {
+	var x []int
+	var med, lo, hi []float64
+	for _, b := range baselines {
+		c := b.Lookup(id)
+		if c == nil {
+			continue
+		}
+		x = append(x, b.Seq)
+		med = append(med, c.Summary.Median)
+		lo = append(lo, c.Summary.CILo)
+		hi = append(hi, c.Summary.CIHi)
+	}
+	f := stats.NewFigure("trend: "+id, x)
+	f.XLabel = "baseline"
+	f.YLabel = "time (s)"
+	f.Add("median", med)
+	f.Add("ci95 lo", lo)
+	f.Add("ci95 hi", hi)
+	return f
+}
+
+// caseIDs returns the union of case IDs across baselines in first-seen
+// order.
+func caseIDs(baselines []*Baseline) []string {
+	var ids []string
+	seen := make(map[string]bool)
+	for _, b := range baselines {
+		for _, c := range b.Cases {
+			if !seen[c.ID] {
+				seen[c.ID] = true
+				ids = append(ids, c.ID)
+			}
+		}
+	}
+	return ids
+}
+
+// fileSafe flattens a case ID for use in a filename.
+func fileSafe(id string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '-'
+		}
+	}, id)
+}
+
+// WriteTrendSVGs renders one trend chart per case into dir
+// (trend-<case>.svg) and returns the written paths.
+func WriteTrendSVGs(dir string, baselines []*Baseline) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, id := range caseIDs(baselines) {
+		var b strings.Builder
+		TrendFigure(id, baselines).SVG(&b)
+		path := filepath.Join(dir, "trend-"+fileSafe(id)+".svg")
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			return nil, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// SummaryTable renders run results as a stats.Table for terminal
+// output.
+func SummaryTable(title string, results []CaseResult) *stats.Table {
+	t := stats.NewTable(title, "case", "n", "median", "mad", "ci95", "steals", "sync ops")
+	for _, r := range results {
+		syncOps := r.Counters["central_ops"] + r.Counters["local_ops"] + r.Counters["remote_ops"]
+		t.AddRow(r.ID,
+			fmt.Sprintf("%d", r.Summary.N),
+			stats.FormatSeconds(r.Summary.Median)+"s",
+			stats.FormatSeconds(r.Summary.MAD),
+			fmt.Sprintf("[%s, %s]", stats.FormatSeconds(r.Summary.CILo), stats.FormatSeconds(r.Summary.CIHi)),
+			stats.FormatCount(r.Counters["steals"]),
+			stats.FormatCount(syncOps))
+	}
+	return t
+}

@@ -1,0 +1,201 @@
+package perflab
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// CaseResult is one case's measured distribution: raw samples (seconds
+// — simulated seconds for the sim substrate, wall seconds for real),
+// their robust summary, and the telemetry counters of the final
+// measured repeat.
+type CaseResult struct {
+	Case
+	Samples  []float64          `json:"samples_sec"`
+	Summary  stats.Summary      `json:"summary"`
+	Counters map[string]float64 `json:"counters,omitempty"`
+}
+
+// Runner executes benchmark cases.
+type Runner struct {
+	// BaseSeed drives the bootstrap resampler and the simulator's
+	// start-jitter, so a whole run is reproducible. 0 means 1.
+	BaseSeed uint64
+	// Inject multiplies the recorded samples of matching case IDs —
+	// the synthetic-slowdown hook the gate's own tests (and CI smoke)
+	// use to prove a regression would be caught.
+	Inject map[string]float64
+	// Progress, when non-nil, is called after each case completes.
+	Progress func(done, total int, res CaseResult)
+}
+
+// seedFor derives a stable per-case seed from the run seed and case ID.
+func (r *Runner) seedFor(id string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	base := r.BaseSeed
+	if base == 0 {
+		base = 1
+	}
+	return h.Sum64() ^ base
+}
+
+// Run executes every case in order and returns their results.
+func (r *Runner) Run(cases []Case) ([]CaseResult, error) {
+	out := make([]CaseResult, 0, len(cases))
+	for i, c := range cases {
+		res, err := r.runCase(c)
+		if err != nil {
+			return nil, fmt.Errorf("perflab: case %s: %w", c.ID, err)
+		}
+		out = append(out, res)
+		if r.Progress != nil {
+			r.Progress(i+1, len(cases), res)
+		}
+	}
+	return out, nil
+}
+
+// runCase measures one case: warmup repeats discarded, measured repeats
+// recorded, telemetry counters captured from the last measured repeat.
+func (r *Runner) runCase(c Case) (CaseResult, error) {
+	if c.Repeats < 1 {
+		return CaseResult{}, fmt.Errorf("repeats must be >= 1 (got %d)", c.Repeats)
+	}
+	var once func(rep int, reg *telemetry.Registry) (float64, error)
+	switch c.Substrate {
+	case SubstrateSim:
+		m, err := machine.ByName(c.Machine)
+		if err != nil {
+			return CaseResult{}, err
+		}
+		build, _, err := cli.BuildKernel(c.Kernel, c.N, c.Phases, int64(r.seedFor(c.ID)), m)
+		if err != nil {
+			return CaseResult{}, err
+		}
+		spec, err := sched.ByName(c.Algo)
+		if err != nil {
+			return CaseResult{}, err
+		}
+		once = func(rep int, reg *telemetry.Registry) (float64, error) {
+			met, err := sim.RunOpts(m, c.Procs, spec, build(), sim.Options{
+				Seed:    r.seedFor(c.ID) + uint64(rep),
+				Metrics: reg,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return met.Seconds, nil
+		}
+	case SubstrateReal:
+		run, err := realKernel(c)
+		if err != nil {
+			return CaseResult{}, err
+		}
+		once = func(rep int, reg *telemetry.Registry) (float64, error) {
+			st, err := run(reg)
+			if err != nil {
+				return 0, err
+			}
+			return st.Elapsed.Seconds(), nil
+		}
+	default:
+		return CaseResult{}, fmt.Errorf("unknown substrate %q", c.Substrate)
+	}
+
+	for w := 0; w < c.Warmup; w++ {
+		if _, err := once(-1-w, nil); err != nil {
+			return CaseResult{}, err
+		}
+	}
+	samples := make([]float64, 0, c.Repeats)
+	var counters map[string]float64
+	for rep := 0; rep < c.Repeats; rep++ {
+		var reg *telemetry.Registry
+		if rep == c.Repeats-1 {
+			reg = telemetry.NewRegistry()
+		}
+		s, err := once(rep, reg)
+		if err != nil {
+			return CaseResult{}, err
+		}
+		samples = append(samples, s)
+		if reg != nil {
+			counters = currentValues(reg)
+		}
+	}
+	if f, ok := r.Inject[c.ID]; ok && f > 0 {
+		for i := range samples {
+			samples[i] *= f
+		}
+	}
+	return CaseResult{
+		Case:     c,
+		Samples:  samples,
+		Summary:  stats.Summarize(samples, r.seedFor(c.ID)),
+		Counters: counters,
+	}, nil
+}
+
+// currentValues snapshots the registry's live metric values (counters,
+// gauges, histogram count/sum pairs) into a plain map.
+func currentValues(reg *telemetry.Registry) map[string]float64 {
+	reg.Snapshot(-1)
+	series := reg.Series()
+	if len(series) == 0 {
+		return nil
+	}
+	return series[len(series)-1].Values
+}
+
+// realKernel builds a closure running one full execution of the case's
+// kernel on the real goroutine runtime, mirroring cmd/realbench's
+// kernel set (the subset that is fast enough for a standing suite).
+func realKernel(c Case) (func(reg *telemetry.Registry) (core.Stats, error), error) {
+	opts := func(reg *telemetry.Registry) core.Config {
+		spec, _ := sched.ByName(c.Algo)
+		return core.Config{Procs: c.Procs, Spec: spec, Metrics: reg}
+	}
+	if _, err := sched.ByName(c.Algo); err != nil {
+		return nil, err
+	}
+	switch c.Kernel {
+	case "gauss":
+		return func(reg *telemetry.Registry) (core.Stats, error) {
+			g := kernels.NewGaussMatrix(c.N)
+			return core.Run(opts(reg), c.N-1, g.PhaseIterations,
+				func(ph, i int) { g.EliminateRow(ph, i) })
+		}, nil
+	case "sor":
+		return func(reg *telemetry.Registry) (core.Stats, error) {
+			g := kernels.NewSORGrid(c.N)
+			var total core.Stats
+			for ph := 0; ph < c.Phases; ph++ {
+				st, err := core.ParallelFor(opts(reg), c.N, g.UpdateRow)
+				if err != nil {
+					return total, err
+				}
+				total.Elapsed += st.Elapsed
+				total.Iterations += st.Iterations
+				total.Steals += st.Steals
+				g.Swap()
+			}
+			return total, nil
+		}, nil
+	case "adjoint":
+		return func(reg *telemetry.Registry) (core.Stats, error) {
+			d := kernels.NewAdjointData(c.N, false)
+			return core.ParallelFor(opts(reg), d.Iterations(), d.Body)
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown real-substrate kernel %q (gauss, sor, adjoint)", c.Kernel)
+}

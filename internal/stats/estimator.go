@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// This file hosts the robust estimators behind the performance lab
+// (internal/perflab): median, median absolute deviation, and bootstrap
+// confidence intervals over repeated-measurement samples. Benchmark
+// distributions are small (3–20 repeats) and skewed by scheduler noise,
+// so the lab compares medians with MAD spread and resampled CIs rather
+// than means with standard errors.
+
+// Summary is the robust statistical description of one sample set.
+// CILo/CIHi bound the median at the confidence level passed to
+// Summarize; for deterministic samples (the simulator substrate) the
+// interval collapses to the median itself.
+type Summary struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Median float64 `json:"median"`
+	MAD    float64 `json:"mad"`
+	CILo   float64 `json:"ci_lo"`
+	CIHi   float64 `json:"ci_hi"`
+}
+
+// Median returns the middle of xs (mean of the two middles for even n),
+// or 0 for an empty slice. xs is not modified.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// MAD returns the median absolute deviation from the median — the
+// robust spread estimator paired with Median. 0 for empty or constant
+// samples.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	med := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - med)
+	}
+	return Median(dev)
+}
+
+// splitmix64 is a tiny deterministic PRNG (Steele et al.'s SplitMix64)
+// so bootstrap CIs are bit-identical across Go versions and platforms —
+// math/rand's stream is not guaranteed stable across releases, and the
+// perf gate needs "same samples, same seed → same interval".
+type splitmix64 struct{ s uint64 }
+
+func (r *splitmix64) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+func (r *splitmix64) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// BootstrapCI estimates a confidence interval for the median of xs by
+// percentile bootstrap: resamples sets of len(xs) draws with
+// replacement, takes each set's median, and returns the (1-conf)/2 and
+// (1+conf)/2 quantiles of those medians. Deterministic for a fixed
+// seed. Degenerate inputs collapse sensibly: empty xs → (0, 0);
+// constant or single-sample xs → (median, median).
+func BootstrapCI(xs []float64, conf float64, resamples int, seed uint64) (lo, hi float64) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 0
+	}
+	if conf <= 0 || conf >= 1 {
+		conf = 0.95
+	}
+	if resamples < 1 {
+		resamples = 1000
+	}
+	rng := splitmix64{s: seed}
+	meds := make([]float64, resamples)
+	buf := make([]float64, n)
+	for i := range meds {
+		for j := range buf {
+			buf[j] = xs[rng.intn(n)]
+		}
+		meds[i] = Median(buf)
+	}
+	sort.Float64s(meds)
+	alpha := (1 - conf) / 2
+	at := func(q float64) float64 {
+		i := int(q * float64(resamples-1))
+		return meds[i]
+	}
+	return at(alpha), at(1 - alpha)
+}
+
+// Summarize computes the full robust Summary of xs with a 95% bootstrap
+// CI (1000 resamples) driven by seed.
+func Summarize(xs []float64, seed uint64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		s.Mean += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean /= float64(s.N)
+	s.Median = Median(xs)
+	s.MAD = MAD(xs)
+	s.CILo, s.CIHi = BootstrapCI(xs, 0.95, 1000, seed)
+	return s
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{2, 2, 2, 2}, 2},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Median mutated its input: %v", in)
+	}
+}
+
+func TestMAD(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{7}, 0},              // n=1: no deviation
+		{[]float64{5, 5, 5}, 0},        // constant samples
+		{[]float64{1, 2, 3, 4, 5}, 1},  // symmetric
+		{[]float64{1, 1, 1, 1, 100}, 0}, // outlier swallowed: robust spread stays 0
+	}
+	for _, c := range cases {
+		if got := MAD(c.in); got != c.want {
+			t.Errorf("MAD(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMADRobustToOutlier(t *testing.T) {
+	clean := []float64{10, 11, 12, 13, 14}
+	dirty := []float64{10, 11, 12, 13, 1e6}
+	if MAD(dirty) > 2*MAD(clean) {
+		t.Errorf("MAD not robust: clean %v dirty %v", MAD(clean), MAD(dirty))
+	}
+	// The mean-based spread would explode; the median must not.
+	if m := Median(dirty); m != 12 {
+		t.Errorf("Median(dirty) = %v, want 12", m)
+	}
+}
+
+func TestBootstrapCIEdgeCases(t *testing.T) {
+	if lo, hi := BootstrapCI(nil, 0.95, 100, 1); lo != 0 || hi != 0 {
+		t.Errorf("empty: got [%v, %v], want [0, 0]", lo, hi)
+	}
+	// n=1: every resample is the single value.
+	if lo, hi := BootstrapCI([]float64{3.5}, 0.95, 100, 1); lo != 3.5 || hi != 3.5 {
+		t.Errorf("n=1: got [%v, %v], want [3.5, 3.5]", lo, hi)
+	}
+	// Constant samples: the interval collapses.
+	if lo, hi := BootstrapCI([]float64{2, 2, 2, 2}, 0.95, 100, 1); lo != 2 || hi != 2 {
+		t.Errorf("constant: got [%v, %v], want [2, 2]", lo, hi)
+	}
+}
+
+func TestBootstrapCIBracketsMedian(t *testing.T) {
+	xs := []float64{9.8, 10.1, 10.0, 10.3, 9.9, 10.2, 10.0, 9.7, 10.4, 10.1}
+	lo, hi := BootstrapCI(xs, 0.95, 2000, 42)
+	med := Median(xs)
+	if !(lo <= med && med <= hi) {
+		t.Errorf("CI [%v, %v] does not bracket median %v", lo, hi, med)
+	}
+	if lo < 9.7 || hi > 10.4 {
+		t.Errorf("CI [%v, %v] escapes the sample range", lo, hi)
+	}
+	if lo == hi {
+		t.Errorf("CI degenerate for noisy samples")
+	}
+}
+
+func TestBootstrapCIDeterministic(t *testing.T) {
+	xs := []float64{1.2, 3.4, 2.2, 2.9, 1.8, 2.5}
+	lo1, hi1 := BootstrapCI(xs, 0.95, 1000, 7)
+	lo2, hi2 := BootstrapCI(xs, 0.95, 1000, 7)
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Errorf("same seed differs: [%v, %v] vs [%v, %v]", lo1, hi1, lo2, hi2)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(nil, 1)
+	if s.N != 0 || s.Median != 0 {
+		t.Errorf("empty Summarize = %+v", s)
+	}
+	s = Summarize([]float64{2, 4, 6}, 1)
+	if s.N != 3 || s.Median != 4 || s.Mean != 4 || s.Min != 2 || s.Max != 6 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.MAD != 2 {
+		t.Errorf("MAD = %v, want 2", s.MAD)
+	}
+	if !(s.CILo <= s.Median && s.Median <= s.CIHi) {
+		t.Errorf("CI [%v, %v] does not bracket median", s.CILo, s.CIHi)
+	}
+	// Determinism of the full summary under a fixed seed.
+	again := Summarize([]float64{2, 4, 6}, 1)
+	if s != again {
+		t.Errorf("Summarize not deterministic: %+v vs %+v", s, again)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{0.5}, 9)
+	want := Summary{N: 1, Mean: 0.5, Min: 0.5, Max: 0.5, Median: 0.5, MAD: 0, CILo: 0.5, CIHi: 0.5}
+	if s != want {
+		t.Errorf("Summarize single = %+v, want %+v", s, want)
+	}
+	if math.IsNaN(s.CILo) || math.IsNaN(s.CIHi) {
+		t.Errorf("NaN in single-sample summary")
+	}
+}

@@ -11,7 +11,8 @@
 //	perflab compare -report out/       # + report.md and trend SVGs
 //	perflab gate                       # re-run gate cases vs latest
 //	                                   # baseline; exit 1 on regression
-//	perflab serve -addr :8080 -live    # HTML dashboard + streaming run
+//	perflab serve -live                # HTML dashboard + streaming run
+//	                                   # (localhost:8080; -addr to move)
 //
 // The gate set is simulator-only (deterministic cycle counts), so a
 // committed baseline gates identically on any host. The hidden
@@ -142,7 +143,7 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	b := perflab.NewBaseline(*sf.dir, *sf.short, results)
+	b := perflab.NewBaseline(*sf.dir, *sf.short, *sf.seed, results)
 	path, err := perflab.WriteNext(*sf.dir, b)
 	if err != nil {
 		return err
@@ -231,6 +232,13 @@ func cmdGate(args []string) error {
 		fmt.Fprintf(os.Stderr, "perflab gate: no baseline in %s — nothing to gate against (run 'perflab run' first)\n", *sf.dir)
 		return nil
 	}
+	if err := baseline.CheckCompatible(*sf.short, *sf.seed); err != nil {
+		return err
+	}
+	if baseline.Seed == 0 {
+		fmt.Fprintf(os.Stderr, "perflab gate: warning: baseline %d predates seed recording; cannot verify it matches -seed %d\n",
+			baseline.Seq, *sf.seed)
+	}
 	cases, runner, err := sf.select_(true)
 	if err != nil {
 		return err
@@ -242,7 +250,7 @@ func cmdGate(args []string) error {
 	if err != nil {
 		return err
 	}
-	current := perflab.NewBaseline(*sf.dir, *sf.short, results)
+	current := perflab.NewBaseline(*sf.dir, *sf.short, *sf.seed, results)
 	current.Seq = baseline.Seq + 1 // unwritten; numbered for the report only
 	// Restrict the old baseline to the gated set so un-run cases (the
 	// real substrate, filtered-out IDs) don't report as "removed".
@@ -261,7 +269,10 @@ func cmdGate(args []string) error {
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("perflab serve", flag.ExitOnError)
 	sf := addSuiteFlags(fs, "both")
-	addr := fs.String("addr", ":8080", "listen address")
+	// localhost by default: the mux exposes /debug/pprof and
+	// /debug/vars unauthenticated, so binding all interfaces must be an
+	// explicit choice.
+	addr := fs.String("addr", "localhost:8080", "listen address")
 	live := fs.Bool("live", false, "execute the suite in the background, streaming results to the dashboard")
 	fs.Parse(args)
 
@@ -276,7 +287,7 @@ func cmdServe(args []string) error {
 			state.Begin(len(cases))
 			results, err := runner.Run(cases)
 			if err == nil {
-				b := perflab.NewBaseline(*sf.dir, *sf.short, results)
+				b := perflab.NewBaseline(*sf.dir, *sf.short, *sf.seed, results)
 				if _, werr := perflab.WriteNext(*sf.dir, b); werr != nil {
 					err = werr
 				}
@@ -284,6 +295,10 @@ func cmdServe(args []string) error {
 			state.Finish(err)
 		}()
 	}
-	fmt.Fprintf(os.Stderr, "perflab: dashboard on http://localhost%s (live run: %v)\n", *addr, *live)
+	url := *addr
+	if strings.HasPrefix(url, ":") {
+		url = "localhost" + url
+	}
+	fmt.Fprintf(os.Stderr, "perflab: dashboard on http://%s (live run: %v)\n", url, *live)
 	return http.ListenAndServe(*addr, perflab.NewServer(*sf.dir, state))
 }

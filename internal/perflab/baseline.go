@@ -32,12 +32,14 @@ type Baseline struct {
 	GoVersion string       `json:"go_version"`
 	NumCPU    int          `json:"num_cpu"`
 	Short     bool         `json:"short"`
+	Seed      uint64       `json:"seed,omitempty"` // runner BaseSeed; 0 in pre-seed baselines
 	Cases     []CaseResult `json:"cases"`
 }
 
 // NewBaseline stamps results with provenance gathered from the
-// environment (git SHA of dir, hostname, Go version).
-func NewBaseline(dir string, short bool, results []CaseResult) *Baseline {
+// environment (git SHA of dir, hostname, Go version) plus the run
+// parameters (scale, seed) a later gate must match.
+func NewBaseline(dir string, short bool, seed uint64, results []CaseResult) *Baseline {
 	host, _ := os.Hostname()
 	return &Baseline{
 		Schema:    SchemaVersion,
@@ -47,8 +49,28 @@ func NewBaseline(dir string, short bool, results []CaseResult) *Baseline {
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
 		Short:     short,
+		Seed:      seed,
 		Cases:     results,
 	}
+}
+
+// CheckCompatible reports whether a run at the given scale and seed can
+// be meaningfully compared against b. A scale mismatch (short vs full)
+// changes problem sizes and repeat counts; a seed mismatch changes the
+// deterministic simulator samples the gate relies on — either one turns
+// every delta into noise, so the gate refuses rather than misjudging.
+// Baselines written before the seed was recorded (Seed == 0) pass the
+// seed test with a warning left to the caller.
+func (b *Baseline) CheckCompatible(short bool, seed uint64) error {
+	if b.Short != short {
+		return fmt.Errorf("perflab: baseline %d was recorded with short=%v but this run uses short=%v; rerun at the matching scale or record a new baseline",
+			b.Seq, b.Short, short)
+	}
+	if b.Seed != 0 && b.Seed != seed {
+		return fmt.Errorf("perflab: baseline %d was recorded with -seed %d but this run uses -seed %d; deterministic samples differ, comparison would be meaningless",
+			b.Seq, b.Seed, seed)
+	}
+	return nil
 }
 
 // gitSHA returns dir's HEAD commit, or "unknown" outside a repo.

@@ -172,7 +172,7 @@ func TestGateEndToEndViaRunner(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := WriteNext(dir, NewBaseline(dir, true, results)); err != nil {
+	if _, err := WriteNext(dir, NewBaseline(dir, true, 1, results)); err != nil {
 		t.Fatal(err)
 	}
 	baseline, err := Latest(dir)
@@ -198,6 +198,48 @@ func TestGateEndToEndViaRunner(t *testing.T) {
 	cmp = Compare(baseline, &Baseline{Seq: 2, Cases: slowed}, 0)
 	if cmp.GateErr() == nil {
 		t.Fatal("gate passed an injected 25% slowdown")
+	}
+}
+
+// TestCheckCompatible: the gate must refuse a baseline recorded at a
+// different scale or seed instead of producing bogus deltas; pre-seed
+// baselines (Seed == 0) are tolerated.
+func TestCheckCompatible(t *testing.T) {
+	b := &Baseline{Seq: 3, Short: true, Seed: 1}
+	if err := b.CheckCompatible(true, 1); err != nil {
+		t.Fatalf("matching scale+seed rejected: %v", err)
+	}
+	if err := b.CheckCompatible(false, 1); err == nil || !strings.Contains(err.Error(), "short") {
+		t.Fatalf("scale mismatch accepted: %v", err)
+	}
+	if err := b.CheckCompatible(true, 2); err == nil || !strings.Contains(err.Error(), "seed") {
+		t.Fatalf("seed mismatch accepted: %v", err)
+	}
+	legacy := &Baseline{Seq: 1, Short: true} // written before Seed existed
+	if err := legacy.CheckCompatible(true, 42); err != nil {
+		t.Fatalf("legacy baseline without seed rejected: %v", err)
+	}
+}
+
+// TestZeroBaselineRegresses: a case whose old median is zero must still
+// gate when the new median is nonzero — there is no ratio to test, so
+// "unchanged" would hide an unbounded slowdown.
+func TestZeroBaselineRegresses(t *testing.T) {
+	old := synthetic(1, map[string][]float64{"sim/zero": {0, 0, 0}})
+	bad := synthetic(2, map[string][]float64{"sim/zero": {0.5, 0.5, 0.5}})
+	cmp := Compare(old, bad, 0)
+	if regs := cmp.Regressions(); len(regs) != 1 || regs[0].ID != "sim/zero" {
+		t.Fatalf("zero→nonzero did not regress: %+v", cmp.Deltas)
+	}
+	if err := cmp.GateErr(); err == nil {
+		t.Fatal("gate passed a regression from a zero baseline")
+	}
+
+	// zero→zero stays unchanged.
+	same := synthetic(3, map[string][]float64{"sim/zero": {0, 0, 0}})
+	cmp = Compare(old, same, 0)
+	if err := cmp.GateErr(); err != nil {
+		t.Fatalf("zero→zero gated: %v", err)
 	}
 }
 

@@ -94,7 +94,13 @@ func Compare(old, new_ *Baseline, threshold float64) *Comparison {
 
 // classify applies the two-test significance rule.
 func classify(old, new_ stats.Summary, ratio, threshold float64) Verdict {
-	if ratio == 0 {
+	if old.Median == 0 {
+		// No ratio exists against a zero baseline: any nonzero time is
+		// an unbounded slowdown, so gate it rather than defaulting to
+		// unchanged.
+		if new_.Median > 0 {
+			return VerdictRegression
+		}
 		return VerdictUnchanged
 	}
 	overlap := old.CIHi >= new_.CILo && new_.CIHi >= old.CILo
@@ -139,8 +145,12 @@ func (c *Comparison) GateErr() error {
 	}
 	msg := fmt.Sprintf("perflab: %d significant regression(s) vs baseline %d:", len(regs), c.OldSeq)
 	for _, d := range regs {
-		msg += fmt.Sprintf("\n  %-40s %.4gs -> %.4gs  (%.1f%% slower)",
-			d.ID, d.Old.Median, d.New.Median, (d.Ratio-1)*100)
+		slower := "slower than a zero baseline"
+		if d.Ratio > 0 {
+			slower = fmt.Sprintf("%.1f%% slower", (d.Ratio-1)*100)
+		}
+		msg += fmt.Sprintf("\n  %-40s %.4gs -> %.4gs  (%s)",
+			d.ID, d.Old.Median, d.New.Median, slower)
 	}
 	return fmt.Errorf("%s", msg)
 }

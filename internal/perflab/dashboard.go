@@ -9,6 +9,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // LiveState is the shared progress of an in-flight benchmark run,
@@ -60,7 +61,14 @@ func (l *LiveState) snapshot() liveSnapshot {
 	return s
 }
 
-var publishOnce sync.Once
+// expvar.Publish panics on duplicate names, so the perflab_live_done
+// callback is registered once and reads whichever LiveState the most
+// recent NewServer installed — a later server with a fresh state is
+// not stuck reporting the first one's progress.
+var (
+	publishOnce sync.Once
+	liveVar     atomic.Pointer[LiveState]
+)
 
 // NewServer builds the dashboard handler over the baseline directory.
 // live may be nil (the live panel then reports idle). The handler also
@@ -70,9 +78,10 @@ func NewServer(dir string, live *LiveState) http.Handler {
 	if live == nil {
 		live = &LiveState{}
 	}
+	liveVar.Store(live)
 	publishOnce.Do(func() {
 		expvar.Publish("perflab_live_done", expvar.Func(func() any {
-			s := live.snapshot()
+			s := liveVar.Load().snapshot()
 			return map[string]int{"done": s.Done, "total": s.Total}
 		}))
 	})

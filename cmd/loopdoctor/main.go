@@ -1,0 +1,202 @@
+// Command loopdoctor is the execution-forensics front end: it captures
+// provenance-instrumented simulator traces, produces attribution
+// reports explaining where an execution's cycles went (compute /
+// cache-reload / interconnect / queue-wait / idle), and diagnoses the
+// difference between two runs with an automated verdict.
+//
+//	loopdoctor capture -kernel sor -algo gss -machine ksr1 -p 8 -n 128 -o gss.trace.json
+//	loopdoctor capture -kernel sor -algo afs -machine ksr1 -p 8 -n 128 -o afs.trace.json
+//	loopdoctor analyze gss.trace.json
+//	loopdoctor diff gss.trace.json afs.trace.json
+//
+// analyze and diff read trace files written by capture (or by any
+// code that serialises a forensics.Trace, e.g. perflab). Output is
+// markdown by default; -format json emits the full Analysis /
+// DiffReport structures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/forensics"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "capture":
+		err = runCapture(os.Args[2:])
+	case "analyze":
+		err = runAnalyze(os.Args[2:])
+	case "diff":
+		err = runDiff(os.Args[2:])
+	case "-h", "--help", "help":
+		usage(os.Stdout)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "loopdoctor: unknown command %q\n\n", os.Args[1])
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loopdoctor:", err)
+		os.Exit(1)
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `loopdoctor — execution forensics for loop scheduling runs
+
+usage:
+  loopdoctor capture -kernel K -algo A [-machine M] [-p P] [-n N] [-phases S] [-seed X] -o FILE
+      run the simulator with provenance capture and write a trace file
+  loopdoctor analyze FILE [-format md|json] [-o OUT]
+      attribution report: steal graph, critical path, per-processor
+      compute / cache-reload / interconnect / queue-wait / idle buckets
+  loopdoctor diff FILE_A FILE_B [-format md|json] [-o OUT]
+      decompose the makespan difference between two traces and emit an
+      attribution verdict
+`)
+}
+
+func runCapture(args []string) error {
+	fs := flag.NewFlagSet("capture", flag.ExitOnError)
+	machine := fs.String("machine", "symmetry", "machine preset (iris, butterfly, symmetry, ksr1, ideal)")
+	kernel := fs.String("kernel", "sor", "kernel name (sor, gauss, tc-skew, adjoint, ...)")
+	algo := fs.String("algo", "afs", "scheduling algorithm (afs, gss, static, ...)")
+	procs := fs.Int("p", 8, "simulated processors")
+	n := fs.Int("n", 128, "problem size")
+	phases := fs.Int("phases", 6, "outer-loop steps (phased kernels)")
+	seed := fs.Int64("seed", 1, "seed for randomised kernels")
+	label := fs.String("label", "", "run label (default algo/kernel/machine/pP)")
+	out := fs.String("o", "", "output trace file (default stdout)")
+	fs.Parse(args)
+
+	tr, met, err := forensics.CaptureSim(forensics.CaptureSpec{
+		Machine: *machine, Kernel: *kernel, Algo: *algo,
+		Procs: *procs, N: *n, Phases: *phases, Seed: *seed, Label: *label,
+	})
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		return tr.Write(os.Stdout)
+	}
+	if err := tr.WriteFile(*out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "captured %s: %d events, %d provenance records, makespan %.0f cycles → %s\n",
+		tr.Meta.Label, len(tr.Events), len(tr.Prov), met.Cycles, *out)
+	return nil
+}
+
+// parseMixed parses args, allowing flags to follow positional operands
+// (`analyze trace.json -o out.md`) — the flag package alone stops at
+// the first operand. Returns the operands in order.
+func parseMixed(fs *flag.FlagSet, args []string) []string {
+	var pos []string
+	for {
+		fs.Parse(args)
+		rest := fs.Args()
+		i := 0
+		for i < len(rest) && !strings.HasPrefix(rest[i], "-") {
+			pos = append(pos, rest[i])
+			i++
+		}
+		if i == len(rest) {
+			return pos
+		}
+		args = rest[i:]
+	}
+}
+
+// outWriter resolves -o; callers must call the returned close func.
+func outWriter(path string) (io.Writer, func() error, error) {
+	if path == "" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+func runAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	format := fs.String("format", "md", "output format: md or json")
+	out := fs.String("o", "", "output file (default stdout)")
+	pos := parseMixed(fs, args)
+	if len(pos) != 1 {
+		return fmt.Errorf("analyze wants exactly one trace file, got %d args", len(pos))
+	}
+	tr, err := forensics.ReadTraceFile(pos[0])
+	if err != nil {
+		return err
+	}
+	a, err := forensics.Analyze(tr)
+	if err != nil {
+		return err
+	}
+	w, closeW, err := outWriter(*out)
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "json":
+		err = forensics.WriteJSON(w, a)
+	case "md", "markdown":
+		err = forensics.WriteMarkdown(w, a)
+	default:
+		err = fmt.Errorf("unknown format %q (want md or json)", *format)
+	}
+	if cerr := closeW(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func runDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	format := fs.String("format", "md", "output format: md or json")
+	out := fs.String("o", "", "output file (default stdout)")
+	pos := parseMixed(fs, args)
+	if len(pos) != 2 {
+		return fmt.Errorf("diff wants exactly two trace files, got %d args", len(pos))
+	}
+	var analyses [2]*forensics.Analysis
+	for i := 0; i < 2; i++ {
+		tr, err := forensics.ReadTraceFile(pos[i])
+		if err != nil {
+			return err
+		}
+		if analyses[i], err = forensics.Analyze(tr); err != nil {
+			return fmt.Errorf("%s: %w", pos[i], err)
+		}
+	}
+	d := forensics.Diff(analyses[0], analyses[1])
+	w, closeW, err := outWriter(*out)
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "json":
+		err = forensics.WriteJSON(w, d)
+	case "md", "markdown":
+		err = forensics.WriteDiffMarkdown(w, d)
+	default:
+		err = fmt.Errorf("unknown format %q (want md or json)", *format)
+	}
+	if cerr := closeW(); err == nil {
+		err = cerr
+	}
+	return err
+}

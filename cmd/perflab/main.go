@@ -222,6 +222,7 @@ func cmdGate(args []string) error {
 	fs := flag.NewFlagSet("perflab gate", flag.ExitOnError)
 	sf := addSuiteFlags(fs, "sim")
 	threshold := fs.Float64("threshold", perflab.DefaultThreshold, "relative median movement considered significant")
+	forensicsDir := fs.String("forensics", "", "on failure, write per-regression forensic attribution reports into this directory")
 	fs.Parse(args)
 
 	baseline, err := perflab.Latest(*sf.dir)
@@ -263,7 +264,17 @@ func cmdGate(args []string) error {
 	}
 	cmp := perflab.Compare(&gated, current, *threshold)
 	perflab.WriteReport(os.Stdout, cmp, &gated, current)
-	return cmp.GateErr()
+	gateErr := cmp.GateErr()
+	if gateErr != nil && *forensicsDir != "" {
+		paths, ferr := perflab.WriteGateForensics(*forensicsDir, cmp, &gated, current, *sf.seed)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "perflab gate: writing forensics: %v\n", ferr)
+		}
+		for _, p := range paths {
+			fmt.Fprintf(os.Stderr, "perflab gate: forensic attribution → %s\n", p)
+		}
+	}
+	return gateErr
 }
 
 func cmdServe(args []string) error {

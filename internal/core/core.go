@@ -50,6 +50,18 @@ type Config struct {
 	// (chunk sizes, steal latencies, central-queue waits) and receives
 	// a time-series snapshot at every phase barrier.
 	Metrics *telemetry.Registry
+	// Prov, when non-nil, receives one provenance record per executed
+	// chunk (owner queue, stolen flag, measured dispatch wait) for
+	// post-hoc forensics. The host cannot separate memory stalls from
+	// computation, so records carry the whole execution window as
+	// Compute. The sink MUST be safe for concurrent use
+	// (telemetry.NewSyncProvStream).
+	Prov telemetry.ProvSink
+	// QueueDepthEvery, when positive, samples every work queue's
+	// backlog at this interval into Stats.QueueDepthSamples — the real
+	// runtime's version of the simulator's per-queue imbalance signal.
+	// Supported by the AFS and central-queue dispatchers.
+	QueueDepthEvery time.Duration
 }
 
 func (c Config) procs() int {
@@ -77,6 +89,20 @@ type Stats struct {
 	// Phases executed and iterations executed in total.
 	Phases     int
 	Iterations int64
+	// QueueDepthSamples holds periodic per-queue backlog samples when
+	// Config.QueueDepthEvery was set: one row per tick, one column per
+	// queue (a single column for central-queue algorithms, counting
+	// remaining iterations).
+	QueueDepthSamples []QueueDepths
+}
+
+// QueueDepths is one timed sample of per-queue backlog.
+type QueueDepths struct {
+	// AtNS is the sample time in nanoseconds since the run started.
+	AtNS float64 `json:"at_ns"`
+	// Depths is the backlog per queue: queued iterations per worker
+	// queue (AFS), or one entry of remaining iterations (central).
+	Depths []int `json:"depths"`
 }
 
 // TotalSyncOps sums all successful queue-removal operations.
@@ -132,7 +158,7 @@ func Run(cfg Config, phases int, n func(ph int) int, body func(ph, i int)) (Stat
 		return Stats{}, fmt.Errorf("core: unsupported scheduler family %v", cfg.Spec.Family)
 	}
 
-	r := &runner{cfg: cfg, p: p, d: d, body: body, sink: cfg.Events}
+	r := &runner{cfg: cfg, p: p, d: d, body: body, sink: cfg.Events, prov: cfg.Prov}
 	r.stats.LocalOps = make([]int64, p)
 	r.stats.RemoteOps = make([]int64, p)
 	if cfg.Metrics != nil {
@@ -141,6 +167,7 @@ func Run(cfg Config, phases int, n func(ph int) int, body func(ph, i int)) (Stat
 
 	start := time.Now()
 	r.t0 = start
+	stopSampler := r.startDepthSampler()
 	starts := make([]chan int, p)
 	var wg sync.WaitGroup
 	var phaseWG sync.WaitGroup
@@ -191,6 +218,7 @@ func Run(cfg Config, phases int, n func(ph int) int, body func(ph, i int)) (Stat
 		close(starts[w])
 	}
 	wg.Wait()
+	stopSampler()
 
 	if r.panic != nil {
 		panic(r.panic)
@@ -209,7 +237,9 @@ type runner struct {
 	stats   Stats
 	t0      time.Time
 	sink    telemetry.Sink
+	prov    telemetry.ProvSink
 	rh      *coreHandles
+	depthMu sync.Mutex
 	phaseNo atomic.Int64
 	aborted atomic.Bool
 	panicMu sync.Mutex
@@ -241,21 +271,33 @@ func (r *runner) work(w, ph int) {
 		}
 	}()
 	for !r.aborted.Load() {
-		c, ok := r.d.fetch(r, w)
+		c, fm, ok := r.d.fetch(r, w)
 		if !ok {
 			return
 		}
 		if r.rh != nil {
 			r.rh.chunkSize.Observe(float64(c.Len()))
 		}
-		if r.sink != nil {
+		if r.sink != nil || r.prov != nil {
 			start := r.nowNS()
 			for i := c.Lo; i < c.Hi; i++ {
 				r.body(ph, i)
 			}
-			r.sink.Emit(telemetry.Event{Kind: telemetry.KindExec,
-				Proc: w, Victim: -1, Step: ph, Lo: c.Lo, Hi: c.Hi,
-				Start: start, End: r.nowNS()})
+			end := r.nowNS()
+			if r.sink != nil {
+				r.sink.Emit(telemetry.Event{Kind: telemetry.KindExec,
+					Proc: w, Victim: -1, Step: ph, Lo: c.Lo, Hi: c.Hi,
+					Start: start, End: end})
+			}
+			if r.prov != nil {
+				// The host cannot split memory stalls out of the
+				// window, so the whole span is reported as Compute.
+				r.prov.EmitProv(telemetry.Prov{
+					Step: ph, Proc: w, Owner: fm.owner, Stolen: fm.stolen,
+					Lo: c.Lo, Hi: c.Hi, Start: start, End: end,
+					QueueWait: fm.wait, Compute: end - start,
+				})
+			}
 		} else {
 			for i := c.Lo; i < c.Hi; i++ {
 				r.body(ph, i)
@@ -265,10 +307,52 @@ func (r *runner) work(w, ph int) {
 	}
 }
 
+// depthSampler is implemented by dispatchers that can report their
+// queues' backlog concurrently with execution.
+type depthSampler interface {
+	depths() []int
+}
+
+// startDepthSampler launches the periodic queue-depth sampler when
+// configured and supported, returning a stop function that waits for
+// the sampler goroutine to finish (so Stats reads race-free).
+func (r *runner) startDepthSampler() func() {
+	ds, ok := r.d.(depthSampler)
+	if !ok || r.cfg.QueueDepthEvery <= 0 {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(r.cfg.QueueDepthEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				sample := QueueDepths{AtNS: r.nowNS(), Depths: ds.depths()}
+				r.depthMu.Lock()
+				r.stats.QueueDepthSamples = append(r.stats.QueueDepthSamples, sample)
+				r.depthMu.Unlock()
+			}
+		}
+	}()
+	return func() { close(stop); <-done }
+}
+
 // A dispatcher hands out chunks to workers for the current phase.
 type dispatcher interface {
 	initPhase(r *runner, ph, n int)
-	fetch(r *runner, w int) (sched.Chunk, bool)
+	fetch(r *runner, w int) (sched.Chunk, fetchMeta, bool)
+}
+
+// fetchMeta describes where a fetched chunk came from, for provenance.
+type fetchMeta struct {
+	owner  int     // owning queue index, or -1 for central dispensers
+	stolen bool    // chunk migrated from owner's queue to the fetcher
+	wait   float64 // measured dispatch wait in ns (0 when unmeasured)
 }
 
 // centralDispatch serialises all workers through one mutex-protected
@@ -281,12 +365,28 @@ type centralDispatch struct {
 }
 
 func (d *centralDispatch) initPhase(r *runner, ph, n int) {
+	// Under the lock: the queue-depth sampler may read d.disp
+	// concurrently with the phase transition.
+	d.mu.Lock()
 	d.disp = sched.NewDispenser(d.sizer, n, r.p)
+	d.mu.Unlock()
 }
 
-func (d *centralDispatch) fetch(r *runner, w int) (sched.Chunk, bool) {
+// depths reports the central dispenser's remaining iterations as a
+// single-queue backlog sample.
+func (d *centralDispatch) depths() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.disp == nil {
+		return []int{0}
+	}
+	return []int{d.disp.Remaining()}
+}
+
+func (d *centralDispatch) fetch(r *runner, w int) (sched.Chunk, fetchMeta, bool) {
+	fm := fetchMeta{owner: -1}
 	atomic.AddInt64(&d.waiters, 1)
-	instrumented := r.sink != nil || r.rh != nil
+	instrumented := r.sink != nil || r.rh != nil || r.prov != nil
 	var lockStart float64
 	if instrumented {
 		lockStart = r.nowNS()
@@ -294,6 +394,7 @@ func (d *centralDispatch) fetch(r *runner, w int) (sched.Chunk, bool) {
 	d.mu.Lock()
 	if instrumented {
 		wait := r.nowNS() - lockStart
+		fm.wait = wait
 		if r.rh != nil {
 			r.rh.queueWait.Observe(wait)
 		}
@@ -313,7 +414,7 @@ func (d *centralDispatch) fetch(r *runner, w int) (sched.Chunk, bool) {
 	if ok {
 		atomic.AddInt64(&r.stats.CentralOps, 1)
 	}
-	return c, ok
+	return c, fm, ok
 }
 
 // staticDispatch precomputes the whole assignment; fetch is
@@ -336,14 +437,14 @@ func (d *staticDispatch) initPhase(r *runner, ph, n int) {
 	d.next = make([]int32, r.p)
 }
 
-func (d *staticDispatch) fetch(r *runner, w int) (sched.Chunk, bool) {
+func (d *staticDispatch) fetch(r *runner, w int) (sched.Chunk, fetchMeta, bool) {
 	chs := d.assign[w]
 	i := int(d.next[w]) // next is only touched by worker w during a phase
 	if i >= len(chs) {
-		return sched.Chunk{}, false
+		return sched.Chunk{}, fetchMeta{}, false
 	}
 	d.next[w]++
-	return chs[i], true
+	return chs[i], fetchMeta{owner: w}, true
 }
 
 // afsDispatch implements affinity scheduling over real per-worker
@@ -410,7 +511,17 @@ func (d *afsDispatch) initPhase(r *runner, ph, n int) {
 	}
 }
 
-func (d *afsDispatch) fetch(r *runner, w int) (sched.Chunk, bool) {
+// depths snapshots every worker queue's backlog from the
+// atomically-published lengths — lock-free, safe mid-phase.
+func (d *afsDispatch) depths() []int {
+	out := make([]int, len(d.queues))
+	for i := range d.queues {
+		out[i] = int(d.queues[i].len.Load())
+	}
+	return out
+}
+
+func (d *afsDispatch) fetch(r *runner, w int) (sched.Chunk, fetchMeta, bool) {
 	self := &d.queues[w]
 	for {
 		// Local take: 1/k of our own queue.
@@ -422,7 +533,7 @@ func (d *afsDispatch) fetch(r *runner, w int) (sched.Chunk, bool) {
 				self.len.Store(int64(self.q.Len()))
 				self.mu.Unlock()
 				atomic.AddInt64(&r.stats.LocalOps[w], 1)
-				return c, true
+				return c, fetchMeta{owner: w}, true
 			}
 			self.mu.Unlock()
 		}
@@ -437,15 +548,16 @@ func (d *afsDispatch) fetch(r *runner, w int) (sched.Chunk, bool) {
 			}
 		}
 		if empty {
-			return sched.Chunk{}, false // every queue is empty
+			return sched.Chunk{}, fetchMeta{}, false // every queue is empty
 		}
 		victim := sched.ChooseVictim(d.victim, lens, w, d.rngs[w].next)
 		if victim < 0 {
-			return sched.Chunk{}, false
+			return sched.Chunk{}, fetchMeta{}, false
 		}
 		vq := &d.queues[victim]
+		instrumented := r.sink != nil || r.rh != nil || r.prov != nil
 		var stealStart float64
-		if r.sink != nil || r.rh != nil {
+		if instrumented {
 			stealStart = r.nowNS()
 		}
 		vq.mu.Lock()
@@ -461,8 +573,10 @@ func (d *afsDispatch) fetch(r *runner, w int) (sched.Chunk, bool) {
 		atomic.AddInt64(&r.stats.RemoteOps[victim], 1)
 		atomic.AddInt64(&r.stats.Steals, 1)
 		atomic.AddInt64(&r.stats.MigratedIters, int64(c.Len()))
-		if r.sink != nil || r.rh != nil {
+		fm := fetchMeta{owner: victim, stolen: true}
+		if instrumented {
 			end := r.nowNS()
+			fm.wait = end - stealStart
 			if r.rh != nil {
 				r.rh.stealLatency.Observe(end - stealStart)
 			}
@@ -472,7 +586,7 @@ func (d *afsDispatch) fetch(r *runner, w int) (sched.Chunk, bool) {
 					Start: stealStart, End: end})
 			}
 		}
-		return c, true
+		return c, fm, true
 	}
 }
 
@@ -486,12 +600,12 @@ func (d *modfactDispatch) initPhase(r *runner, ph, n int) {
 	d.mf.Init(n, r.p)
 }
 
-func (d *modfactDispatch) fetch(r *runner, w int) (sched.Chunk, bool) {
+func (d *modfactDispatch) fetch(r *runner, w int) (sched.Chunk, fetchMeta, bool) {
 	d.mu.Lock()
 	c, ok := d.mf.Claim(w)
 	d.mu.Unlock()
 	if ok {
 		atomic.AddInt64(&r.stats.CentralOps, 1)
 	}
-	return c, ok
+	return c, fetchMeta{owner: -1}, ok
 }

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/telemetry"
+)
+
+// slowBody burns enough time per iteration that steals and queue-depth
+// samples actually happen at small worker counts.
+func slowBody(ph, i int) {
+	x := 1.0
+	for k := 0; k < 2000; k++ {
+		x += float64(k) * x / 1e9
+	}
+	_ = x
+}
+
+func TestProvenanceCoversEveryIteration(t *testing.T) {
+	for _, name := range []string{"afs", "gss", "static", "mod-factoring"} {
+		spec, err := sched.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prov := telemetry.NewSyncProvStream()
+		const n, phases, p = 96, 3, 4
+		_, err = Run(Config{Procs: p, Spec: spec, Prov: prov}, phases,
+			func(int) int { return n }, slowBody)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		covered := make(map[int]int)
+		for _, r := range prov.Records() {
+			if r.Proc < 0 || r.Proc >= p {
+				t.Errorf("%s: record with bad proc %d", name, r.Proc)
+			}
+			if r.Stolen && r.Owner == r.Proc {
+				t.Errorf("%s: stolen chunk owned by the thief (proc %d)", name, r.Proc)
+			}
+			if r.End < r.Start || r.Compute < 0 || r.QueueWait < 0 {
+				t.Errorf("%s: negative time in record %+v", name, r)
+			}
+			for i := r.Lo; i < r.Hi; i++ {
+				covered[r.Step*n+i]++
+			}
+		}
+		if len(covered) != n*phases {
+			t.Errorf("%s: provenance covers %d of %d iterations", name, len(covered), n*phases)
+		}
+		for key, times := range covered {
+			if times != 1 {
+				t.Errorf("%s: iteration key %d covered %d times", name, key, times)
+			}
+		}
+	}
+}
+
+func TestProvenanceStolenMatchesStealCount(t *testing.T) {
+	spec, _ := sched.ByName("afs")
+	prov := telemetry.NewSyncProvStream()
+	// Skew all the work onto low iterations so high-indexed workers
+	// must steal.
+	st, err := Run(Config{Procs: 4, Spec: spec, Prov: prov}, 2,
+		func(int) int { return 64 },
+		func(ph, i int) {
+			reps := 1
+			if i < 16 {
+				reps = 40
+			}
+			for r := 0; r < reps; r++ {
+				slowBody(ph, i)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stolen := 0
+	for _, r := range prov.Records() {
+		if r.Stolen {
+			stolen++
+		}
+	}
+	if int64(stolen) != st.Steals {
+		t.Errorf("stolen provenance records = %d, Stats.Steals = %d", stolen, st.Steals)
+	}
+}
+
+func TestQueueDepthSampling(t *testing.T) {
+	for _, name := range []string{"afs", "gss"} {
+		spec, _ := sched.ByName(name)
+		st, err := Run(Config{Procs: 4, Spec: spec, QueueDepthEvery: 200 * time.Microsecond},
+			4, func(int) int { return 256 }, slowBody)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(st.QueueDepthSamples) == 0 {
+			t.Fatalf("%s: no queue-depth samples collected", name)
+		}
+		wantCols := 4
+		if name == "gss" {
+			wantCols = 1 // central dispenser: one backlog column
+		}
+		for _, s := range st.QueueDepthSamples {
+			if len(s.Depths) != wantCols {
+				t.Fatalf("%s: sample has %d columns, want %d", name, len(s.Depths), wantCols)
+			}
+			for q, d := range s.Depths {
+				if d < 0 {
+					t.Errorf("%s: negative depth %d on queue %d", name, d, q)
+				}
+			}
+		}
+	}
+}
+
+// TestProvenanceConcurrentSink exercises the sync stream under real
+// contention (belt-and-braces for the race detector).
+func TestProvenanceConcurrentSink(t *testing.T) {
+	spec, _ := sched.ByName("afs")
+	prov := telemetry.NewSyncProvStream()
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := Run(Config{Procs: 2, Spec: spec, Prov: prov}, 2,
+				func(int) int { return 32 }, slowBody)
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if prov.Len() == 0 {
+		t.Fatal("no provenance records")
+	}
+}

@@ -1,0 +1,127 @@
+package forensics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON writes any forensics artifact (Analysis, DiffReport,
+// Summary) as indented JSON.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// WriteMarkdown renders a full attribution report for one analysis.
+func WriteMarkdown(w io.Writer, a *Analysis) error {
+	unit := a.Meta.Unit()
+	fmt.Fprintf(w, "# Execution forensics: %s\n\n", a.Meta.Name())
+	fmt.Fprintf(w, "| | |\n|---|---|\n")
+	if a.Meta.Substrate != "" {
+		fmt.Fprintf(w, "| substrate | %s |\n", a.Meta.Substrate)
+	}
+	if a.Meta.Machine != "" {
+		fmt.Fprintf(w, "| machine | %s |\n", a.Meta.Machine)
+	}
+	if a.Meta.Kernel != "" {
+		fmt.Fprintf(w, "| kernel | %s |\n", a.Meta.Kernel)
+	}
+	if a.Meta.Algo != "" {
+		fmt.Fprintf(w, "| algorithm | %s |\n", a.Meta.Algo)
+	}
+	fmt.Fprintf(w, "| processors | %d |\n", a.Meta.Procs)
+	fmt.Fprintf(w, "| steps | %d |\n", a.Steps)
+	fmt.Fprintf(w, "| makespan | %s %s |\n", fmtT(a.Span), unit)
+	fmt.Fprintf(w, "| steals | %d (%d iterations migrated) |\n\n",
+		a.StealCount, a.MigratedIters)
+
+	top, topV := a.TopOverhead()
+	fmt.Fprintf(w, "Dominant overhead: **%s** (%s %s per processor, %.1f%% of the makespan).\n\n",
+		top, fmtT(topV), unit, pct(topV, a.Span))
+
+	fmt.Fprintf(w, "## Attribution by processor\n\n")
+	fmt.Fprintf(w, "Each processor's span (%s %s) decomposes exactly into:\n\n", fmtT(a.Span), unit)
+	fmt.Fprintf(w, "| proc | compute | cache-reload | interconnect | queue-wait | idle | chunks | stolen |\n")
+	fmt.Fprintf(w, "|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+	for _, p := range a.Procs {
+		b := p.Buckets
+		fmt.Fprintf(w, "| %d | %s | %s | %s | %s | %s | %d | %d (%d it) |\n",
+			p.Proc, fmtT(b.Compute), fmtT(b.CacheReload), fmtT(b.Interconnect),
+			fmtT(b.QueueWait), fmtT(b.Idle), p.Chunks, p.StolenChunks, p.StolenIters)
+	}
+	avg := a.AvgBuckets
+	fmt.Fprintf(w, "| **avg** | %s | %s | %s | %s | %s | | |\n\n",
+		fmtT(avg.Compute), fmtT(avg.CacheReload), fmtT(avg.Interconnect),
+		fmtT(avg.QueueWait), fmtT(avg.Idle))
+
+	if len(a.Steals) > 0 {
+		fmt.Fprintf(w, "## Steal graph\n\n")
+		fmt.Fprintf(w, "| victim | thief | steals | iterations |\n|---:|---:|---:|---:|\n")
+		for _, e := range a.Steals {
+			fmt.Fprintf(w, "| %d | %d | %d | %d |\n", e.Victim, e.Thief, e.Count, e.Iters)
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(w, "## Critical path\n\n")
+	pb := a.PathBuckets
+	fmt.Fprintf(w, "%d segments along the per-step stragglers; decomposition: compute %s, cache-reload %s, interconnect %s, queue-wait %s, idle %s (%s).\n\n",
+		len(a.CriticalPath), fmtT(pb.Compute), fmtT(pb.CacheReload),
+		fmtT(pb.Interconnect), fmtT(pb.QueueWait), fmtT(pb.Idle), unit)
+	const maxSegs = 40
+	show := a.CriticalPath
+	truncated := 0
+	if len(show) > maxSegs {
+		truncated = len(show) - maxSegs
+		show = show[:maxSegs]
+	}
+	fmt.Fprintf(w, "| step | proc | kind | range | duration |\n|---:|---:|---|---|---:|\n")
+	for _, s := range show {
+		rng := ""
+		if s.Kind == "exec" {
+			rng = fmt.Sprintf("[%d,%d)", s.Lo, s.Hi)
+			if s.Stolen {
+				rng += " stolen"
+			}
+		}
+		fmt.Fprintf(w, "| %d | %d | %s | %s | %s |\n", s.Step, s.Proc, s.Kind, rng, fmtT(s.Dur()))
+	}
+	if truncated > 0 {
+		fmt.Fprintf(w, "\n… %d more segments (use JSON output for the full path).\n", truncated)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// WriteDiffMarkdown renders the attribution verdict for a pair of
+// runs.
+func WriteDiffMarkdown(w io.Writer, d *DiffReport) error {
+	fmt.Fprintf(w, "# Forensic diff: %s vs %s\n\n", d.NameA, d.NameB)
+	fmt.Fprintf(w, "%s\n\n", d.Verdict)
+	fmt.Fprintf(w, "Makespan: %s %s (%s) vs %s %s (%s); Δ = %s %s.\n\n",
+		fmtT(d.SpanA), d.Unit, d.NameA, fmtT(d.SpanB), d.Unit, d.NameB,
+		fmtT(d.Delta), d.Unit)
+	fmt.Fprintf(w, "Average per-processor decomposition (the deltas sum exactly to the makespan difference):\n\n")
+	fmt.Fprintf(w, "| bucket | %s | %s | Δ | share of gap |\n|---|---:|---:|---:|---:|\n",
+		d.NameA, d.NameB)
+	for _, bd := range d.Deltas {
+		share := "—"
+		if d.Delta != 0 {
+			share = fmt.Sprintf("%.0f%%", 100*bd.Share)
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %s |\n",
+			bd.Bucket, fmtT(bd.A), fmtT(bd.B), fmtT(bd.Delta), share)
+	}
+	fmt.Fprintf(w, "\nSteals: %d vs %d; migrated iterations: %d vs %d.\n",
+		d.StealsA, d.StealsB, d.MigratedA, d.MigratedB)
+	return nil
+}
+
+func pct(part, whole float64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * part / whole
+}

@@ -146,7 +146,7 @@ See <a href="/api/baselines">/api/baselines</a>, <a href="/debug/vars">/debug/va
 <h2>Live run</h2>
 <p id="live-status">idle</p>
 <table id="live-table" style="display:none">
-<thead><tr><th>case</th><th>median</th><th>MAD</th><th>ci95</th><th>steals</th></tr></thead>
+<thead><tr><th>case</th><th>median</th><th>MAD</th><th>ci95</th><th>steals</th><th>top overhead</th></tr></thead>
 <tbody></tbody>
 </table>
 
@@ -179,9 +179,14 @@ async function poll() {
       for (const c of (s.results || [])) {
         const tr = document.createElement('tr');
         const ci = '[' + c.summary.ci_lo.toPrecision(4) + ', ' + c.summary.ci_hi.toPrecision(4) + ']';
+        let top = '';
+        if (c.forensics && c.forensics.makespan > 0) {
+          const share = 100 * c.forensics.buckets[c.forensics.top_overhead] / c.forensics.makespan;
+          top = c.forensics.top_overhead + ' ' + share.toFixed(1) + '%';
+        }
         for (const v of [c.id, c.summary.median.toPrecision(4) + 's',
                          c.summary.mad.toPrecision(3), ci,
-                         String((c.counters && c.counters.steals) || 0)]) {
+                         String((c.counters && c.counters.steals) || 0), top]) {
           const td = document.createElement('td');
           td.textContent = v;
           tr.appendChild(td);

@@ -1,0 +1,78 @@
+package perflab
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/forensics"
+)
+
+// WriteGateForensics produces one forensic attribution artifact per
+// gate regression in dir: the stored old-vs-new bucket digest, plus —
+// for simulator cases, which are deterministic — a fresh full-trace
+// analysis of the regressed case as it behaves now (steal graph,
+// critical path, per-processor buckets). Returns the written paths.
+//
+// This is what `perflab gate -forensics DIR` attaches to a failure so
+// CI surfaces *why* a case got slower, not just that it did.
+func WriteGateForensics(dir string, cmp *Comparison, old, new_ *Baseline, seed uint64) ([]string, error) {
+	regs := cmp.Regressions()
+	if len(regs) == 0 {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, d := range regs {
+		oc, nc := old.Lookup(d.ID), new_.Lookup(d.ID)
+		if nc == nil {
+			continue
+		}
+		path := filepath.Join(dir, "forensics-"+fileSafe(d.ID)+".md")
+		f, err := os.Create(path)
+		if err != nil {
+			return paths, err
+		}
+		fmt.Fprintf(f, "# Gate regression forensics: %s\n\n", d.ID)
+		fmt.Fprintf(f, "Median %.4gs → %.4gs (%+.1f%%) vs baseline %d.\n\n",
+			d.Old.Median, d.New.Median, (d.Ratio-1)*100, cmp.OldSeq)
+		if oc != nil {
+			WriteForensicsDelta(f, d.ID, oc.Forensics, nc.Forensics)
+			if oc.Forensics == nil {
+				fmt.Fprintf(f, "_Baseline %d predates forensics capture; no stored digest to diff against._\n\n", cmp.OldSeq)
+			}
+		}
+		if nc.Substrate == SubstrateSim {
+			if err := appendFreshAnalysis(f, nc, seed); err != nil {
+				fmt.Fprintf(f, "_Fresh trace capture failed: %v_\n", err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			return paths, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// appendFreshAnalysis re-runs a deterministic simulator case with full
+// provenance capture and appends the complete attribution report.
+func appendFreshAnalysis(f *os.File, nc *CaseResult, seed uint64) error {
+	tr, _, err := forensics.CaptureSim(forensics.CaptureSpec{
+		Machine: nc.Machine, Kernel: nc.Kernel, Algo: nc.Algo,
+		Procs: nc.Procs, N: nc.N, Phases: nc.Phases,
+		Seed:  int64(caseSeed(seed, nc.ID)), // regenerate the exact measured workload
+		Label: nc.ID + " (current)",
+	})
+	if err != nil {
+		return err
+	}
+	a, err := forensics.Analyze(tr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(f, "---\n\nFull trace analysis of the case as it behaves now:\n\n")
+	return forensics.WriteMarkdown(f, a)
+}

@@ -1,0 +1,124 @@
+package perflab
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func simCase(algo string) Case {
+	return Case{Substrate: SubstrateSim, Machine: "iris", Kernel: "sor", Algo: algo,
+		N: 48, Phases: 4, Procs: 4, Repeats: 2, Gate: true}
+}
+
+func TestRunnerAttachesForensics(t *testing.T) {
+	r := &Runner{BaseSeed: 1}
+	reg := NewRegistry()
+	cases := []Case{
+		reg.Add(simCase("afs")),
+		reg.Add(Case{Substrate: SubstrateReal, Kernel: "gauss", Algo: "afs",
+			N: 48, Phases: 4, Procs: 2, Repeats: 2}),
+	}
+	results, err := r.Run(cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		f := res.Forensics
+		if f == nil {
+			t.Fatalf("%s: no forensics digest", res.ID)
+		}
+		wantUnit := "cycles"
+		if res.Substrate == SubstrateReal {
+			wantUnit = "ns"
+		}
+		if f.Unit != wantUnit {
+			t.Errorf("%s: unit %q, want %q", res.ID, f.Unit, wantUnit)
+		}
+		sum := 0.0
+		for _, v := range f.Buckets {
+			sum += v
+		}
+		// The average per-processor buckets must sum to the makespan
+		// (real-substrate digests may clamp idle when a case spans
+		// multiple ParallelFor calls, so busy can only fall short).
+		if f.Makespan <= 0 || sum < f.Makespan*(1-1e-6) {
+			t.Errorf("%s: buckets sum %g vs makespan %g", res.ID, sum, f.Makespan)
+		}
+		if f.TopOverhead == "" || f.TopOverhead == "compute" {
+			t.Errorf("%s: bad top overhead %q", res.ID, f.TopOverhead)
+		}
+	}
+	// The digest must survive the baseline JSON round trip.
+	dir := t.TempDir()
+	b := NewBaseline(dir, true, 1, results)
+	path, err := WriteNext(dir, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		lc := got.Lookup(res.ID)
+		if lc == nil || lc.Forensics == nil {
+			t.Fatalf("%s: forensics digest lost in baseline round trip", res.ID)
+		}
+		if math.Abs(lc.Forensics.Makespan-res.Forensics.Makespan) > 1e-9 {
+			t.Errorf("%s: makespan %g != %g after round trip",
+				res.ID, lc.Forensics.Makespan, res.Forensics.Makespan)
+		}
+	}
+}
+
+func TestWriteGateForensics(t *testing.T) {
+	r := &Runner{BaseSeed: 1}
+	reg := NewRegistry()
+	c := reg.Add(simCase("gss"))
+	baseRes, err := r.Run([]Case{c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	old := NewBaseline(dir, true, 1, baseRes)
+	old.Seq = 1
+
+	// Same case with an injected 1.5× slowdown: a guaranteed gate
+	// failure.
+	rSlow := &Runner{BaseSeed: 1, Inject: map[string]float64{c.ID: 1.5}}
+	slowRes, err := rSlow.Run([]Case{c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	current := NewBaseline(dir, true, 1, slowRes)
+	current.Seq = 2
+
+	cmp := Compare(old, current, 0)
+	if len(cmp.Regressions()) != 1 {
+		t.Fatalf("expected 1 regression, got %d", len(cmp.Regressions()))
+	}
+	out := filepath.Join(dir, "forensics")
+	paths, err := WriteGateForensics(out, cmp, old, current, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("expected 1 artifact, got %d", len(paths))
+	}
+	data, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{
+		"Gate regression forensics", "Attribution", "cache-reload",
+		"Full trace analysis", "Critical path",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("artifact missing %q", want)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/forensics"
 	"repro/internal/stats"
 )
 
@@ -49,18 +50,76 @@ func WriteReport(w io.Writer, cmp *Comparison, old, new_ *Baseline) {
 			continue
 		}
 		oc, nc := old.Lookup(d.ID), new_.Lookup(d.ID)
-		if oc == nil || nc == nil || len(nc.Counters) == 0 {
+		if oc == nil || nc == nil {
 			continue
 		}
-		fmt.Fprintf(w, "## Counters: %s (%s)\n\n", d.ID, d.Verdict)
-		fmt.Fprintln(w, "| counter | old | new |")
-		fmt.Fprintln(w, "|---|---|---|")
-		for _, name := range sortedKeys(nc.Counters) {
-			fmt.Fprintf(w, "| %s | %s | %s |\n", name,
-				stats.FormatCount(oc.Counters[name]), stats.FormatCount(nc.Counters[name]))
+		if len(nc.Counters) > 0 {
+			fmt.Fprintf(w, "## Counters: %s (%s)\n\n", d.ID, d.Verdict)
+			fmt.Fprintln(w, "| counter | old | new |")
+			fmt.Fprintln(w, "|---|---|---|")
+			for _, name := range sortedKeys(nc.Counters) {
+				fmt.Fprintf(w, "| %s | %s | %s |\n", name,
+					stats.FormatCount(oc.Counters[name]), stats.FormatCount(nc.Counters[name]))
+			}
+			fmt.Fprintln(w)
 		}
-		fmt.Fprintln(w)
+		WriteForensicsDelta(w, d.ID, oc.Forensics, nc.Forensics)
 	}
+}
+
+// WriteForensicsDelta renders the attribution movement between two
+// stored forensics digests: which cost bucket the makespan change came
+// from. No-op when either side predates forensics capture.
+func WriteForensicsDelta(w io.Writer, id string, of, nf *forensics.Summary) {
+	if of == nil || nf == nil {
+		return
+	}
+	delta := nf.Makespan - of.Makespan
+	fmt.Fprintf(w, "## Attribution: %s\n\n", id)
+	fmt.Fprintf(w, "Makespan %s → %s %s (%+.1f%%). Average per-processor decomposition:\n\n",
+		stats.FormatCount(of.Makespan), stats.FormatCount(nf.Makespan), nf.Unit,
+		pctChange(of.Makespan, nf.Makespan))
+	fmt.Fprintln(w, "| bucket | old | new | Δ | share of gap |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|")
+	var topBucket string
+	var topDelta float64
+	for _, k := range forensics.BucketOrder {
+		ov, nv := of.Buckets[string(k)], nf.Buckets[string(k)]
+		bd := nv - ov
+		share := "—"
+		if delta != 0 {
+			share = fmt.Sprintf("%.0f%%", 100*bd/delta)
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %+.4g | %s |\n", k,
+			stats.FormatCount(ov), stats.FormatCount(nv), bd, share)
+		if bd*delta > 0 && abs(bd) > abs(topDelta) {
+			topBucket, topDelta = string(k), bd
+		}
+	}
+	fmt.Fprintln(w)
+	if topBucket != "" && delta != 0 {
+		dir := "slowdown"
+		if delta < 0 {
+			dir = "speedup"
+		}
+		fmt.Fprintf(w, "Dominant movement: **%s** explains %.0f%% of the %s. Steals %d → %d, migrated iterations %d → %d.\n\n",
+			topBucket, 100*topDelta/delta, dir, of.Steals, nf.Steals,
+			of.MigratedIters, nf.MigratedIters)
+	}
+}
+
+func pctChange(old, new_ float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return 100 * (new_ - old) / old
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 func short(sha string) string {
@@ -191,16 +250,22 @@ func WriteTrendSVGs(dir string, baselines []*Baseline) ([]string, error) {
 // SummaryTable renders run results as a stats.Table for terminal
 // output.
 func SummaryTable(title string, results []CaseResult) *stats.Table {
-	t := stats.NewTable(title, "case", "n", "median", "mad", "ci95", "steals", "sync ops")
+	t := stats.NewTable(title, "case", "n", "median", "mad", "ci95", "steals", "sync ops", "top overhead")
 	for _, r := range results {
 		syncOps := r.Counters["central_ops"] + r.Counters["local_ops"] + r.Counters["remote_ops"]
+		top := "—"
+		if r.Forensics != nil && r.Forensics.Makespan > 0 {
+			top = fmt.Sprintf("%s %.1f%%", r.Forensics.TopOverhead,
+				100*r.Forensics.Buckets[r.Forensics.TopOverhead]/r.Forensics.Makespan)
+		}
 		t.AddRow(r.ID,
 			fmt.Sprintf("%d", r.Summary.N),
 			stats.FormatSeconds(r.Summary.Median)+"s",
 			stats.FormatSeconds(r.Summary.MAD),
 			fmt.Sprintf("[%s, %s]", stats.FormatSeconds(r.Summary.CILo), stats.FormatSeconds(r.Summary.CIHi)),
 			stats.FormatCount(r.Counters["steals"]),
-			stats.FormatCount(syncOps))
+			stats.FormatCount(syncOps),
+			top)
 	}
 	return t
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/forensics"
 	"repro/internal/kernels"
 	"repro/internal/machine"
 	"repro/internal/sched"
@@ -23,6 +24,12 @@ type CaseResult struct {
 	Samples  []float64          `json:"samples_sec"`
 	Summary  stats.Summary      `json:"summary"`
 	Counters map[string]float64 `json:"counters,omitempty"`
+	// Forensics is the attribution digest of the final measured repeat
+	// (per-processor-average compute / cache-reload / interconnect /
+	// queue-wait / idle buckets). Optional: absent from baselines
+	// written before execution forensics existed — the schema is
+	// unchanged.
+	Forensics *forensics.Summary `json:"forensics,omitempty"`
 }
 
 // Runner executes benchmark cases.
@@ -39,10 +46,13 @@ type Runner struct {
 }
 
 // seedFor derives a stable per-case seed from the run seed and case ID.
-func (r *Runner) seedFor(id string) uint64 {
+func (r *Runner) seedFor(id string) uint64 { return caseSeed(r.BaseSeed, id) }
+
+// caseSeed is the shared derivation, also used to regenerate identical
+// workloads for gate-failure forensics captures.
+func caseSeed(base uint64, id string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(id))
-	base := r.BaseSeed
 	if base == 0 {
 		base = 1
 	}
@@ -71,7 +81,7 @@ func (r *Runner) runCase(c Case) (CaseResult, error) {
 	if c.Repeats < 1 {
 		return CaseResult{}, fmt.Errorf("repeats must be >= 1 (got %d)", c.Repeats)
 	}
-	var once func(rep int, reg *telemetry.Registry) (float64, error)
+	var once func(rep int, reg *telemetry.Registry, prov telemetry.ProvSink) (float64, error)
 	switch c.Substrate {
 	case SubstrateSim:
 		m, err := machine.ByName(c.Machine)
@@ -86,10 +96,11 @@ func (r *Runner) runCase(c Case) (CaseResult, error) {
 		if err != nil {
 			return CaseResult{}, err
 		}
-		once = func(rep int, reg *telemetry.Registry) (float64, error) {
+		once = func(rep int, reg *telemetry.Registry, prov telemetry.ProvSink) (float64, error) {
 			met, err := sim.RunOpts(m, c.Procs, spec, build(), sim.Options{
 				Seed:    r.seedFor(c.ID) + uint64(rep),
 				Metrics: reg,
+				Prov:    prov,
 			})
 			if err != nil {
 				return 0, err
@@ -101,8 +112,8 @@ func (r *Runner) runCase(c Case) (CaseResult, error) {
 		if err != nil {
 			return CaseResult{}, err
 		}
-		once = func(rep int, reg *telemetry.Registry) (float64, error) {
-			st, err := run(reg)
+		once = func(rep int, reg *telemetry.Registry, prov telemetry.ProvSink) (float64, error) {
+			st, err := run(reg, prov)
 			if err != nil {
 				return 0, err
 			}
@@ -113,24 +124,34 @@ func (r *Runner) runCase(c Case) (CaseResult, error) {
 	}
 
 	for w := 0; w < c.Warmup; w++ {
-		if _, err := once(-1-w, nil); err != nil {
+		if _, err := once(-1-w, nil, nil); err != nil {
 			return CaseResult{}, err
 		}
 	}
 	samples := make([]float64, 0, c.Repeats)
 	var counters map[string]float64
+	var provRecords []telemetry.Prov
 	for rep := 0; rep < c.Repeats; rep++ {
 		var reg *telemetry.Registry
+		var prov provRecorder
 		if rep == c.Repeats-1 {
 			reg = telemetry.NewRegistry()
+			if c.Substrate == SubstrateReal {
+				prov = telemetry.NewSyncProvStream() // concurrent workers
+			} else {
+				prov = telemetry.NewProvStream()
+			}
 		}
-		s, err := once(rep, reg)
+		s, err := once(rep, reg, sinkOrNil(prov))
 		if err != nil {
 			return CaseResult{}, err
 		}
 		samples = append(samples, s)
 		if reg != nil {
 			counters = currentValues(reg)
+		}
+		if prov != nil {
+			provRecords = prov.Records()
 		}
 	}
 	if f, ok := r.Inject[c.ID]; ok && f > 0 {
@@ -139,11 +160,52 @@ func (r *Runner) runCase(c Case) (CaseResult, error) {
 		}
 	}
 	return CaseResult{
-		Case:     c,
-		Samples:  samples,
-		Summary:  stats.Summarize(samples, r.seedFor(c.ID)),
-		Counters: counters,
+		Case:      c,
+		Samples:   samples,
+		Summary:   stats.Summarize(samples, r.seedFor(c.ID)),
+		Counters:  counters,
+		Forensics: forensicsSummary(c, provRecords),
 	}, nil
+}
+
+// provRecorder is the intersection of ProvStream and SyncProvStream
+// the runner needs: emit during the run, read back after.
+type provRecorder interface {
+	telemetry.ProvSink
+	Records() []telemetry.Prov
+}
+
+// sinkOrNil avoids handing the substrates a non-nil interface wrapping
+// a nil recorder (which would defeat their `sink != nil` fast path).
+func sinkOrNil(p provRecorder) telemetry.ProvSink {
+	if p == nil {
+		return nil
+	}
+	return p
+}
+
+// forensicsSummary condenses the final repeat's provenance into the
+// attribution digest stored with the baseline.
+func forensicsSummary(c Case, recs []telemetry.Prov) *forensics.Summary {
+	if len(recs) == 0 {
+		return nil
+	}
+	unit := "cycles"
+	if c.Substrate == SubstrateReal {
+		unit = "ns"
+	}
+	a, err := forensics.Analyze(&forensics.Trace{
+		Meta: forensics.Meta{
+			Label: c.ID, Substrate: c.Substrate, Machine: c.Machine,
+			Kernel: c.Kernel, Algo: c.Algo, Procs: c.Procs, TimeUnit: unit,
+		},
+		Prov: recs,
+	})
+	if err != nil {
+		return nil
+	}
+	s := a.Summarize()
+	return &s
 }
 
 // currentValues snapshots the registry's live metric values (counters,
@@ -160,27 +222,27 @@ func currentValues(reg *telemetry.Registry) map[string]float64 {
 // realKernel builds a closure running one full execution of the case's
 // kernel on the real goroutine runtime, mirroring cmd/realbench's
 // kernel set (the subset that is fast enough for a standing suite).
-func realKernel(c Case) (func(reg *telemetry.Registry) (core.Stats, error), error) {
-	opts := func(reg *telemetry.Registry) core.Config {
+func realKernel(c Case) (func(reg *telemetry.Registry, prov telemetry.ProvSink) (core.Stats, error), error) {
+	opts := func(reg *telemetry.Registry, prov telemetry.ProvSink) core.Config {
 		spec, _ := sched.ByName(c.Algo)
-		return core.Config{Procs: c.Procs, Spec: spec, Metrics: reg}
+		return core.Config{Procs: c.Procs, Spec: spec, Metrics: reg, Prov: prov}
 	}
 	if _, err := sched.ByName(c.Algo); err != nil {
 		return nil, err
 	}
 	switch c.Kernel {
 	case "gauss":
-		return func(reg *telemetry.Registry) (core.Stats, error) {
+		return func(reg *telemetry.Registry, prov telemetry.ProvSink) (core.Stats, error) {
 			g := kernels.NewGaussMatrix(c.N)
-			return core.Run(opts(reg), c.N-1, g.PhaseIterations,
+			return core.Run(opts(reg, prov), c.N-1, g.PhaseIterations,
 				func(ph, i int) { g.EliminateRow(ph, i) })
 		}, nil
 	case "sor":
-		return func(reg *telemetry.Registry) (core.Stats, error) {
+		return func(reg *telemetry.Registry, prov telemetry.ProvSink) (core.Stats, error) {
 			g := kernels.NewSORGrid(c.N)
 			var total core.Stats
 			for ph := 0; ph < c.Phases; ph++ {
-				st, err := core.ParallelFor(opts(reg), c.N, g.UpdateRow)
+				st, err := core.ParallelFor(opts(reg, prov), c.N, g.UpdateRow)
 				if err != nil {
 					return total, err
 				}
@@ -192,9 +254,9 @@ func realKernel(c Case) (func(reg *telemetry.Registry) (core.Stats, error), erro
 			return total, nil
 		}, nil
 	case "adjoint":
-		return func(reg *telemetry.Registry) (core.Stats, error) {
+		return func(reg *telemetry.Registry, prov telemetry.ProvSink) (core.Stats, error) {
 			d := kernels.NewAdjointData(c.N, false)
-			return core.ParallelFor(opts(reg), d.Iterations(), d.Body)
+			return core.ParallelFor(opts(reg, prov), d.Iterations(), d.Body)
 		}, nil
 	}
 	return nil, fmt.Errorf("unknown real-substrate kernel %q (gauss, sor, adjoint)", c.Kernel)

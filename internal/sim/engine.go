@@ -36,6 +36,11 @@ type Options struct {
 	// events (internal/telemetry). The simulator is single-threaded,
 	// so an unsynchronised telemetry.Stream is fine.
 	Events telemetry.Sink
+	// Prov, when non-nil, receives one provenance record per executed
+	// chunk: owner queue, stolen flag, and the exact decomposition of
+	// the chunk's window into compute, cache-reload and bus-wait
+	// cycles — the input internal/forensics attributes slowdowns from.
+	Prov telemetry.ProvSink
 	// Metrics, when non-nil, is updated with counters and histograms
 	// (sync ops, chunk sizes, queue waits, steal latency) and receives
 	// a time-series snapshot at every step barrier.
@@ -84,6 +89,7 @@ func RunOpts(m *machine.Machine, p int, spec sched.Spec, prog Program, opts Opti
 		sinks = append(sinks, opts.Events)
 	}
 	e.sink = telemetry.Tee(sinks...)
+	e.prov = opts.Prov
 	if opts.Metrics != nil {
 		e.rh = newRegHandles(opts.Metrics)
 	}
@@ -131,6 +137,16 @@ type procState struct {
 	idx        int
 	hasChunk   bool
 	done       bool
+
+	// Per-chunk provenance: where the chunk came from and how its
+	// execution window decomposes (reset at every fetch).
+	chunkOwner     int
+	chunkStolen    bool
+	chunkQueueWait float64
+	chunkCompute   float64
+	chunkCache     float64
+	chunkBus       float64
+	chunkMisses    int
 }
 
 type engine struct {
@@ -149,7 +165,15 @@ type engine struct {
 	seed       uint64
 	step       int
 	sink       telemetry.Sink
+	prov       telemetry.ProvSink
 	rh         *regHandles
+
+	// fetchOwner/fetchStolen describe the chunk the most recent
+	// fetcher call returned: which queue it came from (-1 for the
+	// central queue) and whether it migrated. Fetchers set them inside
+	// fetch; the engine folds them into provenance records.
+	fetchOwner  int
+	fetchStolen bool
 	flushEvery int
 	activeFn   func(step int) int
 	active     int
@@ -309,12 +333,14 @@ func (e *engine) runStep() {
 			continue
 		}
 		if !st.hasChunk {
+			e.fetchOwner, e.fetchStolen = -1, false
 			c, ready, ok := e.f.fetch(p, st.clock)
 			if !ok {
 				st.done = true
 				continue
 			}
 			e.queueWait += ready - st.clock
+			st.chunkQueueWait = ready - st.clock
 			if ready > st.clock {
 				if e.sink != nil {
 					e.sink.Emit(telemetry.Event{Kind: telemetry.KindQueueWait,
@@ -332,12 +358,16 @@ func (e *engine) runStep() {
 			st.chunkStart = st.clock
 			st.idx = c.Lo
 			st.hasChunk = true
+			st.chunkOwner, st.chunkStolen = e.fetchOwner, e.fetchStolen
+			st.chunkCompute, st.chunkCache, st.chunkBus = 0, 0, 0
+			st.chunkMisses = 0
 			if e.loop.Touches == nil {
 				// No shared memory: execute the whole chunk inline.
 				for i := c.Lo; i < c.Hi; i++ {
 					st.clock += e.loop.Cost(i)
 					e.recordExec(i, p)
 				}
+				st.chunkCompute = st.clock - st.chunkStart
 				e.procBusy[p] += st.clock - st.chunkStart
 				st.hasChunk = false
 				e.traceExec(p, st)
@@ -362,12 +392,16 @@ func (e *engine) execIteration(p int, st *procState) {
 				e.hits++
 			} else {
 				e.misses++
+				st.chunkMisses++
 				e.bytesMoved += int64(t.Bytes)
 				if bc := e.m.BusCycles(t.Bytes); bc > 0 {
 					start, _ := e.bus.Acquire(st.clock, bc)
 					e.busWait += start - st.clock
+					st.chunkBus += start - st.clock
+					st.chunkCache += e.m.TransferCycles(t.Bytes)
 					st.clock = start + e.m.TransferCycles(t.Bytes)
 				} else {
+					st.chunkCache += e.m.TransferCycles(t.Bytes)
 					st.clock += e.m.TransferCycles(t.Bytes)
 				}
 				if cache.Contains(t.ID) {
@@ -391,6 +425,7 @@ func (e *engine) execIteration(p int, st *procState) {
 		})
 	}
 	st.clock += e.loop.Cost(i)
+	st.chunkCompute += e.loop.Cost(i)
 	e.recordExec(i, p)
 	st.idx++
 	if st.idx >= st.chunk.Hi {
@@ -400,15 +435,25 @@ func (e *engine) execIteration(p int, st *procState) {
 	}
 }
 
-// traceExec records a finished chunk in the telemetry stream.
+// traceExec records a finished chunk in the telemetry stream and, when
+// provenance is on, emits the chunk's cost-decomposed record.
 func (e *engine) traceExec(p int, st *procState) {
-	if e.sink == nil {
-		return
+	if e.sink != nil {
+		e.sink.Emit(telemetry.Event{
+			Kind: telemetry.KindExec, Proc: p, Victim: -1, Step: e.step,
+			Lo: st.chunk.Lo, Hi: st.chunk.Hi, Start: st.chunkStart, End: st.clock,
+		})
 	}
-	e.sink.Emit(telemetry.Event{
-		Kind: telemetry.KindExec, Proc: p, Victim: -1, Step: e.step,
-		Lo: st.chunk.Lo, Hi: st.chunk.Hi, Start: st.chunkStart, End: st.clock,
-	})
+	if e.prov != nil {
+		e.prov.EmitProv(telemetry.Prov{
+			Step: e.step, Proc: p, Owner: st.chunkOwner, Stolen: st.chunkStolen,
+			Lo: st.chunk.Lo, Hi: st.chunk.Hi,
+			Start: st.chunkStart, End: st.clock,
+			QueueWait: st.chunkQueueWait,
+			Compute:   st.chunkCompute, CacheReload: st.chunkCache,
+			BusWait: st.chunkBus, Misses: st.chunkMisses,
+		})
+	}
 }
 
 // recordExec remembers which processor executed a global iteration, for
@@ -560,6 +605,7 @@ func (f *staticFetcher) fetch(p int, now float64) (sched.Chunk, float64, bool) {
 	}
 	c := chs[f.next[p]]
 	f.next[p]++
+	f.e.fetchOwner = p // static assignments never migrate
 	return c, now, true
 }
 
@@ -645,6 +691,7 @@ func (f *afsFetcher) fetch(p int, now float64) (sched.Chunk, float64, bool) {
 		_, end := f.qres[p].Acquire(now, f.e.m.AFSLocalOp())
 		c, _ := q.TakeFront(amt)
 		f.e.localOps[p]++
+		f.e.fetchOwner = p
 		return c, end, true
 	}
 	for i := range f.queues {
@@ -664,6 +711,7 @@ func (f *afsFetcher) fetch(p int, now float64) (sched.Chunk, float64, bool) {
 	f.e.remoteOps[v]++
 	f.e.steals++
 	f.e.migratedIters += c.Len()
+	f.e.fetchOwner, f.e.fetchStolen = v, true
 	if f.e.sink != nil {
 		f.e.sink.Emit(telemetry.Event{
 			Kind: telemetry.KindSteal, Proc: p, Victim: v, Step: f.e.step,

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // ChromeOptions tunes the Chrome trace-event export.
@@ -78,11 +79,16 @@ func WriteChromeTrace(w io.Writer, events []Event, opts ChromeOptions) error {
 		})
 	}
 
+	// Zero-width complete slices vanish (or render as artifacts) in
+	// chrome://tracing and Perfetto, and a clock hiccup producing
+	// End < Start would render as garbage — clamp every duration to a
+	// small positive floor instead.
+	const minVisibleDur = 1e-3 // µs
 	flowID := 0
 	dur := func(e Event) *float64 {
 		d := (e.End - e.Start) * scale
-		if d < 0 {
-			d = 0
+		if d < minVisibleDur {
+			d = minVisibleDur
 		}
 		return &d
 	}
@@ -130,6 +136,16 @@ func WriteChromeTrace(w io.Writer, events []Event, opts ChromeOptions) error {
 			})
 		}
 	}
+
+	// Some trace viewers mis-nest slices when the stream is not
+	// time-ordered, and concurrent real-runtime sinks can interleave
+	// events out of order — sort everything after the metadata prefix
+	// by timestamp. The sort is stable so a steal's flow-start ("s")
+	// stays ahead of its flow-end ("f") when they share a timestamp.
+	meta := 1 + 2*procs
+	sort.SliceStable(out[meta:], func(i, j int) bool {
+		return out[meta+i].Ts < out[meta+j].Ts
+	})
 
 	enc := json.NewEncoder(w)
 	return enc.Encode(struct {

@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestChromeTraceHardening pins the export's behaviour on degenerate
+// streams: zero-duration slices (barrier-adjacent execs), an event
+// whose clock ran backwards, and out-of-order emission (concurrent
+// real-runtime sinks interleave freely). Every complete slice must
+// come out with a positive duration and the stream must be
+// time-ordered.
+func TestChromeTraceHardening(t *testing.T) {
+	events := []Event{
+		// Deliberately emitted out of order.
+		{Kind: KindExec, Proc: 1, Victim: -1, Step: 0, Lo: 4, Hi: 8, Start: 50, End: 90},
+		{Kind: KindExec, Proc: 0, Victim: -1, Step: 0, Lo: 0, Hi: 4, Start: 0, End: 40},
+		// Zero duration: starts and ends on the same tick.
+		{Kind: KindQueueWait, Proc: 0, Victim: -1, Step: 0, Start: 40, End: 40},
+		// Clock hiccup: End < Start.
+		{Kind: KindExec, Proc: 0, Victim: -1, Step: 0, Lo: 8, Hi: 9, Start: 45, End: 43},
+	}
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, events, ChromeOptions{Procs: 2, TimeScale: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Ts   float64  `json:"ts"`
+			Dur  *float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	slices, lastTs := 0, -1.0
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" {
+			continue // metadata carries no timestamps
+		}
+		if e.Ts < lastTs {
+			t.Errorf("event %q at ts %g precedes prior ts %g: stream not sorted", e.Name, e.Ts, lastTs)
+		}
+		lastTs = e.Ts
+		if e.Ph == "X" {
+			slices++
+			if e.Dur == nil || *e.Dur <= 0 {
+				t.Errorf("slice %q has non-positive duration %v", e.Name, e.Dur)
+			}
+		}
+	}
+	if slices != 4 {
+		t.Errorf("expected 4 complete slices (3 execs + 1 queue wait), got %d", slices)
+	}
+}

@@ -150,6 +150,21 @@ func WithMetrics(r *MetricsRegistry) Option {
 	return func(c *config) { c.Metrics = r }
 }
 
+// WithProvenance attaches a provenance sink receiving one record per
+// executed chunk (owner queue, stolen flag, measured dispatch wait) —
+// the raw material for internal/forensics slowdown attribution.
+// NewProvenanceStream returns a suitable concurrent-safe sink.
+func WithProvenance(s ProvenanceSink) Option {
+	return func(c *config) { c.Prov = s }
+}
+
+// WithQueueDepthSampling samples every work queue's backlog at the
+// given interval into RunStats.QueueDepthSamples — the real runtime's
+// version of the simulator's per-queue imbalance signal.
+func WithQueueDepthSampling(every time.Duration) Option {
+	return func(c *config) { c.QueueDepthEvery = every }
+}
+
 func buildConfig(opts []Option) (core.Config, error) {
 	cfg := config{Config: core.Config{Spec: sched.SpecAFS()}}
 	for _, o := range opts {
@@ -237,6 +252,28 @@ type EventStream = telemetry.SyncStream
 
 // NewEventStream creates an empty concurrent-safe event stream.
 func NewEventStream() *EventStream { return telemetry.NewSyncStream() }
+
+// ProvenanceRecord is one per-chunk provenance record: executing
+// processor, owning queue, stolen flag, and the chunk's cost
+// decomposition (exact for simulator streams, compute-only for the
+// real runtime).
+type ProvenanceRecord = telemetry.Prov
+
+// ProvenanceSink consumes provenance records as chunks complete.
+type ProvenanceSink = telemetry.ProvSink
+
+// ProvenanceStream is a concurrent-safe in-memory provenance sink,
+// usable with both the real runtime (WithProvenance) and the simulator
+// (SimOptions.Prov accepts any ProvenanceSink).
+type ProvenanceStream = telemetry.SyncProvStream
+
+// NewProvenanceStream creates an empty concurrent-safe provenance
+// stream.
+func NewProvenanceStream() *ProvenanceStream { return telemetry.NewSyncProvStream() }
+
+// QueueDepthSample is one timed per-queue backlog sample from
+// WithQueueDepthSampling.
+type QueueDepthSample = core.QueueDepths
 
 // MetricsRegistry holds named counters, gauges and histograms with
 // per-step time-series snapshots.

@@ -22,6 +22,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/forensics"
 )
 
@@ -79,6 +80,17 @@ func runCapture(args []string) error {
 	label := fs.String("label", "", "run label (default algo/kernel/machine/pP)")
 	out := fs.String("o", "", "output trace file (default stdout)")
 	fs.Parse(args)
+
+	// Same offending-flag validation as realbench and perflab
+	// (internal/cli): bad counts name their flag and exit non-zero
+	// instead of surfacing as a confusing capture failure.
+	if err := cli.FirstError(
+		cli.PositiveInt("-p", *procs),
+		cli.PositiveInt("-n", *n),
+		cli.PositiveInt("-phases", *phases),
+	); err != nil {
+		return err
+	}
 
 	tr, met, err := forensics.CaptureSim(forensics.CaptureSpec{
 		Machine: *machine, Kernel: *kernel, Algo: *algo,

@@ -28,9 +28,9 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
-	"strconv"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/perflab"
 )
 
@@ -47,6 +47,8 @@ func main() {
 		err = cmdCompare(os.Args[2:])
 	case "gate":
 		err = cmdGate(os.Args[2:])
+	case "duel":
+		err = cmdDuel(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "-h", "-help", "--help", "help":
@@ -70,6 +72,8 @@ func usage() {
   compare  diff two baselines (markdown report, trend SVGs)
   gate     re-run gate cases against the latest baseline; exit 1 on
            a statistically significant regression
+  duel     race two registered cases head to head; exit 1 unless the
+           expected winner's median beats the loser's by -margin
   serve    live HTML dashboard over the baseline history
 
 Run 'perflab <subcommand> -h' for flags.
@@ -105,27 +109,12 @@ func (sf suiteFlags) select_(gateOnly bool) ([]perflab.Case, *perflab.Runner, er
 	if len(cases) == 0 {
 		return nil, nil, fmt.Errorf("perflab: no cases match -cases %q -substrate %q", *sf.cases, *sf.substrate)
 	}
-	inject, err := parseInject(*sf.inject)
+	// Offending-flag validation shared with realbench and loopdoctor.
+	inject, err := cli.InjectFlag("-inject", *sf.inject)
 	if err != nil {
 		return nil, nil, err
 	}
 	return cases, &perflab.Runner{BaseSeed: *sf.seed, Inject: inject}, nil
-}
-
-func parseInject(s string) (map[string]float64, error) {
-	if s == "" {
-		return nil, nil
-	}
-	out := make(map[string]float64)
-	for _, pair := range strings.Split(s, ",") {
-		id, factor, ok := strings.Cut(pair, "=")
-		f, err := strconv.ParseFloat(factor, 64)
-		if !ok || err != nil || f <= 0 {
-			return nil, fmt.Errorf("perflab: bad -inject entry %q (want caseID=factor)", pair)
-		}
-		out[strings.TrimSpace(id)] = f
-	}
-	return out, nil
 }
 
 func cmdRun(args []string) error {
@@ -275,6 +264,53 @@ func cmdGate(args []string) error {
 		}
 	}
 	return gateErr
+}
+
+// cmdDuel races two registered cases and fails unless the expected
+// winner's median beats the loser's by the margin. CI's perf-smoke job
+// uses it to hold the headline claim for the persistent executor:
+// reusing one pool across a stream of small loops must stay faster
+// than paying per-call spawn/teardown (the many-small-loops pair).
+func cmdDuel(args []string) error {
+	fs := flag.NewFlagSet("perflab duel", flag.ExitOnError)
+	fast := fs.String("fast", "real/many-small-loops/executor/p4", "case expected to win")
+	slow := fs.String("slow", "real/many-small-loops/percall/p4", "case expected to lose")
+	margin := fs.Float64("margin", 1.0, "required speedup: median(slow)/median(fast) must reach this")
+	short := fs.Bool("short", false, "CI-sized problems and repeat counts")
+	seed := fs.Uint64("seed", 1, "run seed")
+	fs.Parse(args)
+	if err := cli.PositiveFloat("-margin", *margin); err != nil {
+		return err
+	}
+	reg := perflab.DefaultRegistry(*short)
+	var duel []perflab.Case
+	for _, id := range []string{*fast, *slow} {
+		c, ok := reg.Get(id)
+		if !ok {
+			return fmt.Errorf("perflab duel: unknown case %q", id)
+		}
+		duel = append(duel, c)
+	}
+	runner := &perflab.Runner{BaseSeed: *seed}
+	runner.Progress = func(done, total int, res perflab.CaseResult) {
+		fmt.Fprintf(os.Stderr, "[%d/%d] %s  median %.4gs\n", done, total, res.ID, res.Summary.Median)
+	}
+	results, err := runner.Run(duel)
+	if err != nil {
+		return err
+	}
+	mFast, mSlow := results[0].Summary.Median, results[1].Summary.Median
+	if mFast <= 0 {
+		return fmt.Errorf("perflab duel: %s median %.4gs is not positive; cannot judge", *fast, mFast)
+	}
+	speedup := mSlow / mFast
+	fmt.Printf("perflab duel: %s %.4gs vs %s %.4gs — speedup %.2fx (need >= %.2fx)\n",
+		*fast, mFast, *slow, mSlow, speedup, *margin)
+	if speedup < *margin {
+		return fmt.Errorf("perflab duel: %s did not beat %s by %.2fx (got %.2fx)",
+			*fast, *slow, *margin, speedup)
+	}
+	return nil
 }
 
 func cmdServe(args []string) error {

@@ -56,20 +56,20 @@ func main() {
 	if flag.NArg() > 0 {
 		fatal(fmt.Errorf("unexpected arguments: %v", flag.Args()))
 	}
+	// Validation errors name the offending flag (shared with perflab
+	// and loopdoctor via internal/cli): an unknown algorithm or a bad
+	// worker count must exit non-zero with a pointer to the flag,
+	// never fall through to an empty or degenerate sweep.
 	if err := validateArgs(*n, *phases, *repeats); err != nil {
 		fatal(err)
 	}
-
-	// Parse errors name the offending flag: an unknown algorithm or a
-	// bad worker count must exit non-zero with a pointer to the flag,
-	// never fall through to an empty sweep.
-	counts, err := cli.ParseProcs(*workers)
+	counts, err := cli.ProcsFlag("-workers", *workers)
 	if err != nil {
-		fatal(fmt.Errorf("-workers: %w", err))
+		fatal(err)
 	}
-	specs, err := cli.ParseAlgos(*algosFlag)
+	specs, err := cli.AlgosFlag("-algos", *algosFlag)
 	if err != nil {
-		fatal(fmt.Errorf("-algos: %w", err))
+		fatal(err)
 	}
 	run, desc, err := realKernel(*kernelName, *n, *phases)
 	if err != nil {
@@ -360,16 +360,11 @@ func realKernel(name string, n, phases int) (runFunc, string, error) {
 // -repeats 0 the median of zero samples would panic, and a
 // non-positive problem size yields a meaningless zero-row sweep.
 func validateArgs(n, phases, repeats int) error {
-	if repeats < 1 {
-		return fmt.Errorf("-repeats must be >= 1 (got %d)", repeats)
-	}
-	if n < 1 {
-		return fmt.Errorf("-n must be >= 1 (got %d)", n)
-	}
-	if phases < 1 {
-		return fmt.Errorf("-phases must be >= 1 (got %d)", phases)
-	}
-	return nil
+	return cli.FirstError(
+		cli.PositiveInt("-repeats", repeats),
+		cli.PositiveInt("-n", n),
+		cli.PositiveInt("-phases", phases),
+	)
 }
 
 func accumulate(total *repro.RunStats, st repro.RunStats) {

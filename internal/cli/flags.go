@@ -1,0 +1,86 @@
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/sched"
+)
+
+// The flag-validation helpers below give every command-line tool the
+// same offending-flag error shape: the message always leads with the
+// flag's name ("-repeats must be >= 1 (got 0)", "-algos: unknown
+// algorithm ..."), so a user of realbench, perflab or loopdoctor sees
+// identical diagnostics for identical mistakes.
+
+// PositiveInt rejects values below 1, naming the offending flag.
+func PositiveInt(flagName string, v int) error {
+	if v < 1 {
+		return fmt.Errorf("%s must be >= 1 (got %d)", flagName, v)
+	}
+	return nil
+}
+
+// PositiveFloat rejects non-positive values, naming the flag.
+func PositiveFloat(flagName string, v float64) error {
+	if v <= 0 {
+		return fmt.Errorf("%s must be > 0 (got %g)", flagName, v)
+	}
+	return nil
+}
+
+// FirstError returns the first non-nil error, letting callers validate
+// a flag set in one expression:
+//
+//	if err := cli.FirstError(
+//	    cli.PositiveInt("-n", n),
+//	    cli.PositiveInt("-repeats", repeats),
+//	); err != nil { ... }
+func FirstError(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ProcsFlag parses a comma-separated processor-count list, prefixing
+// errors with the flag's name.
+func ProcsFlag(flagName, val string) ([]int, error) {
+	out, err := ParseProcs(val)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", flagName, err)
+	}
+	return out, nil
+}
+
+// AlgosFlag resolves a comma-separated algorithm list, prefixing
+// errors with the flag's name.
+func AlgosFlag(flagName, val string) ([]sched.Spec, error) {
+	out, err := ParseAlgos(val)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", flagName, err)
+	}
+	return out, nil
+}
+
+// InjectFlag parses a 'caseID=factor,...' sample-multiplier list (the
+// perflab gate's synthetic-slowdown test hook), prefixing errors with
+// the flag's name.
+func InjectFlag(flagName, val string) (map[string]float64, error) {
+	if val == "" {
+		return nil, nil
+	}
+	out := make(map[string]float64)
+	for _, pair := range strings.Split(val, ",") {
+		id, factor, ok := strings.Cut(pair, "=")
+		f, err := strconv.ParseFloat(factor, 64)
+		if !ok || err != nil || f <= 0 {
+			return nil, fmt.Errorf("%s: bad entry %q (want caseID=factor)", flagName, pair)
+		}
+		out[strings.TrimSpace(id)] = f
+	}
+	return out, nil
+}

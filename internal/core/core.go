@@ -11,7 +11,7 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -24,8 +24,14 @@ import (
 // Config selects the workers and the scheduling algorithm for a Run.
 type Config struct {
 	// Procs is the number of worker goroutines (default
-	// runtime.GOMAXPROCS(0)).
+	// runtime.GOMAXPROCS(0)). Under a persistent Engine it instead
+	// selects how many of the engine's workers participate (0 = all).
 	Procs int
+	// Ctx, when non-nil, cancels the run: dispatch stops at chunk
+	// granularity (in-flight chunks finish), the phase barrier drains
+	// cleanly, and Run returns the context's error alongside partial
+	// Stats. nil means context.Background().
+	Ctx context.Context
 	// Spec selects the scheduling algorithm (see internal/sched).
 	Spec sched.Spec
 	// CostHint estimates iteration i's cost in phase ph, enabling the
@@ -128,107 +134,32 @@ func ParallelFor(cfg Config, n int, body func(i int)) (Stats, error) {
 // phases (the paper's parallel-loop-in-sequential-loop shape). Workers
 // persist across phases so AFS's deterministic assignment gives each
 // worker the same iterations every phase.
+//
+// Run is the one-shot lifetime of the dispatch/steal engine: it wraps
+// a transient Engine — create, execute one submission, tear down. The
+// persistent lifetime (workers and affinity state surviving across
+// submissions) is Engine itself, surfaced publicly as repro.Executor
+// via internal/pool.
 func Run(cfg Config, phases int, n func(ph int) int, body func(ph, i int)) (Stats, error) {
-	p := cfg.procs()
-	if p < 1 {
-		return Stats{}, fmt.Errorf("core: need at least one worker, got %d", p)
+	e, err := NewEngine(cfg.procs())
+	if err != nil {
+		return Stats{}, err
 	}
-	if phases < 0 {
-		return Stats{}, fmt.Errorf("core: negative phase count %d", phases)
+	defer e.Close()
+	res, err := e.Execute(cfg, phases, n, body)
+	if res.Panic != nil {
+		// A crashing loop body behaves like it would in a plain
+		// sequential for-loop rather than killing an anonymous
+		// goroutine.
+		panic(res.Panic)
 	}
-	var d dispatcher
-	switch cfg.Spec.Family {
-	case sched.FamilyCentral:
-		if cfg.Spec.NewSizer == nil {
-			return Stats{}, fmt.Errorf("core: spec %q has no sizer", cfg.Spec.Name)
-		}
-		sizer := cfg.Spec.NewSizer()
-		if cfg.MinChunk > 1 {
-			sizer = &sched.Grained{Inner: sizer, Min: cfg.MinChunk}
-		}
-		d = &centralDispatch{sizer: sizer}
-	case sched.FamilyStatic:
-		d = &staticDispatch{best: cfg.Spec.BestStatic, costHint: cfg.CostHint}
-	case sched.FamilyAFS:
-		d = newAFSDispatch(p, cfg.Spec.AFS, cfg.Spec.Victim)
-		d.(*afsDispatch).minChunk = cfg.MinChunk
-	case sched.FamilyModFactoring:
-		d = &modfactDispatch{mf: sched.NewModFactoring()}
-	default:
-		return Stats{}, fmt.Errorf("core: unsupported scheduler family %v", cfg.Spec.Family)
-	}
-
-	r := &runner{cfg: cfg, p: p, d: d, body: body, sink: cfg.Events, prov: cfg.Prov}
-	r.stats.LocalOps = make([]int64, p)
-	r.stats.RemoteOps = make([]int64, p)
-	if cfg.Metrics != nil {
-		r.rh = newCoreHandles(cfg.Metrics)
-	}
-
-	start := time.Now()
-	r.t0 = start
-	stopSampler := r.startDepthSampler()
-	starts := make([]chan int, p)
-	var wg sync.WaitGroup
-	var phaseWG sync.WaitGroup
-	for w := 0; w < p; w++ {
-		starts[w] = make(chan int, 1)
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			if w < len(cfg.StartDelay) && cfg.StartDelay[w] > 0 {
-				time.Sleep(cfg.StartDelay[w])
-			}
-			for ph := range starts[w] {
-				r.work(w, ph)
-				phaseWG.Done()
-			}
-		}(w)
-	}
-	for ph := 0; ph < phases; ph++ {
-		nn := n(ph)
-		if nn < 0 {
-			nn = 0
-		}
-		r.phaseNo.Store(int64(ph))
-		d.initPhase(r, ph, nn)
-		if r.sink != nil {
-			t := r.nowNS()
-			r.sink.Emit(telemetry.Event{Kind: telemetry.KindPhaseBegin,
-				Proc: -1, Victim: -1, Step: ph, Hi: nn, Start: t, End: t})
-		}
-		phaseWG.Add(p)
-		for w := 0; w < p; w++ {
-			starts[w] <- ph
-		}
-		phaseWG.Wait()
-		if r.sink != nil {
-			t := r.nowNS()
-			r.sink.Emit(telemetry.Event{Kind: telemetry.KindPhaseEnd,
-				Proc: -1, Victim: -1, Step: ph, Start: t, End: t})
-		}
-		if r.rh != nil {
-			r.snapshotPhase(ph)
-		}
-		if r.aborted.Load() {
-			break
-		}
-	}
-	for w := 0; w < p; w++ {
-		close(starts[w])
-	}
-	wg.Wait()
-	stopSampler()
-
-	if r.panic != nil {
-		panic(r.panic)
-	}
-	r.stats.Elapsed = time.Since(start)
-	r.stats.Phases = phases
-	return r.stats, nil
+	return res.Stats, err
 }
 
-// runner carries shared execution state across one Run.
+// runner carries the per-submission execution state: stats, telemetry
+// sinks, the phase barrier, and the abort/cancel/panic flags. Each
+// submission gets a fresh runner, so nothing here outlives or leaks
+// across submissions on a shared Engine.
 type runner struct {
 	cfg     Config
 	p       int
@@ -241,9 +172,28 @@ type runner struct {
 	rh      *coreHandles
 	depthMu sync.Mutex
 	phaseNo atomic.Int64
+	phaseWG sync.WaitGroup
 	aborted atomic.Bool
-	panicMu sync.Mutex
-	panic   any // first panic value observed in any worker
+	// cancelled distinguishes a context cancellation from a body panic
+	// (both set aborted to stop dispatch at chunk granularity).
+	cancelled atomic.Bool
+	// delayPending[w] is true until worker w has applied its
+	// cfg.StartDelay (§4.5); only worker w touches its slot.
+	delayPending []bool
+	panicMu      sync.Mutex
+	panic        any // first panic value observed in any worker
+}
+
+// delayOnce applies worker w's configured start delay on its first
+// task for this submission.
+func (r *runner) delayOnce(w int) {
+	if w >= len(r.delayPending) || !r.delayPending[w] {
+		return
+	}
+	r.delayPending[w] = false
+	if w < len(r.cfg.StartDelay) && r.cfg.StartDelay[w] > 0 {
+		time.Sleep(r.cfg.StartDelay[w])
+	}
 }
 
 // nowNS is the telemetry clock: nanoseconds since the run started.

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/telemetry"
+)
+
+// ErrClosed is returned by Engine.Execute for submissions admitted
+// after Close.
+var ErrClosed = errors.New("core: engine closed")
+
+// Engine is the long-lived execution substrate shared by both API
+// lifetimes: P persistent worker goroutines executing one loop
+// submission at a time. The one-shot entry points (Run, ParallelFor)
+// wrap a transient Engine — create, execute once, close — while
+// internal/pool keeps one alive across many submissions so the
+// deterministic ⌈N/P⌉ ownership mapping, the per-worker AFS queues and
+// the workers' warmed caches persist between successive loops on the
+// same index space (the paper's phase affinity, extended across API
+// calls).
+//
+// Submissions are admitted in FIFO order (waiters on the admission
+// baton are woken in arrival order) and executed one at a time, so
+// each submission gets the full worker set and per-submission state —
+// stats, telemetry sinks, panics — never cross-talks.
+type Engine struct {
+	p      int
+	turn   chan struct{} // admission baton, capacity 1
+	starts []chan phaseTask
+	wg     sync.WaitGroup
+	closed bool // guarded by the baton
+
+	// Cached AFS dispatcher: the per-worker queue array (and its
+	// false-sharing padding) is the executor's persistent affinity
+	// state, reused across submissions with the same algorithm and
+	// worker count. Baton-holder-owned; initPhase rebuilds the queue
+	// contents every phase, so staleness cannot leak between
+	// submissions.
+	afs      *afsDispatch
+	afsName  string
+	afsProcs int
+}
+
+// phaseTask tells a worker to run one phase of one submission.
+type phaseTask struct {
+	r  *runner
+	ph int
+}
+
+// NewEngine starts p persistent workers. Callers own the engine and
+// must Close it to stop them.
+func NewEngine(p int) (*Engine, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("core: need at least one worker, got %d", p)
+	}
+	e := &Engine{p: p, turn: make(chan struct{}, 1), starts: make([]chan phaseTask, p)}
+	for w := 0; w < p; w++ {
+		e.starts[w] = make(chan phaseTask, 1)
+		e.wg.Add(1)
+		go e.worker(w)
+	}
+	e.turn <- struct{}{}
+	return e, nil
+}
+
+// Procs is the worker count fixed at creation.
+func (e *Engine) Procs() int { return e.p }
+
+func (e *Engine) worker(w int) {
+	defer e.wg.Done()
+	for t := range e.starts[w] {
+		t.r.delayOnce(w)
+		t.r.work(w, t.ph)
+		t.r.phaseWG.Done()
+	}
+}
+
+// Close stops the workers once the in-flight submission (and any
+// submitter already waiting on the baton ahead of Close) completes.
+// Submissions arriving after Close fail with ErrClosed. Close is
+// idempotent.
+func (e *Engine) Close() {
+	<-e.turn
+	if e.closed {
+		e.turn <- struct{}{}
+		return
+	}
+	e.closed = true
+	for _, ch := range e.starts {
+		close(ch)
+	}
+	e.wg.Wait()
+	e.turn <- struct{}{}
+}
+
+// Result is one submission's outcome.
+type Result struct {
+	Stats Stats
+	// Panic is the first panic value raised by the loop body, or nil.
+	// The engine itself survives a panicking submission: workers
+	// recover, the phase barrier drains, and subsequent submissions run
+	// normally. The one-shot wrappers re-panic with this value;
+	// internal/pool converts it to an error.
+	Panic any
+}
+
+// Execute runs one phased loop submission to completion (or
+// cancellation) on the engine's workers. It blocks until the
+// submission finishes; concurrent callers are serialised FIFO.
+//
+// cfg.Procs selects how many of the engine's workers participate
+// (<= Procs(); 0 or negative means all of them). cfg.Ctx cancels the
+// submission at chunk granularity: in-flight chunks finish, no new
+// chunks are dispatched, the barrier drains, and Execute returns the
+// context's error alongside the partial Stats.
+func (e *Engine) Execute(cfg Config, phases int, n func(ph int) int, body func(ph, i int)) (Result, error) {
+	p := cfg.Procs
+	if p <= 0 {
+		p = e.p
+	}
+	if p > e.p {
+		return Result{}, fmt.Errorf("core: submission wants %d workers, engine has %d", p, e.p)
+	}
+	if phases < 0 {
+		return Result{}, fmt.Errorf("core: negative phase count %d", phases)
+	}
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	<-e.turn // FIFO admission
+	defer func() { e.turn <- struct{}{} }()
+	if e.closed {
+		return Result{}, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err // cancelled while queued: never dispatched
+	}
+
+	d, err := e.dispatcher(cfg, p)
+	if err != nil {
+		return Result{}, err
+	}
+
+	r := &runner{cfg: cfg, p: p, d: d, body: body, sink: cfg.Events, prov: cfg.Prov}
+	r.stats.LocalOps = make([]int64, p)
+	r.stats.RemoteOps = make([]int64, p)
+	if cfg.Metrics != nil {
+		r.rh = newCoreHandles(cfg.Metrics)
+	}
+	if len(cfg.StartDelay) > 0 {
+		r.delayPending = make([]bool, p)
+		for w := range r.delayPending {
+			r.delayPending[w] = true
+		}
+	}
+
+	start := time.Now()
+	r.t0 = start
+	var stopWatch func() bool
+	if ctx.Done() != nil {
+		stopWatch = context.AfterFunc(ctx, func() {
+			r.cancelled.Store(true)
+			r.aborted.Store(true)
+		})
+	}
+	stopSampler := r.startDepthSampler()
+	completed := 0
+	for ph := 0; ph < phases; ph++ {
+		nn := n(ph)
+		if nn < 0 {
+			nn = 0
+		}
+		r.phaseNo.Store(int64(ph))
+		d.initPhase(r, ph, nn)
+		if r.sink != nil {
+			t := r.nowNS()
+			r.sink.Emit(telemetry.Event{Kind: telemetry.KindPhaseBegin,
+				Proc: -1, Victim: -1, Step: ph, Hi: nn, Start: t, End: t})
+		}
+		r.phaseWG.Add(p)
+		for w := 0; w < p; w++ {
+			e.starts[w] <- phaseTask{r, ph}
+		}
+		r.phaseWG.Wait()
+		if r.sink != nil {
+			t := r.nowNS()
+			r.sink.Emit(telemetry.Event{Kind: telemetry.KindPhaseEnd,
+				Proc: -1, Victim: -1, Step: ph, Start: t, End: t})
+		}
+		if r.rh != nil {
+			r.snapshotPhase(ph)
+		}
+		if r.aborted.Load() {
+			break
+		}
+		completed++
+	}
+	stopSampler()
+	if stopWatch != nil {
+		stopWatch()
+	}
+
+	r.stats.Elapsed = time.Since(start)
+	r.stats.Phases = completed
+	res := Result{Stats: r.stats, Panic: r.panic}
+	if r.panic == nil && r.cancelled.Load() {
+		return res, context.Cause(ctx)
+	}
+	return res, nil
+}
+
+// dispatcher builds (or, for AFS, reuses) the chunk dispatcher for one
+// submission.
+func (e *Engine) dispatcher(cfg Config, p int) (dispatcher, error) {
+	switch cfg.Spec.Family {
+	case sched.FamilyCentral:
+		if cfg.Spec.NewSizer == nil {
+			return nil, fmt.Errorf("core: spec %q has no sizer", cfg.Spec.Name)
+		}
+		sizer := cfg.Spec.NewSizer()
+		if cfg.MinChunk > 1 {
+			sizer = &sched.Grained{Inner: sizer, Min: cfg.MinChunk}
+		}
+		return &centralDispatch{sizer: sizer}, nil
+	case sched.FamilyStatic:
+		return &staticDispatch{best: cfg.Spec.BestStatic, costHint: cfg.CostHint}, nil
+	case sched.FamilyAFS:
+		if e.afs != nil && e.afsName == cfg.Spec.Name && e.afsProcs == p {
+			e.afs.minChunk = cfg.MinChunk
+			return e.afs, nil
+		}
+		d := newAFSDispatch(p, cfg.Spec.AFS, cfg.Spec.Victim)
+		d.minChunk = cfg.MinChunk
+		e.afs, e.afsName, e.afsProcs = d, cfg.Spec.Name, p
+		return d, nil
+	case sched.FamilyModFactoring:
+		return &modfactDispatch{mf: sched.NewModFactoring()}, nil
+	default:
+		return nil, fmt.Errorf("core: unsupported scheduler family %v", cfg.Spec.Family)
+	}
+}

@@ -93,6 +93,15 @@ func (r *Registry) Add(c Case) Case {
 // Cases returns the registered cases in insertion order.
 func (r *Registry) Cases() []Case { return append([]Case(nil), r.cases...) }
 
+// Get returns the case registered under id.
+func (r *Registry) Get(id string) (Case, bool) {
+	i, ok := r.byID[id]
+	if !ok {
+		return Case{}, false
+	}
+	return r.cases[i], true
+}
+
 // Filter returns the cases matching an ID regexp (empty pattern = all)
 // and a substrate ("" or "both" = all). gateOnly further restricts to
 // gate-eligible cases.
@@ -158,6 +167,19 @@ func DefaultRegistry(short bool) *Registry {
 			N: realN, Phases: 8, Procs: 4, Repeats: realRepeats, Warmup: 1})
 		r.Add(Case{Substrate: SubstrateReal, Kernel: "sor", Algo: a,
 			N: realN, Phases: 8, Procs: 4, Repeats: realRepeats, Warmup: 1})
+	}
+	// Executor-reuse duel: one sample is a whole stream of Phases tiny
+	// loops, timed end to end. The "executor" arm submits them all to
+	// one persistent pool; the "percall" arm pays goroutine
+	// spawn/teardown on every loop. Tracked for trends and raced by
+	// `perflab duel` in CI's perf-smoke job; not gated (wall time).
+	loops, loopN := 400, 256
+	if short {
+		loops, loopN = 160, 128
+	}
+	for _, a := range []string{"executor", "percall"} {
+		r.Add(Case{Substrate: SubstrateReal, Kernel: "many-small-loops", Algo: a,
+			N: loopN, Phases: loops, Procs: 4, Repeats: realRepeats, Warmup: 1})
 	}
 	return r
 }

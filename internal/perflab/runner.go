@@ -1,14 +1,17 @@
 package perflab
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
+	"time"
 
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/forensics"
 	"repro/internal/kernels"
 	"repro/internal/machine"
+	"repro/internal/pool"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -223,6 +226,9 @@ func currentValues(reg *telemetry.Registry) map[string]float64 {
 // kernel on the real goroutine runtime, mirroring cmd/realbench's
 // kernel set (the subset that is fast enough for a standing suite).
 func realKernel(c Case) (func(reg *telemetry.Registry, prov telemetry.ProvSink) (core.Stats, error), error) {
+	if c.Kernel == "many-small-loops" {
+		return manySmallLoops(c)
+	}
 	opts := func(reg *telemetry.Registry, prov telemetry.ProvSink) core.Config {
 		spec, _ := sched.ByName(c.Algo)
 		return core.Config{Procs: c.Procs, Spec: spec, Metrics: reg, Prov: prov}
@@ -259,5 +265,60 @@ func realKernel(c Case) (func(reg *telemetry.Registry, prov telemetry.ProvSink) 
 			return core.ParallelFor(opts(reg, prov), d.Iterations(), d.Body)
 		}, nil
 	}
-	return nil, fmt.Errorf("unknown real-substrate kernel %q (gauss, sor, adjoint)", c.Kernel)
+	return nil, fmt.Errorf("unknown real-substrate kernel %q (gauss, sor, adjoint, many-small-loops)", c.Kernel)
+}
+
+// manySmallLoops is the executor-reuse duel kernel: one sample is a
+// stream of c.Phases tiny AFS loops of c.N iterations over one shared
+// slice, timed end to end. The case's Algo picks the arm rather than
+// the scheduler (both arms schedule with AFS): "executor" submits
+// every loop to a single persistent pool, so worker goroutines and
+// affinity state are paid for once per stream; "percall" calls
+// core.ParallelFor per loop, paying spawn/teardown each time. The work
+// is identical — the measured difference is pure lifetime overhead,
+// which is the headline claim for repro.Executor.
+func manySmallLoops(c Case) (func(reg *telemetry.Registry, prov telemetry.ProvSink) (core.Stats, error), error) {
+	if c.Algo != "executor" && c.Algo != "percall" {
+		return nil, fmt.Errorf("many-small-loops wants algo executor or percall (got %q)", c.Algo)
+	}
+	spec, err := sched.ByName("afs")
+	if err != nil {
+		return nil, err
+	}
+	return func(reg *telemetry.Registry, prov telemetry.ProvSink) (core.Stats, error) {
+		data := make([]float64, c.N)
+		body := func(i int) { data[i] += 1 / (1 + data[i]) }
+		cfg := core.Config{Procs: c.Procs, Spec: spec, Metrics: reg, Prov: prov}
+		var total core.Stats
+		start := time.Now()
+		if c.Algo == "executor" {
+			// Pool creation is inside the timed region on purpose: the
+			// claim is that one setup amortised over the stream beats
+			// per-loop setup, not that setup is free.
+			x, err := pool.New(c.Procs)
+			if err != nil {
+				return total, err
+			}
+			defer x.Close()
+			for ph := 0; ph < c.Phases; ph++ {
+				st, err := x.Submit(context.Background(), cfg, c.N, body)
+				if err != nil {
+					return total, err
+				}
+				total.Iterations += st.Iterations
+				total.Steals += st.Steals
+			}
+		} else {
+			for ph := 0; ph < c.Phases; ph++ {
+				st, err := core.ParallelFor(cfg, c.N, body)
+				if err != nil {
+					return total, err
+				}
+				total.Iterations += st.Iterations
+				total.Steals += st.Steals
+			}
+		}
+		total.Elapsed = time.Since(start)
+		return total, nil
+	}, nil
 }

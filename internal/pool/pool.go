@@ -1,0 +1,113 @@
+// Package pool is the persistent lifetime of the loop-scheduling
+// runtime: a long-lived Executor accepting loop submissions from many
+// goroutines onto one fixed set of workers, so the paper's affinity
+// state — the deterministic ⌈N/P⌉ ownership mapping, the per-worker
+// AFS queues, and the workers' warmed caches — survives across
+// successive loops instead of dying with every call, and the
+// per-call goroutine spawn/teardown cost is amortised across a whole
+// stream of submissions (the serving-traffic shape the ROADMAP aims
+// at).
+//
+// The dispatch/steal implementation itself lives in internal/core
+// (core.Engine); this package adds the submission contract: FIFO
+// admission, per-submission isolation of stats/telemetry/panics,
+// context cancellation at chunk granularity, and close semantics.
+// The public surface is repro.Executor.
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// ErrClosed is returned by submissions admitted after Close.
+var ErrClosed = core.ErrClosed
+
+// PanicError wraps a loop body's panic value. Unlike the one-shot
+// ParallelFor (which re-panics like a sequential loop would), an
+// Executor contains the panic to the submission that raised it: the
+// submitter gets a *PanicError, the workers survive, and subsequent
+// submissions run normally.
+type PanicError struct {
+	// Value is the original value passed to panic.
+	Value any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("pool: loop body panicked: %v", e.Value)
+}
+
+// Executor is a long-lived worker pool executing loop submissions.
+// Create one with New, submit loops for its lifetime from any number
+// of goroutines, and Close it when done. The zero value is not usable.
+//
+// Submissions are admitted in FIFO arrival order and executed one at a
+// time, each getting the full worker set — per-loop isolation rather
+// than interleaving, mirroring the paper's model of one parallel loop
+// owning the machine between barriers.
+type Executor struct {
+	eng    *core.Engine
+	closed atomic.Bool
+	subs   atomic.Int64
+}
+
+// New starts an executor with procs persistent workers (procs >= 1).
+func New(procs int) (*Executor, error) {
+	eng, err := core.NewEngine(procs)
+	if err != nil {
+		return nil, err
+	}
+	return &Executor{eng: eng}, nil
+}
+
+// Procs is the worker count fixed at creation. Submissions may use
+// fewer workers (cfg.Procs), never more.
+func (x *Executor) Procs() int { return x.eng.Procs() }
+
+// Submissions counts the submissions that completed execution
+// (including cancelled and panicked ones).
+func (x *Executor) Submissions() int64 { return x.subs.Load() }
+
+// Submit executes body(i) for i in [0, n) on the pool under cfg and
+// blocks until the loop completes, is cancelled, or panics. Safe for
+// concurrent use.
+func (x *Executor) Submit(ctx context.Context, cfg core.Config, n int, body func(i int)) (core.Stats, error) {
+	return x.SubmitPhases(ctx, cfg, 1, func(int) int { return n }, func(_, i int) { body(i) })
+}
+
+// SubmitPhases executes a phased loop (the paper's parallel-loop-in-
+// sequential-loop shape) on the pool: body(ph, i) for i in [0, n(ph))
+// with a barrier between phases. ctx cancels at chunk granularity:
+// in-flight chunks finish, the barrier drains, and SubmitPhases
+// returns the context's error with partial stats — without poisoning
+// subsequent submissions. A body panic is returned as *PanicError.
+func (x *Executor) SubmitPhases(ctx context.Context, cfg core.Config, phases int, n func(ph int) int, body func(ph, i int)) (core.Stats, error) {
+	if x.closed.Load() {
+		return core.Stats{}, ErrClosed
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg.Ctx = ctx
+	res, err := x.eng.Execute(cfg, phases, n, body)
+	if !errors.Is(err, ErrClosed) {
+		x.subs.Add(1)
+	}
+	if res.Panic != nil {
+		return res.Stats, &PanicError{Value: res.Panic}
+	}
+	return res.Stats, err
+}
+
+// Close stops the workers after in-flight submissions complete.
+// Later submissions fail with ErrClosed. Close is idempotent and safe
+// to call concurrently with Submit.
+func (x *Executor) Close() error {
+	x.closed.Store(true)
+	x.eng.Close()
+	return nil
+}

@@ -23,11 +23,14 @@
 package repro
 
 import (
+	"context"
 	"io"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/pool"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -166,7 +169,9 @@ func WithQueueDepthSampling(every time.Duration) Option {
 }
 
 func buildConfig(opts []Option) (core.Config, error) {
-	cfg := config{Config: core.Config{Spec: sched.SpecAFS()}}
+	// One-shot paths run under context.Background(); the *Ctx variants
+	// and Executor submissions overwrite Ctx afterwards.
+	cfg := config{Config: core.Config{Spec: sched.SpecAFS(), Ctx: context.Background()}}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -184,6 +189,19 @@ func ParallelFor(n int, body func(i int), opts ...Option) (RunStats, error) {
 	return core.ParallelFor(cfg, n, body)
 }
 
+// ParallelForCtx is ParallelFor with a cancellation context: when ctx
+// is cancelled, dispatch stops at chunk granularity (in-flight chunks
+// finish), the worker barrier drains cleanly, and ParallelForCtx
+// returns ctx's error alongside the partial statistics.
+func ParallelForCtx(ctx context.Context, n int, body func(i int), opts ...Option) (RunStats, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return RunStats{}, err
+	}
+	cfg.Ctx = ctx
+	return core.ParallelFor(cfg, n, body)
+}
+
 // ForPhases executes a parallel loop nested inside a sequential loop —
 // the shape affinity scheduling exploits: for each phase ph in
 // [0, phases), body(ph, i) runs for i in [0, n(ph)) with a barrier
@@ -195,6 +213,123 @@ func ForPhases(phases int, n func(ph int) int, body func(ph, i int), opts ...Opt
 		return RunStats{}, err
 	}
 	return core.Run(cfg, phases, n, body)
+}
+
+// ForPhasesCtx is ForPhases with a cancellation context, with the same
+// chunk-granularity semantics as ParallelForCtx: the phase in flight
+// stops dispatching, the barrier completes, and the error is ctx's.
+// RunStats.Phases reports how many phases fully completed.
+func ForPhasesCtx(ctx context.Context, phases int, n func(ph int) int, body func(ph, i int), opts ...Option) (RunStats, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return RunStats{}, err
+	}
+	cfg.Ctx = ctx
+	return core.Run(cfg, phases, n, body)
+}
+
+// Executor is the persistent lifetime of the runtime: a long-lived
+// worker pool accepting loop submissions from any number of goroutines
+// for its whole life, so the paper's affinity state — the
+// deterministic ⌈N/P⌉ ownership mapping, the per-worker AFS queues,
+// and the workers' warmed caches — carries over between successive
+// loops on the same index space instead of being torn down on every
+// call, and per-call goroutine spawn/teardown is amortised across the
+// submission stream.
+//
+// Submissions are admitted in FIFO arrival order and run one at a
+// time with the full worker set (per-loop isolation, the paper's
+// one-loop-owns-the-machine model). Each submission carries its own
+// options, statistics, telemetry sinks and failure domain: a body
+// panic surfaces to that submitter as *ExecutorPanicError, a context
+// cancellation stops that loop at chunk granularity — neither poisons
+// later submissions.
+//
+//	ex, _ := repro.NewExecutor(repro.WithProcs(8))
+//	defer ex.Close()
+//	for _, req := range requests {
+//	    stats, err := ex.Submit(req.Ctx, req.N, req.Body, repro.WithScheduler("afs"))
+//	    ...
+//	}
+type Executor struct {
+	px       *pool.Executor
+	defaults []Option
+}
+
+// ExecutorPanicError wraps a loop body's panic value: unlike the
+// one-shot ParallelFor (which re-panics like a sequential loop), an
+// Executor contains the panic to the offending submission.
+type ExecutorPanicError = pool.PanicError
+
+// ErrExecutorClosed is returned by submissions made after Close.
+var ErrExecutorClosed = pool.ErrClosed
+
+// NewExecutor starts a persistent executor. The options become the
+// defaults for every submission (per-submission options override
+// them); WithProcs fixes the pool size (default runtime.GOMAXPROCS).
+func NewExecutor(opts ...Option) (*Executor, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	px, err := pool.New(procsOf(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return &Executor{px: px, defaults: opts}, nil
+}
+
+// procsOf resolves a config's worker count the same way the one-shot
+// paths do.
+func procsOf(cfg core.Config) int {
+	if cfg.Procs > 0 {
+		return cfg.Procs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Procs is the executor's worker count. Submissions may select fewer
+// workers with WithProcs, never more.
+func (e *Executor) Procs() int { return e.px.Procs() }
+
+// Submissions counts submissions that have completed execution,
+// including cancelled and panicked ones.
+func (e *Executor) Submissions() int64 { return e.px.Submissions() }
+
+// Close stops the workers once in-flight submissions finish; later
+// submissions fail with ErrExecutorClosed. Idempotent.
+func (e *Executor) Close() error { return e.px.Close() }
+
+// submitConfig merges the executor defaults with one submission's
+// options. Allocates a fresh slice so concurrent submitters never
+// share an append buffer.
+func (e *Executor) submitConfig(opts []Option) (core.Config, error) {
+	merged := make([]Option, 0, len(e.defaults)+len(opts))
+	merged = append(merged, e.defaults...)
+	merged = append(merged, opts...)
+	return buildConfig(merged)
+}
+
+// Submit executes body(i) for i in [0, n) on the pool and blocks until
+// the loop completes, is cancelled, or panics. Safe to call from many
+// goroutines; admission is FIFO. A nil ctx means context.Background().
+func (e *Executor) Submit(ctx context.Context, n int, body func(i int), opts ...Option) (RunStats, error) {
+	cfg, err := e.submitConfig(opts)
+	if err != nil {
+		return RunStats{}, err
+	}
+	return e.px.Submit(ctx, cfg, n, body)
+}
+
+// SubmitPhases executes a phased loop on the pool (see ForPhases),
+// preserving cross-phase — and, across submissions over the same index
+// space, cross-loop — affinity.
+func (e *Executor) SubmitPhases(ctx context.Context, phases int, n func(ph int) int, body func(ph, i int), opts ...Option) (RunStats, error) {
+	cfg, err := e.submitConfig(opts)
+	if err != nil {
+		return RunStats{}, err
+	}
+	return e.px.SubmitPhases(ctx, cfg, phases, n, body)
 }
 
 // Machine is a simulated shared-memory multiprocessor description.
@@ -301,12 +436,80 @@ func WriteChromeTrace(w io.Writer, events []TelemetryEvent, label string, procs 
 	})
 }
 
-// Simulate runs prog on p simulated processors of m under s.
-func Simulate(m *Machine, p int, s Scheduler, prog SimProgram) (SimResult, error) {
-	return sim.Run(m, p, s, prog)
+// SimOption tunes one Simulate run, mirroring ParallelFor's variadic
+// option style.
+type SimOption func(*sim.Options)
+
+// WithSimSeed sets the deterministic jitter seed; equal seeds give
+// bit-identical runs.
+func WithSimSeed(seed uint64) SimOption {
+	return func(o *sim.Options) { o.Seed = seed }
 }
 
-// SimulateOpts is Simulate with options.
+// WithSimStartDelay gives each processor extra cycles before it starts
+// fetching work in step 0 (the §4.5 delayed-start experiments).
+func WithSimStartDelay(delays ...float64) SimOption {
+	return func(o *sim.Options) { o.StartDelay = delays }
+}
+
+// WithSimTrace records every chunk execution and steal into t.
+func WithSimTrace(t *Trace) SimOption {
+	return func(o *sim.Options) { o.Trace = t }
+}
+
+// WithSimEvents attaches a telemetry sink receiving the structured
+// event stream (the simulator is single-threaded, so an
+// unsynchronised stream is fine).
+func WithSimEvents(s EventSink) SimOption {
+	return func(o *sim.Options) { o.Events = s }
+}
+
+// WithSimMetrics attaches a metrics registry snapshotted at every step
+// barrier.
+func WithSimMetrics(r *MetricsRegistry) SimOption {
+	return func(o *sim.Options) { o.Metrics = r }
+}
+
+// WithSimProvenance attaches a provenance sink receiving one record
+// per executed chunk with its exact cost decomposition.
+func WithSimProvenance(s ProvenanceSink) SimOption {
+	return func(o *sim.Options) { o.Prov = s }
+}
+
+// WithSimActiveProcs models a space-sharing OS growing and shrinking
+// the application's processor partition between steps (clamped to
+// [1, P]).
+func WithSimActiveProcs(f func(step int) int) SimOption {
+	return func(o *sim.Options) { o.ActiveProcs = f }
+}
+
+// WithSimCacheFlush invalidates every processor's cache after each
+// group of that many steps — modelling a time-sharing quantum
+// corrupting the caches (§2.1, §6).
+func WithSimCacheFlush(everySteps int) SimOption {
+	return func(o *sim.Options) { o.FlushEverySteps = everySteps }
+}
+
+// WithSimOptions applies a whole SimOptions struct at once — the
+// migration path for code written against the deprecated SimulateOpts.
+func WithSimOptions(opts SimOptions) SimOption {
+	return func(o *sim.Options) { *o = opts }
+}
+
+// Simulate runs prog on p simulated processors of m under s.
+func Simulate(m *Machine, p int, s Scheduler, prog SimProgram, opts ...SimOption) (SimResult, error) {
+	var o sim.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return sim.RunOpts(m, p, s, prog, o)
+}
+
+// SimulateOpts is Simulate with an options struct.
+//
+// Deprecated: use Simulate with variadic SimOptions instead, e.g.
+// Simulate(m, p, s, prog, WithSimSeed(7), WithSimTrace(tr)); to apply
+// an existing SimOptions struct wholesale, pass WithSimOptions(opts).
 func SimulateOpts(m *Machine, p int, s Scheduler, prog SimProgram, opts SimOptions) (SimResult, error) {
-	return sim.RunOpts(m, p, s, prog, opts)
+	return Simulate(m, p, s, prog, WithSimOptions(opts))
 }

@@ -1,6 +1,9 @@
 package repro_test
 
 import (
+	"context"
+	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -179,6 +182,154 @@ func TestWithGrain(t *testing.T) {
 	}
 	if st.CentralOps > 50000/256+8 {
 		t.Errorf("grain ignored: %d central ops", st.CentralOps)
+	}
+}
+
+// TestExecutorPublicAPI: the persistent executor serves a stream of
+// submissions with per-submission options, isolated stats, contained
+// panics and per-submission cancellation.
+func TestExecutorPublicAPI(t *testing.T) {
+	ex, err := repro.NewExecutor(repro.WithProcs(4), repro.WithScheduler("afs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+	if ex.Procs() != 4 {
+		t.Fatalf("Procs = %d", ex.Procs())
+	}
+
+	// A stream of loops, some overriding the default scheduler.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := 1000 + g*100
+			var count int64
+			opts := []repro.Option{}
+			if g%2 == 1 {
+				opts = append(opts, repro.WithScheduler("gss"))
+			}
+			st, err := ex.Submit(context.Background(), n,
+				func(int) { atomic.AddInt64(&count, 1) }, opts...)
+			if err != nil {
+				t.Errorf("submitter %d: %v", g, err)
+				return
+			}
+			if count != int64(n) || st.Iterations != int64(n) {
+				t.Errorf("submitter %d: count=%d stats=%d want %d", g, count, st.Iterations, n)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Panic containment: the error is typed, later submissions work.
+	_, err = ex.Submit(context.Background(), 1000, func(i int) {
+		if i == 500 {
+			panic("boom")
+		}
+	})
+	var pe *repro.ExecutorPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *ExecutorPanicError", err)
+	}
+
+	// Cancellation mid-loop, then a clean follow-up submission.
+	ctx, cancel := context.WithCancel(context.Background())
+	var count int64
+	_, err = ex.SubmitPhases(ctx, 20, func(int) int { return 5000 },
+		func(_, _ int) {
+			if atomic.AddInt64(&count, 1) == 100 {
+				cancel()
+			}
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled submission: err = %v", err)
+	}
+	var after int64
+	if _, err := ex.Submit(context.Background(), 2000,
+		func(int) { atomic.AddInt64(&after, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if after != 2000 {
+		t.Errorf("post-cancel submission executed %d, want 2000", after)
+	}
+
+	if err := ex.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Submit(context.Background(), 10, func(int) {}); !errors.Is(err, repro.ErrExecutorClosed) {
+		t.Errorf("submit after close: err = %v, want ErrExecutorClosed", err)
+	}
+}
+
+// TestParallelForCtx: the context-aware one-shot variants cancel at
+// chunk granularity and surface ctx's error.
+func TestParallelForCtx(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var count int64
+	_, err := repro.ParallelForCtx(ctx, 200000, func(i int) {
+		if atomic.AddInt64(&count, 1) == 50 {
+			cancel()
+		}
+		time.Sleep(time.Microsecond)
+	}, repro.WithProcs(4))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if atomic.LoadInt64(&count) >= 200000 {
+		t.Error("cancelled loop ran to completion")
+	}
+
+	// An un-cancelled context behaves exactly like ParallelFor.
+	var full int64
+	st, err := repro.ForPhasesCtx(context.Background(), 3,
+		func(int) int { return 500 },
+		func(_, _ int) { atomic.AddInt64(&full, 1) },
+		repro.WithProcs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != 1500 || st.Phases != 3 {
+		t.Errorf("count=%d phases=%d", full, st.Phases)
+	}
+}
+
+// TestSimulateVariadicOptions: the redesigned Simulate takes options
+// directly; the deprecated SimulateOpts path must agree bit-for-bit.
+func TestSimulateVariadicOptions(t *testing.T) {
+	m := repro.Iris()
+	build := func() repro.SimProgram {
+		return repro.SimProgram{
+			Name:  "opts",
+			Steps: 3,
+			Step: func(int) repro.SimLoop {
+				return repro.SimLoop{N: 128, Cost: func(int) float64 { return 100 }}
+			},
+		}
+	}
+	tr := repro.NewTrace(4)
+	reg := repro.NewMetricsRegistry()
+	res, err := repro.Simulate(m, 4, repro.AFS(), build(),
+		repro.WithSimSeed(7), repro.WithSimTrace(tr), repro.WithSimMetrics(reg),
+		repro.WithSimStartDelay(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("no cycles simulated")
+	}
+	old, err := repro.SimulateOpts(m, 4, repro.AFS(), build(), repro.SimOptions{
+		Seed: 7, StartDelay: []float64{1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Cycles != res.Cycles {
+		t.Errorf("deprecated SimulateOpts diverged: %f vs %f cycles", old.Cycles, res.Cycles)
+	}
+	if len(reg.Series()) == 0 {
+		t.Error("WithSimMetrics recorded no series")
 	}
 }
 

@@ -41,11 +41,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	procs, err := cli.ParseProcs(*procsFlag)
+	procs, err := cli.ProcsFlag("-procs", *procsFlag)
 	if err != nil {
 		fatal(err)
 	}
-	specs, err := cli.ParseAlgos(*algosFlag)
+	specs, err := cli.AlgosFlag("-algos", *algosFlag)
 	if err != nil {
 		fatal(err)
 	}

@@ -129,7 +129,7 @@ func tracedSim(kernel, machName, algo string, procs, n, phases int, traceOut, me
 	if err != nil {
 		return err
 	}
-	specs, err := cli.ParseAlgos(algo)
+	specs, err := cli.AlgosFlag("-trace-algo", algo)
 	if err != nil {
 		return err
 	}

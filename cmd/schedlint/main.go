@@ -1,0 +1,91 @@
+// Command schedlint runs the repo's custom static-analysis suite
+// (internal/lint): the determinism, locking, telemetry and API-hygiene
+// invariants the reproduction's claims rest on.
+//
+// Usage:
+//
+//	go run ./cmd/schedlint [flags] [packages]
+//
+// Packages are module-relative directories ("./internal/sim") or
+// recursive patterns ("./...", the default). Flags:
+//
+//	-format text|json|markdown   output format (default text)
+//	-checks a,b                  run a subset of checks
+//	-list                        print the check catalog and exit
+//
+// Exit codes: 0 — no unsuppressed findings; 1 — at least one
+// unsuppressed finding; 2 — usage or load error. Findings are
+// suppressed with `//lint:allow <check> <reason>` on the offending
+// line or the line above; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], ".", os.Stdout, os.Stderr))
+}
+
+// run is the testable body: args are the raw command-line arguments,
+// dir anchors module discovery, and the exit code is returned rather
+// than passed to os.Exit.
+func run(args []string, dir string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("schedlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	format := fs.String("format", "text", "output format: text, json or markdown")
+	checks := fs.String("checks", "", "comma-separated subset of checks to run (default all)")
+	list := fs.Bool("list", false, "print the check catalog and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: schedlint [flags] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, c := range lint.Checks() {
+			fmt.Fprintf(stdout, "%-12s %s\n", c.Name, c.Doc)
+		}
+		return 0
+	}
+
+	selected, err := cli.Subset("-checks", *checks, lint.CheckNames()...)
+	if err == nil {
+		err = cli.OneOf("-format", *format, lint.Formats...)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "schedlint:", err)
+		return 2
+	}
+
+	mod, err := lint.LoadModule(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "schedlint:", err)
+		return 2
+	}
+	pkgs, err := mod.Load(fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(stderr, "schedlint:", err)
+		return 2
+	}
+
+	cfg := lint.DefaultConfig(mod.Path)
+	cfg.Checks = selected
+	diags := lint.Run(mod, pkgs, cfg)
+	if err := lint.WriteReport(stdout, *format, diags, mod.Root); err != nil {
+		fmt.Fprintln(stderr, "schedlint:", err)
+		return 2
+	}
+	if lint.Unsuppressed(diags) > 0 {
+		return 1
+	}
+	return 0
+}

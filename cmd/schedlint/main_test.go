@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestBadFlagsExitTwo pins the exit-code contract for usage errors.
+func TestBadFlagsExitTwo(t *testing.T) {
+	cases := [][]string{
+		{"-format", "yaml"},
+		{"-checks", "nosuchcheck"},
+		{"./no/such/dir"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, ".", &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr: %s)", args, code, errb.String())
+		}
+		if errb.Len() == 0 {
+			t.Errorf("run(%v) produced no usage diagnostic", args)
+		}
+	}
+}
+
+// TestList prints the catalog without loading any packages.
+func TestList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, ".", &out, &errb); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"determinism", "locking", "telemetry", "hygiene"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("catalog output lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestLintOwnPackage lints this command package — which must be clean —
+// and checks the exit code and summary line.
+func TestLintOwnPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks dependencies; skipped in -short runs")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"./cmd/schedlint"}, ".", &out, &errb); code != 0 {
+		t.Fatalf("run = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "schedlint: 0 finding(s)") {
+		t.Errorf("unexpected summary:\n%s", out.String())
+	}
+}
+
+// TestFixturePackageFails lints a fixture package with deliberate
+// violations; under the default config only the telemetry and
+// directive rules apply there, and the exit code must be 1.
+func TestFixturePackageFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks dependencies; skipped in -short runs")
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-format", "json", "./internal/lint/testdata/telemfix"}, ".", &out, &errb)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), `"check": "telemetry"`) {
+		t.Errorf("json output lacks telemetry findings:\n%s", out.String())
+	}
+}

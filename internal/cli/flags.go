@@ -30,6 +30,35 @@ func PositiveFloat(flagName string, v float64) error {
 	return nil
 }
 
+// OneOf rejects values outside the allowed set, naming the flag and
+// spelling out the choices.
+func OneOf(flagName, v string, allowed ...string) error {
+	for _, a := range allowed {
+		if v == a {
+			return nil
+		}
+	}
+	return fmt.Errorf("%s must be one of %s (got %q)", flagName, strings.Join(allowed, ", "), v)
+}
+
+// Subset rejects comma-separated values outside the allowed set,
+// naming the flag and the first offending entry. Empty means "all"
+// and is accepted.
+func Subset(flagName, val string, allowed ...string) ([]string, error) {
+	if strings.TrimSpace(val) == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, part := range strings.Split(val, ",") {
+		part = strings.TrimSpace(part)
+		if err := OneOf(flagName, part, allowed...); err != nil {
+			return nil, err
+		}
+		out = append(out, part)
+	}
+	return out, nil
+}
+
 // FirstError returns the first non-nil error, letting callers validate
 // a flag set in one expression:
 //

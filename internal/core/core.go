@@ -197,6 +197,10 @@ func (r *runner) delayOnce(w int) {
 }
 
 // nowNS is the telemetry clock: nanoseconds since the run started.
+// Real-runtime only: this clock stamps measured host events and never
+// feeds a scheduling or simulated-cost decision.
+//
+//lint:allow determinism the real runtime measures host time by design; the simulator has its own cycle clock
 func (r *runner) nowNS() float64 { return float64(time.Since(r.t0)) }
 
 // phase is the current phase number, for event labelling from

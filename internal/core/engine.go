@@ -162,7 +162,9 @@ func (e *Engine) Execute(cfg Config, phases int, n func(ph int) int, body func(p
 		}
 	}
 
-	start := time.Now()
+	// Real-runtime only: Elapsed and the telemetry clock measure the
+	// host; nothing downstream replays from these values.
+	start := time.Now() //lint:allow determinism real-runtime wall time anchors Stats.Elapsed and the ns-since-start telemetry clock
 	r.t0 = start
 	var stopWatch func() bool
 	if ctx.Done() != nil {
@@ -208,7 +210,7 @@ func (e *Engine) Execute(cfg Config, phases int, n func(ph int) int, body func(p
 		stopWatch()
 	}
 
-	r.stats.Elapsed = time.Since(start)
+	r.stats.Elapsed = time.Since(start) //lint:allow determinism real-runtime wall time is the measured quantity here
 	r.stats.Phases = completed
 	res := Result{Stats: r.stats, Panic: r.panic}
 	if r.panic == nil && r.cancelled.Load() {

@@ -88,8 +88,8 @@ func Diff(a, b *Analysis) *DiffReport {
 		A: a.Meta, B: b.Meta,
 		NameA: nameA, NameB: nameB,
 		SpanA: a.Span, SpanB: b.Span,
-		Delta: b.Span - a.Span,
-		Unit:  a.Meta.Unit(),
+		Delta:   b.Span - a.Span,
+		Unit:    a.Meta.Unit(),
 		StealsA: a.StealCount, StealsB: b.StealCount,
 		MigratedA: a.MigratedIters, MigratedB: b.MigratedIters,
 	}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// determinismCheck enforces replayability in the simulator-facing
+// packages. The reproduction's gate cases (BENCH_*) assume that the
+// same machine, program and scheduler produce bit-identical schedules
+// and costs on every run; the rules below ban the four ways Go code
+// silently breaks that:
+//
+//   - reading the host clock (time.Now, time.Since) — the simulator
+//     has its own cycle clock, and the real runtime (WallClock group)
+//     must annotate every deliberate host-clock read;
+//   - global math/rand functions — their stream is process-global and
+//     unseeded; deterministic code must thread a seeded *rand.Rand;
+//   - iterating a map — Go randomises map order per run, so any
+//     schedule or cost decision fed by one diverges between replays;
+//   - spawning goroutines — the simulator is single-threaded by
+//     design; host scheduling order must not influence results.
+var determinismCheck = &Check{
+	Name: "determinism",
+	Doc:  "forbid wall-clock reads, global math/rand, map iteration and goroutine spawns in replay-sensitive packages",
+	Run:  runDeterminism,
+}
+
+// randConstructors are the math/rand functions that build seeded
+// generators rather than touching the global stream.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runDeterminism(p *Pass) {
+	full := matchesAny(p.Pkg.Path, p.Cfg.Deterministic)
+	wallOnly := matchesAny(p.Pkg.Path, p.Cfg.WallClock)
+	if !full && !wallOnly {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				fn, ok := p.objectOf(n).(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if name := fn.Name(); name == "Now" || name == "Since" {
+						p.Reportf(n.Pos(), "wall-clock read time.%s: replay-sensitive code must use the substrate clock", name)
+					}
+				case "math/rand", "math/rand/v2":
+					if !full {
+						return true
+					}
+					sig, _ := fn.Type().(*types.Signature)
+					if sig != nil && sig.Recv() == nil && !randConstructors[fn.Name()] {
+						p.Reportf(n.Pos(), "global math/rand.%s draws from the process-wide stream: thread a seeded *rand.Rand instead", fn.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				if !full {
+					return true
+				}
+				if tv, ok := p.Pkg.Info.Types[n.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						p.Reportf(n.Pos(), "map iteration order is nondeterministic and must not feed scheduling or cost decisions")
+					}
+				}
+			case *ast.GoStmt:
+				if full {
+					p.Reportf(n.Pos(), "goroutine spawned in a deterministic package: host scheduling order must not influence results")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	pos    token.Position
+	check  string // named check; "" when the directive is malformed
+	reason string // "" when missing — itself a diagnostic
+}
+
+const directivePrefix = "lint:allow"
+
+// parseDirectives extracts every //lint:allow directive from the
+// files' comments. Both placements count: trailing on the offending
+// line, or alone on the line immediately above it.
+func parseDirectives(fset *token.FileSet, files []*ast.File) []directive {
+	var out []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // block comments don't carry directives
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, directivePrefix)
+				if !ok {
+					continue
+				}
+				d := directive{pos: fset.Position(c.Pos())}
+				fields := strings.Fields(rest)
+				if len(fields) > 0 {
+					d.check = fields[0]
+					d.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// directiveDiagnostics reports malformed directives: a missing reason
+// (suppression must say why, or audits cannot tell a reviewed
+// exception from a silenced bug) and names that match no check. These
+// diagnostics are not themselves suppressible.
+func directiveDiagnostics(m *Module, pkg *Package) []Diagnostic {
+	known := map[string]bool{}
+	for _, c := range Checks() {
+		known[c.Name] = true
+	}
+	var out []Diagnostic
+	for _, d := range pkg.directives {
+		switch {
+		case d.check == "":
+			out = append(out, Diagnostic{Check: "directive", Pos: d.pos,
+				Message: "lint:allow needs a check name and a reason: //lint:allow <check> <reason>"})
+		case !known[d.check]:
+			out = append(out, Diagnostic{Check: "directive", Pos: d.pos,
+				Message: "lint:allow names unknown check " + strconvQuote(d.check)})
+		case d.reason == "":
+			out = append(out, Diagnostic{Check: "directive", Pos: d.pos,
+				Message: "lint:allow " + d.check + " is missing a reason (suppressions must say why)"})
+		}
+	}
+	return out
+}
+
+// applySuppressions marks diagnostics matched by a well-formed
+// directive in the same file on the same line or the line above.
+func applySuppressions(m *Module, pkgs []*Package, diags []Diagnostic) {
+	// file -> line -> check -> reason
+	index := map[string]map[int]map[string]string{}
+	for _, pkg := range pkgs {
+		for _, d := range pkg.directives {
+			if d.check == "" || d.reason == "" {
+				continue // malformed directives suppress nothing
+			}
+			lines, ok := index[d.pos.Filename]
+			if !ok {
+				lines = map[int]map[string]string{}
+				index[d.pos.Filename] = lines
+			}
+			checks, ok := lines[d.pos.Line]
+			if !ok {
+				checks = map[string]string{}
+				lines[d.pos.Line] = checks
+			}
+			checks[d.check] = d.reason
+		}
+	}
+	for i := range diags {
+		d := &diags[i]
+		if d.Check == "directive" {
+			continue
+		}
+		lines, ok := index[d.Pos.Filename]
+		if !ok {
+			continue
+		}
+		for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+			if reason, ok := lines[line][d.Check]; ok {
+				d.Suppressed = true
+				d.Reason = reason
+				break
+			}
+		}
+	}
+}
+
+// strconvQuote avoids importing strconv just for %q on a short name.
+func strconvQuote(s string) string { return `"` + s + `"` }

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// Formats lists the renderers WriteReport accepts.
+var Formats = []string{"text", "json", "markdown"}
+
+// WriteReport renders diags in the named format. Paths are shown
+// relative to base (the module root) when possible, so output is
+// stable across checkouts; pass "" to keep absolute paths.
+func WriteReport(w io.Writer, format string, diags []Diagnostic, base string) error {
+	switch format {
+	case "text":
+		return writeText(w, diags, base)
+	case "json":
+		return writeJSON(w, diags, base)
+	case "markdown":
+		return writeMarkdown(w, diags, base)
+	}
+	return fmt.Errorf("lint: unknown format %q", format)
+}
+
+func relPath(base, path string) string {
+	if base == "" {
+		return path
+	}
+	if rel, err := filepath.Rel(base, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return path
+}
+
+func writeText(w io.Writer, diags []Diagnostic, base string) error {
+	for _, d := range diags {
+		d.Pos.Filename = relPath(base, d.Pos.Filename)
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	n := Unsuppressed(diags)
+	_, err := fmt.Fprintf(w, "schedlint: %d finding(s), %d suppressed\n", n, len(diags)-n)
+	return err
+}
+
+// jsonDiagnostic is the machine-readable wire form (the CI artifact).
+type jsonDiagnostic struct {
+	Check      string `json:"check"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+func writeJSON(w io.Writer, diags []Diagnostic, base string) error {
+	out := struct {
+		Diagnostics  []jsonDiagnostic `json:"diagnostics"`
+		Unsuppressed int              `json:"unsuppressed"`
+		Suppressed   int              `json:"suppressed"`
+	}{Diagnostics: []jsonDiagnostic{}}
+	for _, d := range diags {
+		out.Diagnostics = append(out.Diagnostics, jsonDiagnostic{
+			Check: d.Check, File: relPath(base, d.Pos.Filename),
+			Line: d.Pos.Line, Column: d.Pos.Column,
+			Message: d.Message, Suppressed: d.Suppressed, Reason: d.Reason,
+		})
+		if d.Suppressed {
+			out.Suppressed++
+		} else {
+			out.Unsuppressed++
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func writeMarkdown(w io.Writer, diags []Diagnostic, base string) error {
+	if _, err := fmt.Fprintf(w, "# schedlint report\n\n%d finding(s), %d suppressed\n\n",
+		Unsuppressed(diags), len(diags)-Unsuppressed(diags)); err != nil {
+		return err
+	}
+	if len(diags) == 0 {
+		_, err := fmt.Fprintln(w, "No findings.")
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "| Location | Check | Finding | Status |\n|---|---|---|---|"); err != nil {
+		return err
+	}
+	for _, d := range diags {
+		status := "**open**"
+		if d.Suppressed {
+			status = "allowed: " + d.Reason
+		}
+		loc := fmt.Sprintf("%s:%d", relPath(base, d.Pos.Filename), d.Pos.Line)
+		if _, err := fmt.Fprintf(w, "| %s | %s | %s | %s |\n",
+			loc, d.Check, strings.ReplaceAll(d.Message, "|", `\|`), strings.ReplaceAll(status, "|", `\|`)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

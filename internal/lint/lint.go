@@ -1,0 +1,245 @@
+// Package lint is the repo's custom static-analysis suite: a set of
+// analyzers, written on the standard library's go/ast + go/parser +
+// go/types only, that machine-check the conventions the reproduction's
+// headline claims rest on.
+//
+// The deterministic simulator promises bit-identical schedules and
+// costs (DESIGN.md §2, gated by the BENCH_* baselines); the affinity
+// argument depends on the deterministic ⌈N/P⌉ ownership mapping; and
+// the perf lab and forensics tooling are only trustworthy if telemetry
+// is never silently dropped. None of that survives a stray time.Now,
+// an unseeded rand call, a map-order dependence, or an unchecked
+// exporter error — so this package makes the conventions diagnosable:
+//
+//   - determinism: no wall-clock reads, no global math/rand, no map
+//     iteration, no goroutine spawns inside the replay-sensitive
+//     packages (internal/sim, internal/machine, internal/sched,
+//     internal/analytic; wall-clock reads are additionally flagged in
+//     internal/core, where the real runtime must annotate each one);
+//   - locking: no lock-bearing values copied by value, no mutex held
+//     across a channel operation or Submit call, no return with a
+//     mutex still held (use defer) in internal/core + internal/pool;
+//   - telemetry: no discarded error results from exporter/sink
+//     packages, no telemetry.Event composite literal without an
+//     explicit Step field;
+//   - hygiene: flag parsing in cmd/ goes through the internal/cli
+//     validators, and no new call sites of deprecated API.
+//
+// Findings are suppressed — never silenced — with a directive on the
+// offending line or the line above:
+//
+//	//lint:allow <check> <reason>
+//
+// The reason is mandatory; a reasonless directive is itself a
+// diagnostic. The suite runs as `go run ./cmd/schedlint ./...`, as a
+// CI gate, and as a self-lint test so `go test ./...` fails if the
+// repo violates its own rules.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Check names the analyzer that fired (or "directive" for a
+	// malformed //lint:allow).
+	Check string
+	// Pos locates the finding.
+	Pos token.Position
+	// Message states the violation.
+	Message string
+	// Suppressed marks a finding matched by a reasoned //lint:allow
+	// directive. Suppressed findings are reported (so audits see them)
+	// but do not fail the run.
+	Suppressed bool
+	// Reason carries the suppressing directive's reason, when
+	// suppressed.
+	Reason string
+}
+
+// String renders the vet-style one-line form.
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s: [%s] %s", d.Pos, d.Check, d.Message)
+	if d.Suppressed {
+		s += fmt.Sprintf(" (allowed: %s)", d.Reason)
+	}
+	return s
+}
+
+// Config selects which package groups each check applies to. All
+// entries are import-path prefixes; a package matches a prefix when it
+// equals the prefix or sits below it.
+type Config struct {
+	// Deterministic lists the replay-sensitive packages: the full
+	// determinism check (wall clock, global math/rand, map iteration,
+	// goroutine spawns) applies here.
+	Deterministic []string
+	// WallClock lists additional packages where only the wall-clock
+	// rule applies — the real runtime reads the host clock on purpose,
+	// and every such read must carry a reasoned //lint:allow.
+	WallClock []string
+	// Locking lists the packages subject to the lock-discipline rules.
+	Locking []string
+	// ExporterPkgs lists the packages whose error-returning calls must
+	// never be discarded (the telemetry check's unchecked-error rule).
+	ExporterPkgs []string
+	// EventTypes lists qualified struct type names
+	// ("pkg/path.TypeName") whose composite literals must carry an
+	// explicit Step field.
+	EventTypes []string
+	// CmdPkgs lists the command packages whose flag parsing must go
+	// through the internal/cli validators.
+	CmdPkgs []string
+	// CLIPkg is the import path of the shared flag-validation package;
+	// bare cli.ParseProcs/ParseAlgos calls in CmdPkgs are diagnosed in
+	// favour of the flag-naming wrappers.
+	CLIPkg string
+	// Checks enables a subset of checks by name; nil enables all.
+	Checks []string
+}
+
+// DefaultConfig returns the repo's invariant map for the module at
+// modulePath (the groups named in ISSUE 5 / docs/ARCHITECTURE.md).
+func DefaultConfig(modulePath string) Config {
+	p := func(rel string) string { return modulePath + "/" + rel }
+	return Config{
+		Deterministic: []string{p("internal/sim"), p("internal/machine"), p("internal/sched"), p("internal/analytic")},
+		WallClock:     []string{p("internal/core")},
+		Locking:       []string{p("internal/core"), p("internal/pool")},
+		ExporterPkgs:  []string{p("internal/telemetry"), p("internal/trace"), p("internal/forensics"), p("internal/stats")},
+		EventTypes:    []string{p("internal/telemetry") + ".Event"},
+		CmdPkgs:       []string{modulePath + "/cmd"},
+		CLIPkg:        p("internal/cli"),
+	}
+}
+
+// enabled reports whether the named check is selected by cfg.Checks.
+func (c Config) enabled(name string) bool {
+	if len(c.Checks) == 0 {
+		return true
+	}
+	for _, n := range c.Checks {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// hasPathPrefix reports whether pkg path is prefix or below it.
+func hasPathPrefix(path, prefix string) bool {
+	return path == prefix || strings.HasPrefix(path, prefix+"/")
+}
+
+func matchesAny(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if hasPathPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// A Check is one analyzer.
+type Check struct {
+	// Name is the short identifier used in output, -checks selection
+	// and //lint:allow directives.
+	Name string
+	// Doc is the one-line catalog description.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Checks is the suite's catalog, in output order.
+func Checks() []*Check {
+	return []*Check{determinismCheck, lockingCheck, telemetryCheck, hygieneCheck}
+}
+
+// CheckNames returns the catalog's names, for flag validation.
+func CheckNames() []string {
+	var out []string
+	for _, c := range Checks() {
+		out = append(out, c.Name)
+	}
+	return out
+}
+
+// Pass carries one check's view of one package.
+type Pass struct {
+	Cfg   Config
+	Mod   *Module
+	Pkg   *Package
+	check string
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:   p.check,
+		Pos:     p.Mod.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// objectOf resolves an identifier's use or definition.
+func (p *Pass) objectOf(id *ast.Ident) types.Object {
+	if o := p.Pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return p.Pkg.Info.Defs[id]
+}
+
+// Run executes the enabled checks over pkgs, applies //lint:allow
+// suppression, and returns all diagnostics (suppressed ones included,
+// flagged) sorted by position.
+func Run(m *Module, pkgs []*Package, cfg Config) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, c := range Checks() {
+			if !cfg.enabled(c.Name) {
+				continue
+			}
+			pass := &Pass{Cfg: cfg, Mod: m, Pkg: pkg, check: c.Name, diags: &diags}
+			c.Run(pass)
+		}
+		diags = append(diags, directiveDiagnostics(m, pkg)...)
+	}
+	applySuppressions(m, pkgs, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// Unsuppressed counts the findings that gate (everything not matched
+// by a reasoned allow directive).
+func Unsuppressed(diags []Diagnostic) int {
+	n := 0
+	for _, d := range diags {
+		if !d.Suppressed {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// -update regenerates the golden files from current analyzer output:
+//
+//	go test ./internal/lint -run TestFixture -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// The module is loaded once and shared: every fixture test and the
+// self-lint test reuse the same parsed+type-checked dependency set.
+var testMod struct {
+	once sync.Once
+	m    *Module
+	err  error
+}
+
+func loadTestModule(t *testing.T) *Module {
+	t.Helper()
+	testMod.once.Do(func() {
+		testMod.m, testMod.err = LoadModule(".")
+	})
+	if testMod.err != nil {
+		t.Fatalf("LoadModule: %v", testMod.err)
+	}
+	return testMod.m
+}
+
+// fixtureConfig points every package group at the fixture packages, so
+// the group wiring itself is under test.
+func fixtureConfig(m *Module) Config {
+	fix := m.Path + "/internal/lint/testdata"
+	return Config{
+		Deterministic: []string{fix + "/determfix"},
+		Locking:       []string{fix + "/lockfix"},
+		ExporterPkgs:  []string{m.Path + "/internal/telemetry"},
+		EventTypes:    []string{m.Path + "/internal/telemetry.Event"},
+		CmdPkgs:       []string{fix + "/hygienefix"},
+		CLIPkg:        m.Path + "/internal/cli",
+	}
+}
+
+// TestFixtures runs each check over its fixture package — one package
+// per check, each holding both violating and //lint:allow-suppressed
+// cases — and compares the text report against the committed golden.
+func TestFixtures(t *testing.T) {
+	fixtures := []string{"determfix", "lockfix", "telemfix", "hygienefix", "directivefix"}
+	m := loadTestModule(t)
+	for _, name := range fixtures {
+		t.Run(name, func(t *testing.T) {
+			pkgs, err := m.Load("./internal/lint/testdata/" + name)
+			if err != nil {
+				t.Fatalf("load fixture: %v", err)
+			}
+			diags := Run(m, pkgs, fixtureConfig(m))
+			var buf bytes.Buffer
+			if err := WriteReport(&buf, "text", diags, m.Root); err != nil {
+				t.Fatalf("render: %v", err)
+			}
+			golden := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatalf("update golden: %v", err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got := buf.String(); got != string(want) {
+				t.Errorf("diagnostics diverge from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+			}
+		})
+	}
+}
+
+// TestReasonlessSuppressionIsDiagnostic pins the directive policy: a
+// suppression without a reason both fails to suppress and is itself
+// reported.
+func TestReasonlessSuppressionIsDiagnostic(t *testing.T) {
+	m := loadTestModule(t)
+	pkgs, err := m.Load("./internal/lint/testdata/directivefix")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	diags := Run(m, pkgs, fixtureConfig(m))
+	var missingReason, unknown, bare bool
+	for _, d := range diags {
+		if d.Check != "directive" {
+			continue
+		}
+		if d.Suppressed {
+			t.Errorf("directive diagnostic must not be suppressible: %s", d)
+		}
+		switch {
+		case strings.Contains(d.Message, "missing a reason"):
+			missingReason = true
+		case strings.Contains(d.Message, "unknown check"):
+			unknown = true
+		case strings.Contains(d.Message, "needs a check name"):
+			bare = true
+		}
+	}
+	if !missingReason || !unknown || !bare {
+		t.Errorf("want all three directive diagnostics (missing reason %v, unknown check %v, bare %v)", missingReason, unknown, bare)
+	}
+}
+
+// TestSuppressionRequiresMatchingCheck verifies a reasoned directive
+// only suppresses its own check's findings.
+func TestSuppressionRequiresMatchingCheck(t *testing.T) {
+	m := loadTestModule(t)
+	pkgs, err := m.Load("./internal/lint/testdata/determfix")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	cfg := fixtureConfig(m)
+	diags := Run(m, pkgs, cfg)
+	for _, d := range diags {
+		if d.Suppressed && d.Check == "directive" {
+			t.Errorf("directive findings must never be suppressed: %s", d)
+		}
+		if d.Suppressed && !strings.Contains(d.Reason, "fixture:") {
+			t.Errorf("suppression picked up a foreign reason: %s", d)
+		}
+	}
+	if got := Unsuppressed(diags); got == 0 {
+		t.Fatal("determfix must keep unsuppressed findings")
+	}
+}
+
+// TestFormats sanity-checks the non-text renderers over a real
+// fixture run: the JSON form must parse and agree on counts, the
+// markdown form must contain the table header.
+func TestFormats(t *testing.T) {
+	m := loadTestModule(t)
+	pkgs, err := m.Load("./internal/lint/testdata/telemfix")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	diags := Run(m, pkgs, fixtureConfig(m))
+
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, "json", diags, m.Root); err != nil {
+		t.Fatalf("json render: %v", err)
+	}
+	var parsed struct {
+		Diagnostics  []struct{ Check, File, Message string } `json:"diagnostics"`
+		Unsuppressed int                                     `json:"unsuppressed"`
+		Suppressed   int                                     `json:"suppressed"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("json output does not parse: %v", err)
+	}
+	if len(parsed.Diagnostics) != len(diags) {
+		t.Errorf("json diagnostics = %d, want %d", len(parsed.Diagnostics), len(diags))
+	}
+	if parsed.Unsuppressed != Unsuppressed(diags) {
+		t.Errorf("json unsuppressed = %d, want %d", parsed.Unsuppressed, Unsuppressed(diags))
+	}
+	for _, d := range parsed.Diagnostics {
+		if filepath.IsAbs(d.File) {
+			t.Errorf("json file path not module-relative: %s", d.File)
+		}
+	}
+
+	buf.Reset()
+	if err := WriteReport(&buf, "markdown", diags, m.Root); err != nil {
+		t.Fatalf("markdown render: %v", err)
+	}
+	if !strings.Contains(buf.String(), "| Location | Check | Finding | Status |") {
+		t.Error("markdown output lacks the findings table")
+	}
+
+	if err := WriteReport(&buf, "yaml", diags, m.Root); err == nil {
+		t.Error("unknown format must error")
+	}
+}
+
+// TestChecksSubset verifies cfg.Checks narrows the run.
+func TestChecksSubset(t *testing.T) {
+	m := loadTestModule(t)
+	pkgs, err := m.Load("./internal/lint/testdata/determfix")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	cfg := fixtureConfig(m)
+	cfg.Checks = []string{"locking"}
+	for _, d := range Run(m, pkgs, cfg) {
+		if d.Check != "locking" && d.Check != "directive" {
+			t.Errorf("check %q ran despite subset selection: %s", d.Check, d)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Module is a loaded view of one Go module: every package parsed and
+// type-checked from source, sharing one FileSet. The loader resolves
+// module-local imports itself and delegates the standard library to
+// the compiler's export data, so it needs no tooling beyond the
+// standard library (the repo is dependency-free by policy).
+type Module struct {
+	// Root is the directory containing go.mod.
+	Root string
+	// Path is the module path declared in go.mod.
+	Path string
+	// Fset positions every loaded file.
+	Fset *token.FileSet
+
+	pkgs         map[string]*Package // by import path, including dependencies
+	loading      map[string]bool     // import-cycle guard
+	std          types.Importer
+	deprecated   map[string]bool // lazy deprecated-API index (hygiene.go)
+	deprecatedAt int             // len(pkgs) when the index was built
+}
+
+// Package is one parsed, type-checked package.
+type Package struct {
+	// Path is the import path (module path + module-relative dir).
+	Path string
+	// Dir is the package's directory on disk.
+	Dir string
+	// Files are the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	// Types and Info carry the go/types results.
+	Types *types.Package
+	Info  *types.Info
+
+	directives []directive
+}
+
+// LoadModule locates the module containing dir (walking up to go.mod)
+// and prepares a loader for it.
+func LoadModule(dir string) (*Module, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found at or above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	path := modulePathOf(string(data))
+	if path == "" {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", root)
+	}
+	m := &Module{
+		Root:    root,
+		Path:    path,
+		Fset:    token.NewFileSet(),
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	m.std = importer.Default()
+	return m, nil
+}
+
+// modulePathOf extracts the module path from go.mod contents.
+func modulePathOf(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// Load resolves the given patterns to packages and loads each. A
+// pattern is a directory relative to the module root ("./cmd/perflab",
+// "internal/sim") or a recursive form ending in "/..." ("./...",
+// "./internal/..."). Recursive patterns skip testdata, hidden and
+// sourceless directories. Results are sorted by import path.
+func (m *Module) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		recursive := false
+		if pat == "..." {
+			pat, recursive = ".", true
+		} else if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			pat, recursive = rest, true
+		}
+		dir := filepath.Join(m.Root, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		fi, err := os.Stat(dir)
+		if err != nil || !fi.IsDir() {
+			return nil, fmt.Errorf("lint: pattern %q: no such directory under %s", pat, m.Root)
+		}
+		if !recursive {
+			dirs[dir] = true
+			continue
+		}
+		err = filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != dir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoSources(p) {
+				dirs[p] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	var sorted []string
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+	var out []*Package
+	for _, dir := range sorted {
+		pkg, err := m.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+func hasGoSources(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// importPathFor maps a directory inside the module to its import path.
+func (m *Module) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(m.Root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, m.Root)
+	}
+	if rel == "." {
+		return m.Path, nil
+	}
+	return m.Path + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirFor maps a module-local import path back to its directory.
+func (m *Module) dirFor(path string) string {
+	if path == m.Path {
+		return m.Root
+	}
+	return filepath.Join(m.Root, filepath.FromSlash(strings.TrimPrefix(path, m.Path+"/")))
+}
+
+// loadDir parses and type-checks the package in dir (cached).
+func (m *Module) loadDir(dir string) (*Package, error) {
+	path, err := m.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := m.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if m.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	m.loading[path] = true
+	defer delete(m.loading, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go sources in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: (*moduleImporter)(m)}
+	tpkg, err := conf.Check(path, m.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	pkg.directives = parseDirectives(m.Fset, files)
+	m.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Packages returns every package loaded so far (targets and
+// dependencies), sorted by import path — the scope for module-wide
+// indexes like the deprecated-API table.
+func (m *Module) Packages() []*Package {
+	var out []*Package
+	for _, p := range m.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// moduleImporter resolves module-local imports from source through the
+// loader and everything else through the host compiler's export data.
+type moduleImporter Module
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	m := (*Module)(mi)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if hasPathPrefix(path, m.Path) {
+		pkg, err := m.loadDir(m.dirFor(path))
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return m.std.Import(path)
+}

@@ -1,0 +1,306 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// lockingCheck enforces the lock discipline of the real-runtime
+// packages (core.Engine and internal/pool). The runtime's correctness
+// argument — FIFO admission, per-submission isolation, panic
+// containment — leans on three conventions:
+//
+//   - lock-bearing values are never copied (a copied sync.Mutex is a
+//     new, unlocked mutex: the classic silent race);
+//   - a mutex is never held across a channel operation or a Submit
+//     call (both can block indefinitely, extending the critical
+//     section into a deadlock under admission back-pressure);
+//   - a function never returns with a mutex still held — multi-return
+//     functions must use defer-unlock.
+//
+// The analysis is a conservative source-order scan, not a full CFG;
+// legitimate exceptions carry //lint:allow locking <reason>.
+var lockingCheck = &Check{
+	Name: "locking",
+	Doc:  "forbid copied lock-bearing values, mutexes held across channel ops/Submit, and returns with a mutex held",
+	Run:  runLocking,
+}
+
+func runLocking(p *Pass) {
+	if !matchesAny(p.Pkg.Path, p.Cfg.Locking) {
+		return
+	}
+	lc := &lockChecker{p: p, seen: map[types.Type]bool{}}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				lc.checkSignature(n)
+				if n.Body != nil {
+					lc.scanBody(n.Body)
+				}
+				return true
+			case *ast.FuncLit:
+				// A closure runs on its own schedule; its critical
+				// sections are scanned with fresh state.
+				lc.scanBody(n.Body)
+				return true
+			case *ast.RangeStmt:
+				lc.checkRangeCopy(n)
+			}
+			return true
+		})
+	}
+}
+
+type lockChecker struct {
+	p    *Pass
+	seen map[types.Type]bool
+}
+
+// hasLock reports whether t contains a sync lock by value (Mutex,
+// RWMutex, WaitGroup, Once, Cond), directly or through struct fields
+// and array elements.
+func (lc *lockChecker) hasLock(t types.Type) bool {
+	if lc.seen[t] {
+		return false // cycle: already being examined
+	}
+	lc.seen[t] = true
+	defer delete(lc.seen, t)
+	switch u := t.(type) {
+	case *types.Named:
+		if obj := u.Obj(); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond":
+				return true
+			}
+		}
+		return lc.hasLock(u.Underlying())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lc.hasLock(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return lc.hasLock(u.Elem())
+	}
+	return false
+}
+
+// checkSignature flags receivers, parameters and results that copy a
+// lock-bearing type by value.
+func (lc *lockChecker) checkSignature(fn *ast.FuncDecl) {
+	report := func(kind string, fields *ast.FieldList) {
+		if fields == nil {
+			return
+		}
+		for _, field := range fields.List {
+			tv, ok := lc.p.Pkg.Info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if lc.hasLock(tv.Type) {
+				lc.p.Reportf(field.Pos(), "%s copies lock-bearing type %s by value (pass a pointer)", kind, tv.Type)
+			}
+		}
+	}
+	report("receiver", fn.Recv)
+	report("parameter", fn.Type.Params)
+	report("result", fn.Type.Results)
+}
+
+// checkRangeCopy flags `for _, v := range xs` where v copies a
+// lock-bearing element (iterate by index instead).
+func (lc *lockChecker) checkRangeCopy(n *ast.RangeStmt) {
+	if n.Value == nil {
+		return
+	}
+	// A := range variable is a definition, recorded in Defs; an
+	// assigned one is an expression, recorded in Types.
+	var t types.Type
+	if id, ok := n.Value.(*ast.Ident); ok {
+		if obj := lc.p.Pkg.Info.Defs[id]; obj != nil {
+			t = obj.Type()
+		}
+	}
+	if t == nil {
+		if tv, ok := lc.p.Pkg.Info.Types[n.Value]; ok {
+			t = tv.Type
+		}
+	}
+	if t == nil {
+		return
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return
+	}
+	if lc.hasLock(t) {
+		lc.p.Reportf(n.Value.Pos(), "range value copies lock-bearing type %s by value (range over the index)", t)
+	}
+}
+
+// scanBody runs the critical-section scanner over one function body
+// with fresh lock state.
+func (lc *lockChecker) scanBody(body *ast.BlockStmt) {
+	s := &lockScan{lc: lc, held: map[string]bool{}}
+	s.stmts(body.List)
+}
+
+// lockScan tracks which mutexes are held during a source-order walk of
+// one function body. held maps a mutex expression (printed form) to
+// whether its release is deferred; a deferred release keeps the mutex
+// held to function exit by design, so returns are fine but blocking
+// operations under it still are not.
+type lockScan struct {
+	lc   *lockChecker
+	held map[string]bool
+}
+
+func (s *lockScan) stmts(list []ast.Stmt) {
+	for _, st := range list {
+		s.stmt(st)
+	}
+}
+
+func (s *lockScan) stmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if key, op, ok := s.mutexOp(st.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				s.held[key] = false
+			case "Unlock", "RUnlock":
+				delete(s.held, key)
+			}
+			return
+		}
+		s.checkBlocking(st)
+	case *ast.DeferStmt:
+		if key, op, ok := s.mutexOp(st.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			if _, locked := s.held[key]; locked {
+				s.held[key] = true // release pinned to function exit
+			}
+			return
+		}
+	case *ast.ReturnStmt:
+		for _, key := range s.heldKeys() {
+			if !s.held[key] { // non-deferred
+				s.lc.p.Reportf(st.Pos(), "return while %s is held (unlock first, or defer the unlock)", key)
+			}
+		}
+		s.checkBlocking(st)
+	case *ast.BlockStmt:
+		s.stmts(st.List)
+	case *ast.IfStmt:
+		s.checkBlockingNode(st.Init)
+		s.checkBlockingNode(st.Cond)
+		s.stmt(st.Body)
+		if st.Else != nil {
+			s.stmt(st.Else)
+		}
+	case *ast.ForStmt:
+		s.checkBlockingNode(st.Cond)
+		s.stmt(st.Body)
+	case *ast.RangeStmt:
+		s.checkBlockingNode(st.X)
+		s.stmt(st.Body)
+	case *ast.SwitchStmt:
+		s.checkBlockingNode(st.Tag)
+		for _, c := range st.Body.List {
+			s.stmts(c.(*ast.CaseClause).Body)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			s.stmts(c.(*ast.CaseClause).Body)
+		}
+	case *ast.SelectStmt:
+		if len(s.held) > 0 {
+			s.reportBlocking(st.Pos(), "select")
+		}
+		for _, c := range st.Body.List {
+			s.stmts(c.(*ast.CommClause).Body)
+		}
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt)
+	case *ast.GoStmt:
+		// The spawned goroutine runs without our locks; its body is
+		// scanned separately via the FuncLit walk.
+	default:
+		s.checkBlocking(st)
+	}
+}
+
+// mutexOp recognises a call of sync's Lock/RLock/Unlock/RUnlock on a
+// mutex-valued expression, returning the receiver's printed form.
+func (s *lockScan) mutexOp(e ast.Expr) (key, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := s.lc.p.objectOf(sel.Sel).(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return types.ExprString(sel.X), fn.Name(), true
+	}
+	return "", "", false
+}
+
+// checkBlocking flags channel operations and Submit calls inside st
+// while any mutex is held.
+func (s *lockScan) checkBlocking(st ast.Stmt) {
+	if len(s.held) == 0 {
+		return
+	}
+	s.checkBlockingNode(st)
+}
+
+func (s *lockScan) checkBlockingNode(n ast.Node) {
+	if n == nil || len(s.held) == 0 {
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.FuncLit:
+			return false // runs later, without our locks
+		case *ast.SendStmt:
+			s.reportBlocking(c.Pos(), "channel send")
+		case *ast.UnaryExpr:
+			if c.Op == token.ARROW {
+				s.reportBlocking(c.Pos(), "channel receive")
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Submit" {
+				s.reportBlocking(c.Pos(), "Submit call")
+			}
+		}
+		return true
+	})
+}
+
+func (s *lockScan) reportBlocking(pos token.Pos, what string) {
+	keys := s.heldKeys()
+	s.lc.p.Reportf(pos, "%s while %s is held (blocking operations must not extend a critical section)", what, keys[0])
+}
+
+// heldKeys returns the held mutexes in deterministic order.
+func (s *lockScan) heldKeys() []string {
+	keys := make([]string, 0, len(s.held))
+	for k := range s.held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,33 @@
+package lint
+
+import "testing"
+
+// TestSelfLint runs the full suite over the whole module with the
+// default configuration, so `go test ./...` fails the moment the repo
+// violates its own determinism, locking, telemetry or hygiene rules.
+// Every surviving exception must carry a reasoned //lint:allow — those
+// are logged here for auditability, never failed on.
+func TestSelfLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short runs")
+	}
+	m := loadTestModule(t)
+	pkgs, err := m.Load("./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded (%d): pattern expansion is broken", len(pkgs))
+	}
+	diags := Run(m, pkgs, DefaultConfig(m.Path))
+	suppressed := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+			t.Logf("allowed: %s", d)
+			continue
+		}
+		t.Errorf("unsuppressed finding: %s", d)
+	}
+	t.Logf("self-lint: %d package(s), %d reasoned exception(s)", len(pkgs), suppressed)
+}

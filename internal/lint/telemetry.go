@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// telemetryCheck enforces the observability layer's two conventions
+// (PR 1): exporter and sink errors are never dropped — a trace that
+// silently truncated is worse than no trace, because the forensics
+// and perf-lab tooling would attribute costs from a partial stream —
+// and every emitted telemetry.Event carries an explicit Step, since
+// the per-step invariant verifier (tracecheck) and the per-phase
+// metrics series both key on it.
+var telemetryCheck = &Check{
+	Name: "telemetry",
+	Doc:  "forbid discarded exporter/sink errors and Event literals without an explicit Step field",
+	Run:  runTelemetry,
+}
+
+func runTelemetry(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					p.checkDiscardedError(call)
+				}
+			case *ast.DeferStmt:
+				p.checkDiscardedError(n.Call)
+			case *ast.GoStmt:
+				p.checkDiscardedError(n.Call)
+			case *ast.CompositeLit:
+				p.checkEventLiteral(n)
+			}
+			return true
+		})
+	}
+}
+
+// checkDiscardedError flags a statement-position call into an exporter
+// package whose error result is dropped on the floor.
+func (p *Pass) checkDiscardedError(call *ast.CallExpr) {
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil || !matchesAny(fn.Pkg().Path(), p.Cfg.ExporterPkgs) {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if named, ok := last.(*types.Named); !ok || named.Obj().Name() != "error" || named.Obj().Pkg() != nil {
+		return
+	}
+	p.Reportf(call.Pos(), "%s.%s returns an error that is discarded: exporter/sink errors must be checked", fn.Pkg().Name(), fn.Name())
+}
+
+// calleeFunc resolves a call's static callee, if it is a plain
+// function or method reference.
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.objectOf(fun).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.objectOf(fun.Sel).(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// checkEventLiteral flags keyed composite literals of the configured
+// event types that omit the Step field. Step 0 is a real phase, so the
+// zero value is not a safe default: an event without an explicit step
+// is almost always a copy-paste that will land in phase 0's bucket.
+func (p *Pass) checkEventLiteral(lit *ast.CompositeLit) {
+	tv, ok := p.Pkg.Info.Types[lit]
+	if !ok {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return
+	}
+	qualified := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	found := false
+	for _, want := range p.Cfg.EventTypes {
+		if qualified == want {
+			found = true
+			break
+		}
+	}
+	if !found || len(lit.Elts) == 0 {
+		return
+	}
+	keyed := false
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			return // positional literal names every field, Step included
+		}
+		keyed = true
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Step" {
+			return
+		}
+	}
+	if keyed {
+		short := qualified[strings.LastIndex(qualified, "/")+1:]
+		p.Reportf(lit.Pos(), "%s literal without an explicit Step field: events must carry their program step", short)
+	}
+}

@@ -1,0 +1,31 @@
+package determfix
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Seeded builds a seeded generator — the approved pattern, no
+// directive needed.
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Keys iterates a map but is annotated: the result is sorted, so the
+// iteration order cannot leak.
+func Keys(m map[int]float64) []int {
+	var out []int
+	for k := range m { //lint:allow determinism fixture: result is sorted immediately below
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Stamp is an annotated wall-clock exception (directive on the line
+// above the read).
+func Stamp() time.Time {
+	//lint:allow determinism fixture: annotated exception with a reason
+	return time.Now()
+}

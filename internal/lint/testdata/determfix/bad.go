@@ -1,0 +1,34 @@
+// Package determfix exercises the determinism check: every construct
+// in this file is a violation. The fixture test points the check's
+// Deterministic group at this package.
+package determfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock reads the wall clock twice.
+func Clock() float64 {
+	t0 := time.Now()
+	return float64(time.Since(t0))
+}
+
+// Draw uses the process-global rand stream.
+func Draw(n int) int {
+	return rand.Intn(n)
+}
+
+// Sum folds a map in iteration order.
+func Sum(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Spawn starts a goroutine.
+func Spawn(done chan struct{}) {
+	go close(done)
+}

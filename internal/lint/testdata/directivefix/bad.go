@@ -1,0 +1,19 @@
+// Package directivefix exercises the directive rules: a suppression
+// without a reason is itself a diagnostic, as is one naming no or an
+// unknown check.
+package directivefix
+
+// Bare has no check name and no reason.
+//
+//lint:allow
+func Bare() {}
+
+// NoReason names a check but gives no reason.
+//
+//lint:allow determinism
+func NoReason() {}
+
+// Unknown names a check that does not exist.
+//
+//lint:allow nosuchcheck because typos happen
+func Unknown() {}

@@ -1,0 +1,21 @@
+package hygienefix
+
+import (
+	"repro"
+	"repro/internal/cli"
+)
+
+// WorkersChecked validates through the shared helpers.
+func WorkersChecked(n int) error {
+	return cli.PositiveInt("-workers", n)
+}
+
+// ProcsChecked names the flag in its diagnostics.
+func ProcsChecked(v string) ([]int, error) {
+	return cli.ProcsFlag("-procs", v)
+}
+
+// OldAllowed keeps one annotated legacy reference.
+//
+//lint:allow hygiene fixture: legacy migration shim retained deliberately
+var OldAllowed = repro.SimulateOpts

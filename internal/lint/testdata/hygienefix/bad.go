@@ -1,0 +1,24 @@
+// Package hygienefix exercises the hygiene check. The fixture test
+// lists this package under CmdPkgs, so it plays the role of a
+// command-line tool.
+package hygienefix
+
+import (
+	"strconv"
+
+	"repro"
+	"repro/internal/cli"
+)
+
+// Workers parses a flag value with bare strconv.
+func Workers(v string) (int, error) {
+	return strconv.Atoi(v)
+}
+
+// Procs uses the unprefixed parser, losing the offending flag's name.
+func Procs(v string) ([]int, error) {
+	return cli.ParseProcs(v)
+}
+
+// Old pins the deprecated simulate entry point.
+var Old = repro.SimulateOpts

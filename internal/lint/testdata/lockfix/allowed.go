@@ -1,0 +1,36 @@
+package lockfix
+
+import "sync"
+
+// Guarded is the disciplined pattern: pointer receivers, unlock before
+// blocking, defer on multi-return paths.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Get uses defer-unlock, so the early return is fine.
+func (g *Guarded) Get(fallback bool) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if fallback {
+		return 0
+	}
+	return g.n
+}
+
+// Publish snapshots under the lock and sends after releasing it.
+func (g *Guarded) Publish(ch chan int) {
+	g.mu.Lock()
+	n := g.n
+	g.mu.Unlock()
+	ch <- n
+}
+
+// Notify is an annotated exception: the channel is buffered by
+// contract and cannot block.
+func (g *Guarded) Notify(ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ch <- g.n //lint:allow locking fixture: channel is buffered by contract and never blocks
+}

@@ -1,0 +1,53 @@
+// Package lockfix exercises the locking check: copied lock-bearing
+// values, a mutex held across blocking operations, and a return with
+// the mutex still held.
+package lockfix
+
+import "sync"
+
+// Box carries a mutex by value.
+type Box struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ByValue copies its lock-bearing receiver.
+func (b Box) ByValue() int {
+	return b.n
+}
+
+// Send holds mu across a channel send.
+func Send(b *Box, ch chan int) {
+	b.mu.Lock()
+	ch <- b.n
+	b.mu.Unlock()
+}
+
+// Leak returns with mu held on the early path.
+func Leak(b *Box, bad bool) int {
+	b.mu.Lock()
+	if bad {
+		return -1
+	}
+	n := b.n
+	b.mu.Unlock()
+	return n
+}
+
+// Drain copies lock-bearing elements by value.
+func Drain(boxes []Box) int {
+	total := 0
+	for _, b := range boxes {
+		total += b.n
+	}
+	return total
+}
+
+// Forward calls Submit with the lock held (deferred unlock pins the
+// mutex to function exit, so the call happens inside the critical
+// section).
+func Forward(b *Box, x interface{ Submit() }) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	x.Submit()
+}

@@ -1,0 +1,24 @@
+package telemfix
+
+import (
+	"io"
+
+	"repro/internal/telemetry"
+)
+
+// DumpChecked propagates the exporter's error.
+func DumpChecked(w io.Writer, events []telemetry.Event) error {
+	return telemetry.WriteJSONL(w, events)
+}
+
+// EmitStep carries its program step (Step: 0 is explicit, not
+// defaulted).
+func EmitStep(s telemetry.Sink, step int) {
+	s.Emit(telemetry.Event{Kind: telemetry.KindExec, Step: step})
+}
+
+// DumpBestEffort is an annotated exception.
+func DumpBestEffort(w io.Writer, events []telemetry.Event) {
+	//lint:allow telemetry fixture: best-effort debug dump, errors deliberately ignored
+	telemetry.WriteJSONL(w, events)
+}

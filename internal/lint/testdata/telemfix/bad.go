@@ -1,0 +1,20 @@
+// Package telemfix exercises the telemetry check against the real
+// telemetry package: a discarded exporter error and an Event literal
+// without an explicit Step.
+package telemfix
+
+import (
+	"io"
+
+	"repro/internal/telemetry"
+)
+
+// Dump discards the exporter's error.
+func Dump(w io.Writer, events []telemetry.Event) {
+	telemetry.WriteJSONL(w, events)
+}
+
+// Emit builds an event with no Step field.
+func Emit(s telemetry.Sink, proc int) {
+	s.Emit(telemetry.Event{Kind: telemetry.KindExec, Proc: proc})
+}

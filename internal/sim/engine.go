@@ -159,14 +159,14 @@ type engine struct {
 	dir    *directory
 	bus    Resource
 
-	state      []procState
-	heap       eventHeap
-	seq        int64
-	seed       uint64
-	step       int
-	sink       telemetry.Sink
-	prov       telemetry.ProvSink
-	rh         *regHandles
+	state []procState
+	heap  eventHeap
+	seq   int64
+	seed  uint64
+	step  int
+	sink  telemetry.Sink
+	prov  telemetry.ProvSink
+	rh    *regHandles
 
 	// fetchOwner/fetchStolen describe the chunk the most recent
 	// fetcher call returned: which queue it came from (-1 for the
@@ -174,9 +174,9 @@ type engine struct {
 	// fetch; the engine folds them into provenance records.
 	fetchOwner  int
 	fetchStolen bool
-	flushEvery int
-	activeFn   func(step int) int
-	active     int
+	flushEvery  int
+	activeFn    func(step int) int
+	active      int
 
 	f    fetcher
 	loop ParLoop

@@ -61,7 +61,11 @@ func TestTracecheckStealHeavyAFS(t *testing.T) {
 			}); err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
-			rep := telemetry.Check(events.Events())
+			// CheckAFS layers the ⌈N/P⌉ ownership invariant on top of
+			// the base checks: every algorithm here uses static initial
+			// placement, so un-stolen executions must land on their
+			// owner even under steal-heavy pressure.
+			rep := telemetry.CheckAFS(events.Events(), c.procs)
 			if err := rep.Err(); err != nil {
 				t.Errorf("%s: tracecheck failed: %v", name, err)
 			}

@@ -37,9 +37,9 @@ func TestMAD(t *testing.T) {
 		want float64
 	}{
 		{nil, 0},
-		{[]float64{7}, 0},              // n=1: no deviation
-		{[]float64{5, 5, 5}, 0},        // constant samples
-		{[]float64{1, 2, 3, 4, 5}, 1},  // symmetric
+		{[]float64{7}, 0},               // n=1: no deviation
+		{[]float64{5, 5, 5}, 0},         // constant samples
+		{[]float64{1, 2, 3, 4, 5}, 1},   // symmetric
 		{[]float64{1, 1, 1, 1, 100}, 0}, // outlier swallowed: robust spread stays 0
 	}
 	for _, c := range cases {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/sched"
 )
 
 // Report is the outcome of a Check run over an event stream.
@@ -176,4 +178,116 @@ func minInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// CheckAFS runs Check and then the dynamic counterpart of the static
+// determinism analysis: the ownership invariant of affinity scheduling.
+// AFS's deterministic initial placement (sched.Static) gives processor
+// i the contiguous block ⌈iN/P⌉ … ⌈(i+1)N/P⌉, and a chunk leaves its
+// owner's queue only by being stolen — so every exec chunk that does
+// not overlap a steal chunk of the same step must (a) lie entirely
+// within one owner's block and (b) have been executed by that owner.
+// A violation means work migrated without a steal event (broken
+// affinity accounting) or a queue was seeded off its owner.
+//
+// procs is the number of processors the run was scheduled on (the
+// engine's active processor count). The invariant only holds for AFS
+// variants with static initial placement; AFS-LE reassigns ownership
+// from execution history, so its streams must use plain Check.
+func CheckAFS(events []Event, procs int) *Report {
+	r := Check(events)
+	if procs <= 0 {
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("ownership check needs a positive processor count (got %d)", procs))
+		return r
+	}
+	type stepData struct {
+		n      int
+		execs  []Event
+		steals []Event
+	}
+	steps := map[int]*stepData{}
+	get := func(s int) *stepData {
+		d, ok := steps[s]
+		if !ok {
+			d = &stepData{n: -1}
+			steps[s] = d
+		}
+		return d
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case KindPhaseBegin:
+			get(e.Step).n = e.Hi
+		case KindExec:
+			get(e.Step).execs = append(get(e.Step).execs, e)
+		case KindSteal:
+			get(e.Step).steals = append(get(e.Step).steals, e)
+		}
+	}
+	order := make([]int, 0, len(steps))
+	for s := range steps {
+		order = append(order, s)
+	}
+	sort.Ints(order)
+
+	for _, s := range order {
+		d := steps[s]
+		n := d.n
+		if n < 0 {
+			for _, e := range d.execs {
+				if e.Hi > n {
+					n = e.Hi
+				}
+			}
+		}
+		if n <= 0 || len(d.execs) == 0 {
+			continue
+		}
+		// The placement function itself is the oracle: ownerBlock[i]
+		// is processor i's initial block straight from sched.Static,
+		// so the verifier and the scheduler cannot drift apart.
+		ownerBlock := make([]sched.Chunk, procs)
+		for i, chs := range sched.Static(n, procs) {
+			if len(chs) > 0 {
+				ownerBlock[i] = chs[0]
+			}
+		}
+		ownerOf := func(x int) int {
+			for i, b := range ownerBlock {
+				if b.Lo <= x && x < b.Hi {
+					return i
+				}
+			}
+			return -1
+		}
+		for _, e := range d.execs {
+			if e.Lo < 0 || e.Hi > n || e.Lo >= e.Hi {
+				continue // already reported by Check as out of bounds
+			}
+			stolen := false
+			for _, st := range d.steals {
+				if e.Lo < st.Hi && st.Lo < e.Hi {
+					stolen = true
+					break
+				}
+			}
+			if stolen {
+				continue // migrated work may run anywhere, once
+			}
+			owner := ownerOf(e.Lo)
+			if owner < 0 || e.Hi > ownerBlock[owner].Hi {
+				r.Violations = append(r.Violations,
+					fmt.Sprintf("step %d: un-stolen exec [%d,%d) spans owner blocks (local takes are clipped to one ⌈N/P⌉ block)",
+						s, e.Lo, e.Hi))
+				continue
+			}
+			if e.Proc != owner {
+				r.Violations = append(r.Violations,
+					fmt.Sprintf("step %d: un-stolen exec [%d,%d) ran on P%d but its ⌈N/P⌉ owner is P%d (n=%d, p=%d)",
+						s, e.Lo, e.Hi, e.Proc, owner, n, procs))
+			}
+		}
+	}
+	return r
 }

@@ -124,6 +124,97 @@ func TestCheckErrTruncates(t *testing.T) {
 	}
 }
 
+// CheckAFS ownership-invariant tests. With n=8, p=4 the static blocks
+// are [0,2) [2,4) [4,6) [6,8), owned by P0..P3.
+
+func TestCheckAFSOwnerCorrectStream(t *testing.T) {
+	events := []Event{
+		{Kind: KindPhaseBegin, Step: 0, Hi: 8},
+		{Kind: KindExec, Proc: 0, Step: 0, Lo: 0, Hi: 2},
+		{Kind: KindExec, Proc: 1, Step: 0, Lo: 2, Hi: 3}, // partial local take
+		{Kind: KindExec, Proc: 1, Step: 0, Lo: 3, Hi: 4},
+		{Kind: KindExec, Proc: 2, Step: 0, Lo: 4, Hi: 6},
+		{Kind: KindExec, Proc: 3, Step: 0, Lo: 6, Hi: 8},
+	}
+	if r := CheckAFS(events, 4); !r.OK() {
+		t.Fatalf("owner-correct stream flagged: %v", r.Violations)
+	}
+}
+
+func TestCheckAFSWrongOwner(t *testing.T) {
+	events := []Event{
+		{Kind: KindPhaseBegin, Step: 0, Hi: 8},
+		{Kind: KindExec, Proc: 0, Step: 0, Lo: 0, Hi: 2},
+		{Kind: KindExec, Proc: 3, Step: 0, Lo: 2, Hi: 4}, // P1's block, no steal
+		{Kind: KindExec, Proc: 2, Step: 0, Lo: 4, Hi: 6},
+		{Kind: KindExec, Proc: 3, Step: 0, Lo: 6, Hi: 8},
+	}
+	r := CheckAFS(events, 4)
+	if r.OK() || !strings.Contains(r.Err().Error(), "owner is P1") {
+		t.Errorf("silent migration not caught: %v", r.Err())
+	}
+}
+
+func TestCheckAFSStolenChunkMayRunAnywhere(t *testing.T) {
+	events := []Event{
+		{Kind: KindPhaseBegin, Step: 0, Hi: 8},
+		{Kind: KindExec, Proc: 0, Step: 0, Lo: 0, Hi: 2},
+		{Kind: KindSteal, Proc: 3, Victim: 1, Step: 0, Lo: 2, Hi: 4},
+		{Kind: KindExec, Proc: 3, Step: 0, Lo: 2, Hi: 4}, // thief executes its steal
+		{Kind: KindExec, Proc: 2, Step: 0, Lo: 4, Hi: 6},
+		{Kind: KindExec, Proc: 3, Step: 0, Lo: 6, Hi: 8},
+	}
+	if r := CheckAFS(events, 4); !r.OK() {
+		t.Fatalf("legal steal flagged: %v", r.Violations)
+	}
+}
+
+func TestCheckAFSUnstolenSpanningBlocks(t *testing.T) {
+	events := []Event{
+		{Kind: KindPhaseBegin, Step: 0, Hi: 8},
+		{Kind: KindExec, Proc: 0, Step: 0, Lo: 0, Hi: 4}, // crosses P0|P1 boundary
+		{Kind: KindExec, Proc: 2, Step: 0, Lo: 4, Hi: 6},
+		{Kind: KindExec, Proc: 3, Step: 0, Lo: 6, Hi: 8},
+	}
+	r := CheckAFS(events, 4)
+	if r.OK() || !strings.Contains(r.Err().Error(), "spans owner blocks") {
+		t.Errorf("block-spanning local take not caught: %v", r.Err())
+	}
+}
+
+// TestCheckAFSUnevenBlocks pins the verifier to sched.Static's balanced
+// ⌈N/P⌉ boundaries (n=10, p=4 → [0,3) [3,5) [5,8) [8,10)), not the
+// naive fixed-size-3 blocks [0,3) [3,6) [6,9) [9,10).
+func TestCheckAFSUnevenBlocks(t *testing.T) {
+	events := []Event{
+		{Kind: KindPhaseBegin, Step: 0, Hi: 10},
+		{Kind: KindExec, Proc: 0, Step: 0, Lo: 0, Hi: 3},
+		{Kind: KindExec, Proc: 1, Step: 0, Lo: 3, Hi: 5},
+		{Kind: KindExec, Proc: 2, Step: 0, Lo: 5, Hi: 8},
+		{Kind: KindExec, Proc: 3, Step: 0, Lo: 8, Hi: 10},
+	}
+	if r := CheckAFS(events, 4); !r.OK() {
+		t.Fatalf("balanced placement flagged: %v", r.Violations)
+	}
+	naive := []Event{
+		{Kind: KindPhaseBegin, Step: 0, Hi: 10},
+		{Kind: KindExec, Proc: 0, Step: 0, Lo: 0, Hi: 3},
+		{Kind: KindExec, Proc: 1, Step: 0, Lo: 3, Hi: 6},
+		{Kind: KindExec, Proc: 2, Step: 0, Lo: 6, Hi: 9},
+		{Kind: KindExec, Proc: 3, Step: 0, Lo: 9, Hi: 10},
+	}
+	if r := CheckAFS(naive, 4); r.OK() {
+		t.Fatal("fixed-size blocks accepted: verifier is not using sched.Static boundaries")
+	}
+}
+
+func TestCheckAFSBadProcs(t *testing.T) {
+	r := CheckAFS(sampleEvents(), 0)
+	if r.OK() || !strings.Contains(r.Err().Error(), "positive processor count") {
+		t.Errorf("procs=0 not rejected: %v", r.Err())
+	}
+}
+
 func TestCheckMultiStep(t *testing.T) {
 	var events []Event
 	for s := 0; s < 3; s++ {

@@ -19,8 +19,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/cli"
 	"repro/internal/forensics"
@@ -39,6 +41,8 @@ func main() {
 		err = runAnalyze(os.Args[2:])
 	case "diff":
 		err = runDiff(os.Args[2:])
+	case "attach":
+		err = runAttach(os.Args[2:])
 	case "-h", "--help", "help":
 		usage(os.Stdout)
 		return
@@ -65,6 +69,9 @@ usage:
   loopdoctor diff FILE_A FILE_B [-format md|json] [-o OUT]
       decompose the makespan difference between two traces and emit an
       attribution verdict
+  loopdoctor attach URL [-which live|anomaly] [-format md|json] [-o OUT] [-save FILE]
+      capture a flight dump from a running engineview / observability
+      endpoint and run the standard attribution report on it
 `)
 }
 
@@ -174,6 +181,84 @@ func runAnalyze(args []string) error {
 		err = cerr
 	}
 	return err
+}
+
+// runAttach pulls a live flight dump from a running engine's
+// observability endpoint (cmd/engineview, or any server built on
+// repro.ObservabilityHandler) and feeds it through the same
+// attribution pipeline as analyze — turning the last moments of a
+// living engine into a standard forensics report.
+func runAttach(args []string) error {
+	fs := flag.NewFlagSet("attach", flag.ExitOnError)
+	which := fs.String("which", "live", "which dump to capture: live or anomaly")
+	format := fs.String("format", "md", "output format: md or json")
+	out := fs.String("o", "", "output file (default stdout)")
+	save := fs.String("save", "", "also save the captured trace file here")
+	pos := parseMixed(fs, args)
+	if len(pos) != 1 {
+		return fmt.Errorf("attach wants exactly one engine URL, got %d args", len(pos))
+	}
+	if err := cli.OneOf("-which", *which, "live", "anomaly"); err != nil {
+		return err
+	}
+	if err := cli.OneOf("-format", *format, "md", "markdown", "json"); err != nil {
+		return err
+	}
+
+	tr, err := fetchFlightTrace(pos[0], *which)
+	if err != nil {
+		return err
+	}
+	if *save != "" {
+		if err := tr.WriteFile(*save); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "saved %d events, %d provenance records → %s\n",
+			len(tr.Events), len(tr.Prov), *save)
+	}
+	a, err := forensics.Analyze(tr)
+	if err != nil {
+		return err
+	}
+	w, closeW, err := outWriter(*out)
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "json":
+		err = forensics.WriteJSON(w, a)
+	default:
+		err = forensics.WriteMarkdown(w, a)
+	}
+	if cerr := closeW(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// fetchFlightTrace GETs URL/flight?format=trace&which=… and parses the
+// forensics trace file the endpoint serves.
+func fetchFlightTrace(base, which string) (*forensics.Trace, error) {
+	u := strings.TrimSuffix(base, "/")
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	u += "/flight?format=trace&which=" + which
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(u)
+	if err != nil {
+		return nil, fmt.Errorf("attach %s: %w", u, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("attach %s: %s: %s", u, resp.Status, strings.TrimSpace(string(body)))
+	}
+	tr, err := forensics.ReadTrace(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("attach %s: %w", u, err)
+	}
+	return tr, nil
 }
 
 func runDiff(args []string) error {

@@ -49,6 +49,8 @@ func main() {
 		err = cmdGate(os.Args[2:])
 	case "duel":
 		err = cmdDuel(os.Args[2:])
+	case "overhead":
+		err = cmdOverhead(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "-h", "-help", "--help", "help":
@@ -74,6 +76,8 @@ func usage() {
            a statistically significant regression
   duel     race two registered cases head to head; exit 1 unless the
            expected winner's median beats the loser's by -margin
+  overhead run an instrumented case against its bare twin; exit 1 if
+           median(instrumented)/median(bare) exceeds -budget
   serve    live HTML dashboard over the baseline history
 
 Run 'perflab <subcommand> -h' for flags.
@@ -313,6 +317,59 @@ func cmdDuel(args []string) error {
 	return nil
 }
 
+// cmdOverhead is the observability-overhead budget check: it runs an
+// instrumented case and its bare twin back to back and fails when the
+// instrumented median exceeds the bare median by more than -budget.
+// The default pair is steady-loops — realistic loop sizes, where the
+// measured cost of a live plane plus an aggressive scraper is a few
+// percent; the default budget adds headroom for wall-time noise on
+// shared CI hosts. CI also checks the many-small-loops pair (~100ns
+// chunk bodies, the deliberate worst case, ~2.5x on a single-CPU
+// host) at a loose budget, so a hot-path instrument regression — a
+// lock on the chunk path, an allocation per observation — shows up
+// before it ships.
+func cmdOverhead(args []string) error {
+	fs := flag.NewFlagSet("perflab overhead", flag.ExitOnError)
+	bare := fs.String("bare", "real/steady-loops/executor/p4", "uninstrumented case")
+	obs := fs.String("obs", "real/steady-loops/executor-obs/p4", "instrumented case")
+	budget := fs.Float64("budget", 1.2, "max allowed median(obs)/median(bare) ratio")
+	short := fs.Bool("short", false, "CI-sized problems and repeat counts")
+	seed := fs.Uint64("seed", 1, "run seed")
+	fs.Parse(args)
+	if err := cli.PositiveFloat("-budget", *budget); err != nil {
+		return err
+	}
+	reg := perflab.DefaultRegistry(*short)
+	var pair []perflab.Case
+	for _, id := range []string{*bare, *obs} {
+		c, ok := reg.Get(id)
+		if !ok {
+			return fmt.Errorf("perflab overhead: unknown case %q", id)
+		}
+		pair = append(pair, c)
+	}
+	runner := &perflab.Runner{BaseSeed: *seed}
+	runner.Progress = func(done, total int, res perflab.CaseResult) {
+		fmt.Fprintf(os.Stderr, "[%d/%d] %s  median %.4gs\n", done, total, res.ID, res.Summary.Median)
+	}
+	results, err := runner.Run(pair)
+	if err != nil {
+		return err
+	}
+	mBare, mObs := results[0].Summary.Median, results[1].Summary.Median
+	if mBare <= 0 {
+		return fmt.Errorf("perflab overhead: %s median %.4gs is not positive; cannot judge", *bare, mBare)
+	}
+	ratio := mObs / mBare
+	fmt.Printf("perflab overhead: %s %.4gs vs %s %.4gs — ratio %.3fx (budget %.2fx)\n",
+		*bare, mBare, *obs, mObs, ratio, *budget)
+	if ratio > *budget {
+		return fmt.Errorf("perflab overhead: observability costs %.3fx over the bare case (budget %.2fx)",
+			ratio, *budget)
+	}
+	return nil
+}
+
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("perflab serve", flag.ExitOnError)
 	sf := addSuiteFlags(fs, "both")
@@ -322,6 +379,9 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", "localhost:8080", "listen address")
 	live := fs.Bool("live", false, "execute the suite in the background, streaming results to the dashboard")
 	fs.Parse(args)
+	if _, err := cli.AddrFlag("-addr", *addr); err != nil {
+		return err
+	}
 
 	state := &perflab.LiveState{}
 	if *live {

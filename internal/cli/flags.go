@@ -2,6 +2,7 @@ package cli
 
 import (
 	"fmt"
+	"net"
 	"strconv"
 	"strings"
 
@@ -93,6 +94,19 @@ func AlgosFlag(flagName, val string) ([]sched.Spec, error) {
 		return nil, fmt.Errorf("%s: %w", flagName, err)
 	}
 	return out, nil
+}
+
+// AddrFlag validates a host:port listen address, naming the flag —
+// the standard validator for every command that starts an HTTP server
+// (perflab serve, engineview). The host may be empty (all interfaces)
+// and the port may be 0 (kernel-assigned) or a service name; a value
+// with no port at all is rejected before net.Listen turns it into a
+// confusing bind error.
+func AddrFlag(flagName, val string) (string, error) {
+	if _, _, err := net.SplitHostPort(val); err != nil {
+		return "", fmt.Errorf("%s must be a host:port listen address (got %q): %v", flagName, val, err)
+	}
+	return val, nil
 }
 
 // InjectFlag parses a 'caseID=factor,...' sample-multiplier list (the

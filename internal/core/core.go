@@ -63,11 +63,33 @@ type Config struct {
 	// Compute. The sink MUST be safe for concurrent use
 	// (telemetry.NewSyncProvStream).
 	Prov telemetry.ProvSink
+	// Hooks, when non-nil, receives lock-free notifications from the
+	// dispatch/steal hot paths — the feed for the live observability
+	// plane (internal/livemetrics). Implementations MUST be safe for
+	// concurrent use and cheap (atomic counters only): every executed
+	// chunk and every successful steal calls them inline from a worker.
+	// nil costs the hot path one pointer check per chunk.
+	Hooks ObsHooks
 	// QueueDepthEvery, when positive, samples every work queue's
 	// backlog at this interval into Stats.QueueDepthSamples — the real
 	// runtime's version of the simulator's per-queue imbalance signal.
 	// Supported by the AFS and central-queue dispatchers.
 	QueueDepthEvery time.Duration
+}
+
+// ObsHooks is the hot-path notification surface consumed by the live
+// observability plane. Both methods are called inline from worker
+// goroutines — implementations must be concurrent-safe and bounded to
+// a handful of atomic operations. Durations are nanoseconds measured
+// on the runner's telemetry clock.
+type ObsHooks interface {
+	// ObserveChunk fires once per executed chunk: the worker that ran
+	// it, the owning queue (-1 for central dispensers), whether the
+	// chunk migrated, its iteration count, and its execution time.
+	ObserveChunk(proc, owner int, stolen bool, iters int, durNS float64)
+	// ObserveSteal fires once per successful steal with the measured
+	// steal latency (victim lock acquisition through chunk removal).
+	ObserveSteal(thief, victim, iters int, latNS float64)
 }
 
 func (c Config) procs() int {
@@ -169,6 +191,7 @@ type runner struct {
 	t0      time.Time
 	sink    telemetry.Sink
 	prov    telemetry.ProvSink
+	hooks   ObsHooks
 	rh      *coreHandles
 	depthMu sync.Mutex
 	phaseNo atomic.Int64
@@ -232,12 +255,15 @@ func (r *runner) work(w, ph int) {
 		if r.rh != nil {
 			r.rh.chunkSize.Observe(float64(c.Len()))
 		}
-		if r.sink != nil || r.prov != nil {
+		if r.sink != nil || r.prov != nil || r.hooks != nil {
 			start := r.nowNS()
 			for i := c.Lo; i < c.Hi; i++ {
 				r.body(ph, i)
 			}
 			end := r.nowNS()
+			if r.hooks != nil {
+				r.hooks.ObserveChunk(w, fm.owner, fm.stolen, c.Len(), end-start)
+			}
 			if r.sink != nil {
 				r.sink.Emit(telemetry.Event{Kind: telemetry.KindExec,
 					Proc: w, Victim: -1, Step: ph, Lo: c.Lo, Hi: c.Hi,
@@ -509,7 +535,7 @@ func (d *afsDispatch) fetch(r *runner, w int) (sched.Chunk, fetchMeta, bool) {
 			return sched.Chunk{}, fetchMeta{}, false
 		}
 		vq := &d.queues[victim]
-		instrumented := r.sink != nil || r.rh != nil || r.prov != nil
+		instrumented := r.sink != nil || r.rh != nil || r.prov != nil || r.hooks != nil
 		var stealStart float64
 		if instrumented {
 			stealStart = r.nowNS()
@@ -531,6 +557,9 @@ func (d *afsDispatch) fetch(r *runner, w int) (sched.Chunk, fetchMeta, bool) {
 		if instrumented {
 			end := r.nowNS()
 			fm.wait = end - stealStart
+			if r.hooks != nil {
+				r.hooks.ObserveSteal(w, victim, c.Len(), end-stealStart)
+			}
 			if r.rh != nil {
 				r.rh.stealLatency.Observe(end - stealStart)
 			}

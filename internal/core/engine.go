@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sched"
@@ -45,7 +46,17 @@ type Engine struct {
 	afs      *afsDispatch
 	afsName  string
 	afsProcs int
+
+	// depthSrc is the live queue-depth source for observers: the most
+	// recent submission's dispatcher, when it supports concurrent depth
+	// sampling. Written by the baton holder, read lock-free by
+	// QueueDepths scrapers.
+	depthSrc atomic.Value // depthBox
 }
+
+// depthBox wraps a depthSampler so depthSrc always stores one concrete
+// type (atomic.Value panics on inconsistent types).
+type depthBox struct{ ds depthSampler }
 
 // phaseTask tells a worker to run one phase of one submission.
 type phaseTask struct {
@@ -71,6 +82,20 @@ func NewEngine(p int) (*Engine, error) {
 
 // Procs is the worker count fixed at creation.
 func (e *Engine) Procs() int { return e.p }
+
+// QueueDepths snapshots the per-queue backlog of the most recent
+// submission's dispatcher: queued iterations per worker queue (AFS), or
+// one entry of remaining iterations (central dispensers). Safe to call
+// concurrently with execution from any goroutine; returns nil before
+// the first depth-capable submission. Between submissions it reports
+// the drained state of the last one (all zeros) — live scrapers treat
+// that as an idle engine.
+func (e *Engine) QueueDepths() []int {
+	if b, ok := e.depthSrc.Load().(depthBox); ok {
+		return b.ds.depths()
+	}
+	return nil
+}
 
 func (e *Engine) worker(w int) {
 	defer e.wg.Done()
@@ -148,8 +173,11 @@ func (e *Engine) Execute(cfg Config, phases int, n func(ph int) int, body func(p
 	if err != nil {
 		return Result{}, err
 	}
+	if ds, ok := d.(depthSampler); ok {
+		e.depthSrc.Store(depthBox{ds})
+	}
 
-	r := &runner{cfg: cfg, p: p, d: d, body: body, sink: cfg.Events, prov: cfg.Prov}
+	r := &runner{cfg: cfg, p: p, d: d, body: body, sink: cfg.Events, prov: cfg.Prov, hooks: cfg.Hooks}
 	r.stats.LocalOps = make([]int64, p)
 	r.stats.RemoteOps = make([]int64, p)
 	if cfg.Metrics != nil {

@@ -2,7 +2,9 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"strconv"
 	"strings"
 )
 
@@ -13,6 +15,11 @@ import (
 //     in identical diagnostics (PR 4's contract) — bare strconv
 //     parsing and the unprefixed cli.Parse* helpers are flagged in
 //     cmd/ packages;
+//   - a cmd/ package declaring a listen-address flag (a flag.String /
+//     StringVar whose name ends in "addr") must validate it with
+//     cli.AddrFlag, so a bad -addr fails naming its flag instead of
+//     surfacing as a confusing net.Listen bind error (the contract
+//     engineview and perflab serve follow);
 //   - no new call sites of deprecated API: any identifier whose
 //     declaration doc carries a "Deprecated:" paragraph is flagged
 //     when used outside its declaring package (the migration note in
@@ -32,8 +39,19 @@ var strconvParsers = map[string]bool{
 func runHygiene(p *Pass) {
 	deprecated := p.Mod.deprecatedIndex()
 	inCmd := matchesAny(p.Pkg.Path, p.Cfg.CmdPkgs)
+	// Listen-address flags are collected package-wide first: the
+	// declaration and the cli.AddrFlag validation normally live in
+	// different functions (flag setup vs. argument resolution), so the
+	// rule is "a package declaring one must validate somewhere".
+	var addrDecls []addrFlagDecl
+	usesAddrFlag := false
 	for _, f := range p.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && inCmd {
+				if name, ok := flagAddrDecl(p, call); ok {
+					addrDecls = append(addrDecls, addrFlagDecl{pos: call.Pos(), name: name})
+				}
+			}
 			id, ok := n.(*ast.Ident)
 			if !ok {
 				return true
@@ -50,6 +68,8 @@ func runHygiene(p *Pass) {
 					switch {
 					case fn.Pkg().Path() == "strconv" && strconvParsers[fn.Name()]:
 						p.Reportf(id.Pos(), "strconv.%s in a command: parse flag values through the internal/cli validators", fn.Name())
+					case p.Cfg.CLIPkg != "" && fn.Pkg().Path() == p.Cfg.CLIPkg && fn.Name() == "AddrFlag":
+						usesAddrFlag = true
 					case p.Cfg.CLIPkg != "" && fn.Pkg().Path() == p.Cfg.CLIPkg && strings.HasPrefix(fn.Name(), "Parse"):
 						p.Reportf(id.Pos(), "cli.%s does not name the offending flag: use the *Flag wrapper (e.g. cli.ProcsFlag)", fn.Name())
 					}
@@ -58,6 +78,51 @@ func runHygiene(p *Pass) {
 			return true
 		})
 	}
+	if !usesAddrFlag {
+		for _, d := range addrDecls {
+			p.Reportf(d.pos, "flag -%s looks like a listen address but the package never calls cli.AddrFlag: validate it so a bad value names its flag instead of failing inside net.Listen", d.name)
+		}
+	}
+}
+
+type addrFlagDecl struct {
+	pos  token.Pos
+	name string
+}
+
+// flagAddrDecl reports whether call declares a string flag whose name
+// ends in "addr" (flag.String / flag.StringVar, top-level or on a
+// *FlagSet), returning the flag's name.
+func flagAddrDecl(p *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "flag" {
+		return "", false
+	}
+	nameArg := -1
+	switch fn.Name() {
+	case "String":
+		nameArg = 0
+	case "StringVar":
+		nameArg = 1
+	default:
+		return "", false
+	}
+	if len(call.Args) <= nameArg {
+		return "", false
+	}
+	lit, ok := call.Args[nameArg].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	name, err := strconv.Unquote(lit.Value)
+	if err != nil || !strings.HasSuffix(strings.ToLower(name), "addr") {
+		return "", false
+	}
+	return name, true
 }
 
 // objectKey is the stable cross-package identity used by the

@@ -4,6 +4,7 @@
 package hygienefix
 
 import (
+	"flag"
 	"strconv"
 
 	"repro"
@@ -19,6 +20,10 @@ func Workers(v string) (int, error) {
 func Procs(v string) ([]int, error) {
 	return cli.ParseProcs(v)
 }
+
+// Addr declares a listen-address flag, but the package never
+// validates it with cli.AddrFlag.
+var Addr = flag.String("addr", "localhost:0", "listen address")
 
 // Old pins the deprecated simulate entry point.
 var Old = repro.SimulateOpts

@@ -1,0 +1,478 @@
+// Package livemetrics is the live observability plane for the
+// persistent execution engine: lock-cheap rolling instruments fed by
+// hot-path hooks (core.Config.Hooks), a bounded flight recorder of
+// recent telemetry, and an HTTP introspection surface (see http.go and
+// cmd/engineview).
+//
+// The paper's claim — affinity scheduling wins because cache-reload
+// cost dominates as loops repeat — is otherwise only visible post-hoc
+// through exported traces. This package surfaces the same signals
+// continuously: per-worker affinity-hit ratio against the ⌈N/P⌉
+// sched.Static owner map, steal rates, queue depths, and windowed
+// latency quantiles, all while the engine keeps running.
+//
+// Layering: core defines the ObsHooks interface; Collector satisfies
+// it structurally, so core never imports this package. internal/pool
+// binds a Plane to its engine and feeds submission outcomes; repro
+// exposes the whole thing as WithObservability.
+package livemetrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Options sizes the plane's instruments. The zero value gives usable
+// defaults (10s window over 10 slots, 4096-event/2048-record flight
+// ring, 250ms gauge sampling).
+type Options struct {
+	// Window is the span the rolling latency quantiles describe.
+	Window time.Duration
+	// Slots divides Window into ring slots; more slots age old load
+	// out more smoothly at slightly more merge work per query.
+	Slots int
+	// FlightEvents caps the flight recorder's telemetry-event ring.
+	FlightEvents int
+	// FlightProv caps the flight recorder's provenance ring.
+	FlightProv int
+	// SampleEvery is the per-worker gauge sampling interval
+	// (utilization, steal rate).
+	SampleEvery time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Window <= 0 {
+		o.Window = 10 * time.Second
+	}
+	if o.Slots <= 0 {
+		o.Slots = 10
+	}
+	if o.FlightEvents <= 0 {
+		o.FlightEvents = 4096
+	}
+	if o.FlightProv <= 0 {
+		o.FlightProv = 2048
+	}
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = 250 * time.Millisecond
+	}
+	return o
+}
+
+// latencyBounds is the shared bucket layout for all rolling
+// histograms: 1ns to ~2min with factor-1.5 growth, so quantile
+// estimates carry at most one bucket (≲±25% relative) of error across
+// chunk, steal and submission latencies alike.
+var latencyBounds = telemetry.ExpBuckets(1, 1.5, 64)
+
+// Outcome classifies one submission for the plane's counters.
+type Outcome int
+
+const (
+	// OutcomeOK is a submission that ran to completion.
+	OutcomeOK Outcome = iota
+	// OutcomeCancelled is a submission stopped by its context.
+	OutcomeCancelled
+	// OutcomePanicked is a submission whose loop body panicked.
+	OutcomePanicked
+)
+
+// Plane is one engine's live observability surface. Create with New,
+// bind to an engine via internal/pool (or repro.WithObservability),
+// scrape with Snapshot or the HTTP handler, and Close when done to
+// stop the gauge sampler.
+type Plane struct {
+	opts Options
+	t0   time.Time
+	col  *Collector
+	rec  *Recorder
+
+	subHist     *rollingHist
+	submissions atomic.Int64
+	completed   atomic.Int64
+	cancelled   atomic.Int64
+	panicked    atomic.Int64
+
+	// bindMu guards the engine binding (queue-depth source + worker
+	// count), set once by the executor that owns the plane.
+	bindMu   sync.Mutex
+	depthsFn func() []int
+	procs    int
+
+	// gaugeMu guards the sampler's latest per-worker rate estimates.
+	gaugeMu    sync.Mutex
+	gauges     []workerRates
+	prevBusy   []int64
+	prevVict   []int64
+	prevAt     time.Time
+	sampleOnce sync.Once
+	closeOnce  sync.Once
+	stop       chan struct{}
+	done       chan struct{}
+}
+
+// workerRates is one worker's sampled rate gauges.
+type workerRates struct {
+	utilization float64
+	stealRate   float64
+}
+
+// New creates a plane and starts its gauge sampler.
+//
+//lint:allow determinism live monitoring is wall-clock by nature; nothing downstream replays from it
+func New(opts Options) *Plane {
+	o := opts.withDefaults()
+	p := &Plane{
+		opts: o,
+		t0:   time.Now(),
+		rec:  newRecorder(o.FlightEvents, o.FlightProv),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	p.col = newCollector(p.nowNS, o)
+	p.subHist = newRollingHist(int64(o.Window), o.Slots, latencyBounds)
+	go p.sample()
+	return p
+}
+
+// nowNS is the plane's monotonic clock (ns since New).
+func (p *Plane) nowNS() int64 { return int64(time.Since(p.t0)) }
+
+// Collector returns the hot-path hook sink; assign it to
+// core.Config.Hooks (it satisfies core.ObsHooks).
+func (p *Plane) Collector() *Collector { return p.col }
+
+// Recorder returns the plane's flight recorder.
+func (p *Plane) Recorder() *Recorder { return p.rec }
+
+// Bind attaches the plane to its engine: a live queue-depth source
+// (core.Engine.QueueDepths) and the worker count.
+func (p *Plane) Bind(depths func() []int, procs int) {
+	p.bindMu.Lock()
+	p.depthsFn = depths
+	p.procs = procs
+	p.bindMu.Unlock()
+}
+
+// ObserveSubmission records one finished submission: its wall latency
+// and outcome. Anomalous outcomes (cancellation, panic) snapshot the
+// flight recorder so the last moments before the anomaly stay
+// recoverable; detail labels the snapshot.
+func (p *Plane) ObserveSubmission(d time.Duration, outcome Outcome, detail string) {
+	p.submissions.Add(1)
+	p.subHist.observe(p.nowNS(), float64(d))
+	switch outcome {
+	case OutcomeCancelled:
+		p.cancelled.Add(1)
+		p.rec.NoteAnomaly("cancelled: " + detail)
+	case OutcomePanicked:
+		p.panicked.Add(1)
+		p.rec.NoteAnomaly("panic: " + detail)
+	default:
+		p.completed.Add(1)
+	}
+}
+
+// Close stops the gauge sampler. Idempotent; the plane stays readable
+// (counters, histograms, flight dumps) after Close, but rate gauges
+// freeze.
+func (p *Plane) Close() {
+	p.closeOnce.Do(func() {
+		close(p.stop)
+		<-p.done
+	})
+}
+
+// sample is the off-path aggregation loop: every SampleEvery it turns
+// the collector's monotonic per-worker counters into rate gauges
+// (utilization = busy-ns/wall-ns, steal rate = chunks stolen from the
+// worker per second).
+func (p *Plane) sample() {
+	defer close(p.done)
+	t := time.NewTicker(p.opts.SampleEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.sampleOnceNow()
+		}
+	}
+}
+
+func (p *Plane) sampleOnceNow() {
+	now := time.Now()
+	states := p.col.states()
+	p.gaugeMu.Lock()
+	defer p.gaugeMu.Unlock()
+	wall := now.Sub(p.prevAt)
+	first := p.prevAt.IsZero()
+	if len(p.gauges) < len(states) {
+		p.gauges = append(p.gauges, make([]workerRates, len(states)-len(p.gauges))...)
+		p.prevBusy = append(p.prevBusy, make([]int64, len(states)-len(p.prevBusy))...)
+		p.prevVict = append(p.prevVict, make([]int64, len(states)-len(p.prevVict))...)
+	}
+	for w, ws := range states {
+		busy := ws.busyNS.Load()
+		vict := ws.victimized.Load()
+		if !first && wall > 0 {
+			u := float64(busy-p.prevBusy[w]) / float64(wall)
+			if u < 0 {
+				u = 0
+			}
+			if u > 1 {
+				u = 1
+			}
+			p.gauges[w] = workerRates{
+				utilization: u,
+				stealRate:   float64(vict-p.prevVict[w]) / wall.Seconds(),
+			}
+		}
+		p.prevBusy[w] = busy
+		p.prevVict[w] = vict
+	}
+	p.prevAt = now
+}
+
+// Snapshot JSON shapes. All latencies are nanoseconds.
+
+// Quantiles is one instrument's windowed latency estimate.
+type Quantiles struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50_ns"`
+	P90   float64 `json:"p90_ns"`
+	P99   float64 `json:"p99_ns"`
+}
+
+// Counters is the plane's monotonic totals since New.
+type Counters struct {
+	Submissions   int64 `json:"submissions"`
+	Completed     int64 `json:"completed"`
+	Cancellations int64 `json:"cancellations"`
+	Panics        int64 `json:"panics"`
+	Chunks        int64 `json:"chunks"`
+	Steals        int64 `json:"steals"`
+	MigratedIters int64 `json:"migrated_iters"`
+}
+
+// WorkerSnapshot is one worker's live view: monotonic totals, the
+// paper's affinity-hit ratio (un-stolen chunks executed on their
+// ⌈N/P⌉ static owner / all chunks the worker executed), sampled rate
+// gauges, and current queue backlog.
+type WorkerSnapshot struct {
+	Worker           int     `json:"worker"`
+	Chunks           int64   `json:"chunks"`
+	Iters            int64   `json:"iters"`
+	AffinityHits     int64   `json:"affinity_hits"`
+	AffinityHitRatio float64 `json:"affinity_hit_ratio"`
+	StolenExec       int64   `json:"stolen_exec"`
+	Victimized       int64   `json:"victimized"`
+	Utilization      float64 `json:"utilization"`
+	StealRate        float64 `json:"steal_rate"`
+	QueueDepth       int     `json:"queue_depth"`
+}
+
+// Snapshot is one coherent scrape of the plane.
+type Snapshot struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	WindowSeconds float64          `json:"window_seconds"`
+	Counters      Counters         `json:"counters"`
+	Submission    Quantiles        `json:"submission"`
+	Chunk         Quantiles        `json:"chunk"`
+	Steal         Quantiles        `json:"steal"`
+	Workers       []WorkerSnapshot `json:"workers"`
+	// QueueDepths is the raw backlog sample: one entry per worker
+	// queue (AFS), or a single entry of remaining central iterations.
+	QueueDepths []int `json:"queue_depths,omitempty"`
+	// FlightDropped counts ring evictions since New (events, prov).
+	FlightDroppedEvents int64 `json:"flight_dropped_events"`
+	FlightDroppedProv   int64 `json:"flight_dropped_prov"`
+}
+
+func (p *Plane) quantiles(h *rollingHist) Quantiles {
+	now := p.nowNS()
+	qs := h.quantiles(now, 0.50, 0.90, 0.99)
+	return Quantiles{Count: h.count(now), P50: qs[0], P90: qs[1], P99: qs[2]}
+}
+
+// Snapshot assembles the full live view. Safe to call concurrently
+// with execution from any goroutine.
+func (p *Plane) Snapshot() Snapshot {
+	s := Snapshot{
+		UptimeSeconds: float64(p.nowNS()) / 1e9,
+		WindowSeconds: p.opts.Window.Seconds(),
+		Counters: Counters{
+			Submissions:   p.submissions.Load(),
+			Completed:     p.completed.Load(),
+			Cancellations: p.cancelled.Load(),
+			Panics:        p.panicked.Load(),
+			Chunks:        p.col.chunks.Load(),
+			Steals:        p.col.steals.Load(),
+			MigratedIters: p.col.migrated.Load(),
+		},
+		Submission: p.quantiles(p.subHist),
+		Chunk:      p.quantiles(p.col.chunkHist),
+		Steal:      p.quantiles(p.col.stealHist),
+	}
+	s.FlightDroppedEvents, s.FlightDroppedProv = p.rec.Dropped()
+
+	p.bindMu.Lock()
+	depthsFn, procs := p.depthsFn, p.procs
+	p.bindMu.Unlock()
+	if depthsFn != nil {
+		s.QueueDepths = depthsFn()
+	}
+
+	states := p.col.states()
+	rows := len(states)
+	if procs > rows {
+		rows = procs
+	}
+	p.gaugeMu.Lock()
+	gauges := append([]workerRates(nil), p.gauges...)
+	p.gaugeMu.Unlock()
+	s.Workers = make([]WorkerSnapshot, rows)
+	for w := range s.Workers {
+		ws := WorkerSnapshot{Worker: w}
+		if w < len(states) {
+			st := states[w]
+			ws.Chunks = st.chunks.Load()
+			ws.Iters = st.iters.Load()
+			ws.AffinityHits = st.affinityHits.Load()
+			ws.StolenExec = st.stolenExec.Load()
+			ws.Victimized = st.victimized.Load()
+			if ws.Chunks > 0 {
+				ws.AffinityHitRatio = float64(ws.AffinityHits) / float64(ws.Chunks)
+			}
+		}
+		if w < len(gauges) {
+			ws.Utilization = gauges[w].utilization
+			ws.StealRate = gauges[w].stealRate
+		}
+		if w < len(s.QueueDepths) {
+			ws.QueueDepth = s.QueueDepths[w]
+		}
+		s.Workers[w] = ws
+	}
+	return s
+}
+
+// Procs reports the bound engine's worker count (0 before Bind).
+func (p *Plane) Procs() int {
+	p.bindMu.Lock()
+	defer p.bindMu.Unlock()
+	return p.procs
+}
+
+// Collector is the hot-path sink for dispatch/steal notifications. It
+// satisfies core.ObsHooks structurally, so core carries no dependency
+// on this package. Every method is a handful of atomic adds plus one
+// binary search into the histogram bounds — safe and cheap from all
+// workers concurrently.
+type Collector struct {
+	now       func() int64
+	chunks    atomic.Int64
+	steals    atomic.Int64
+	migrated  atomic.Int64
+	chunkHist *rollingHist
+	stealHist *rollingHist
+
+	// workers grows lazily as higher worker indices appear; the slice
+	// of pointers is swapped atomically so readers never lock.
+	workers atomic.Pointer[[]*workerState]
+	growMu  sync.Mutex
+}
+
+// workerState is one worker's monotonic totals, padded so neighbouring
+// workers don't share a cache line.
+type workerState struct {
+	chunks       atomic.Int64
+	iters        atomic.Int64
+	affinityHits atomic.Int64
+	stolenExec   atomic.Int64
+	victimized   atomic.Int64
+	busyNS       atomic.Int64
+	_            [2]uint64
+}
+
+func newCollector(now func() int64, o Options) *Collector {
+	return &Collector{
+		now:       now,
+		chunkHist: newRollingHist(int64(o.Window), o.Slots, latencyBounds),
+		stealHist: newRollingHist(int64(o.Window), o.Slots, latencyBounds),
+	}
+}
+
+// states returns the current worker slice (nil-free, read-only by
+// convention).
+func (c *Collector) states() []*workerState {
+	if p := c.workers.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (c *Collector) worker(w int) *workerState {
+	if p := c.workers.Load(); p != nil && w < len(*p) {
+		return (*p)[w]
+	}
+	return c.grow(w)
+}
+
+func (c *Collector) grow(w int) *workerState {
+	c.growMu.Lock()
+	defer c.growMu.Unlock()
+	var old []*workerState
+	if p := c.workers.Load(); p != nil {
+		old = *p
+	}
+	if w < len(old) {
+		return old[w]
+	}
+	n := w + 1
+	if n < 2*len(old) {
+		n = 2 * len(old)
+	}
+	next := make([]*workerState, n)
+	copy(next, old)
+	for i := len(old); i < n; i++ {
+		next[i] = &workerState{}
+	}
+	c.workers.Store(&next)
+	return next[w]
+}
+
+// ObserveChunk implements the core.ObsHooks chunk notification: totals,
+// the windowed chunk-latency histogram, and the affinity-hit account —
+// a hit is an un-stolen chunk executed by its owning worker (central
+// dispensers report owner -1 and so never hit).
+func (c *Collector) ObserveChunk(proc, owner int, stolen bool, iters int, durNS float64) {
+	if proc < 0 {
+		return
+	}
+	c.chunks.Add(1)
+	c.chunkHist.observe(c.now(), durNS)
+	ws := c.worker(proc)
+	ws.chunks.Add(1)
+	ws.iters.Add(int64(iters))
+	ws.busyNS.Add(int64(durNS))
+	if stolen {
+		ws.stolenExec.Add(1)
+	} else if owner == proc {
+		ws.affinityHits.Add(1)
+	}
+}
+
+// ObserveSteal implements the core.ObsHooks steal notification.
+func (c *Collector) ObserveSteal(thief, victim, iters int, latNS float64) {
+	c.steals.Add(1)
+	c.migrated.Add(int64(iters))
+	c.stealHist.observe(c.now(), latNS)
+	if victim >= 0 {
+		c.worker(victim).victimized.Add(1)
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/webui"
 )
 
 // LiveState is the shared progress of an in-flight benchmark run,
@@ -127,24 +129,14 @@ func NewServer(dir string, live *LiveState) http.Handler {
 	return mux
 }
 
-var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
-<html><head><title>perflab dashboard</title>
-<style>
-body { font-family: sans-serif; margin: 2em; max-width: 1100px; }
-table { border-collapse: collapse; margin: 1em 0; }
-td, th { border: 1px solid #ccc; padding: 4px 10px; text-align: left; }
-.trend { margin: 1em 0; }
-.regression { color: #c00; font-weight: bold; }
-#live-status { color: #555; }
-</style></head>
-<body>
+var indexTmpl = template.Must(template.New("index").Parse(`
 <h1>perflab — continuous performance lab</h1>
 <p>{{len .Baselines}} baseline(s) on record.
 See <a href="/api/baselines">/api/baselines</a>, <a href="/debug/vars">/debug/vars</a>,
 <a href="/debug/pprof/">/debug/pprof</a>.</p>
 
 <h2>Live run</h2>
-<p id="live-status">idle</p>
+<p id="live-status" class="muted">idle</p>
 <table id="live-table" style="display:none">
 <thead><tr><th>case</th><th>median</th><th>MAD</th><th>ci95</th><th>steals</th><th>top overhead</th></tr></thead>
 <tbody></tbody>
@@ -162,50 +154,52 @@ See <a href="/api/baselines">/api/baselines</a>, <a href="/debug/vars">/debug/va
 {{range .CaseIDs}}
 <div class="trend"><img src="/trend.svg?case={{.}}" alt="trend {{.}}"></div>
 {{end}}
-
-<script>
-async function poll() {
-  try {
-    const r = await fetch('/api/live');
-    const s = await r.json();
-    const status = document.getElementById('live-status');
-    const table = document.getElementById('live-table');
-    if (s.total > 0) {
-      status.textContent = (s.running ? 'running: ' : 'finished: ') +
-        s.done + '/' + s.total + ' cases' + (s.error ? ' — ERROR: ' + s.error : '');
-      table.style.display = '';
-      const body = table.querySelector('tbody');
-      body.innerHTML = '';
-      for (const c of (s.results || [])) {
-        const tr = document.createElement('tr');
-        const ci = '[' + c.summary.ci_lo.toPrecision(4) + ', ' + c.summary.ci_hi.toPrecision(4) + ']';
-        let top = '';
-        if (c.forensics && c.forensics.makespan > 0) {
-          const share = 100 * c.forensics.buckets[c.forensics.top_overhead] / c.forensics.makespan;
-          top = c.forensics.top_overhead + ' ' + share.toFixed(1) + '%';
-        }
-        for (const v of [c.id, c.summary.median.toPrecision(4) + 's',
-                         c.summary.mad.toPrecision(3), ci,
-                         String((c.counters && c.counters.steals) || 0), top]) {
-          const td = document.createElement('td');
-          td.textContent = v;
-          tr.appendChild(td);
-        }
-        body.appendChild(tr);
-      }
-    }
-  } catch (e) { /* server restarting; keep polling */ }
-  setTimeout(poll, 2000);
-}
-poll();
-</script>
-</body></html>
 `))
+
+// indexScript renders the live panel from /api/live via the shared
+// webui poll loop.
+const indexScript = template.JS(`
+function renderLive(s) {
+  const status = document.getElementById('live-status');
+  const table = document.getElementById('live-table');
+  if (s.total > 0) {
+    status.textContent = (s.running ? 'running: ' : 'finished: ') +
+      s.done + '/' + s.total + ' cases' + (s.error ? ' — ERROR: ' + s.error : '');
+    table.style.display = '';
+    const body = table.querySelector('tbody');
+    body.innerHTML = '';
+    for (const c of (s.results || [])) {
+      const tr = document.createElement('tr');
+      const ci = '[' + c.summary.ci_lo.toPrecision(4) + ', ' + c.summary.ci_hi.toPrecision(4) + ']';
+      let top = '';
+      if (c.forensics && c.forensics.makespan > 0) {
+        const share = 100 * c.forensics.buckets[c.forensics.top_overhead] / c.forensics.makespan;
+        top = c.forensics.top_overhead + ' ' + share.toFixed(1) + '%';
+      }
+      for (const v of [c.id, c.summary.median.toPrecision(4) + 's',
+                       c.summary.mad.toPrecision(3), ci,
+                       String((c.counters && c.counters.steals) || 0), top]) {
+        const td = document.createElement('td');
+        td.textContent = v;
+        tr.appendChild(td);
+      }
+      body.appendChild(tr);
+    }
+  }
+}
+pollLoop('/api/live', 2000, renderLive);
+`)
 
 func renderIndex(w http.ResponseWriter, baselines []*Baseline) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	indexTmpl.Execute(w, struct {
+	var b strings.Builder
+	indexTmpl.Execute(&b, struct {
 		Baselines []*Baseline
 		CaseIDs   []string
 	}{baselines, caseIDs(baselines)})
+	webui.Render(w, webui.Page{
+		Title:  "perflab dashboard",
+		Body:   template.HTML(b.String()),
+		Script: indexScript,
+	})
 }

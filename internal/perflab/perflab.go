@@ -171,15 +171,33 @@ func DefaultRegistry(short bool) *Registry {
 	// Executor-reuse duel: one sample is a whole stream of Phases tiny
 	// loops, timed end to end. The "executor" arm submits them all to
 	// one persistent pool; the "percall" arm pays goroutine
-	// spawn/teardown on every loop. Tracked for trends and raced by
-	// `perflab duel` in CI's perf-smoke job; not gated (wall time).
+	// spawn/teardown on every loop; the "executor-obs" arm is the
+	// executor arm with a live observability plane attached and an
+	// aggressive concurrent scraper — tiny chunks make it the worst
+	// case for instrument overhead. Tracked for trends, raced by
+	// `perflab duel` and budget-checked by `perflab overhead` in CI's
+	// perf-smoke job; not gated (wall time).
 	loops, loopN := 400, 256
 	if short {
 		loops, loopN = 160, 128
 	}
-	for _, a := range []string{"executor", "percall"} {
+	for _, a := range []string{"executor", "percall", "executor-obs"} {
 		r.Add(Case{Substrate: SubstrateReal, Kernel: "many-small-loops", Algo: a,
 			N: loopN, Phases: loops, Procs: 4, Repeats: realRepeats, Warmup: 1})
+	}
+	// Observability overhead at realistic granularity: same machinery
+	// as many-small-loops but with loops big enough that the per-chunk
+	// instrument cost (roughly constant per submission — chunk count
+	// grows with P·log N, not N) amortises to a few percent or less.
+	// `perflab overhead` gates the executor vs executor-obs pair here
+	// at a tight budget (and the many-small-loops pair at a loose one).
+	steadyLoops, steadyN := 20, 1<<20
+	if short {
+		steadyLoops, steadyN = 10, 1<<20
+	}
+	for _, a := range []string{"executor", "executor-obs"} {
+		r.Add(Case{Substrate: SubstrateReal, Kernel: "steady-loops", Algo: a,
+			N: steadyN, Phases: steadyLoops, Procs: 4, Repeats: realRepeats, Warmup: 1})
 	}
 	return r
 }

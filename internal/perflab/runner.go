@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/forensics"
 	"repro/internal/kernels"
+	"repro/internal/livemetrics"
 	"repro/internal/machine"
 	"repro/internal/pool"
 	"repro/internal/sched"
@@ -226,7 +227,7 @@ func currentValues(reg *telemetry.Registry) map[string]float64 {
 // kernel on the real goroutine runtime, mirroring cmd/realbench's
 // kernel set (the subset that is fast enough for a standing suite).
 func realKernel(c Case) (func(reg *telemetry.Registry, prov telemetry.ProvSink) (core.Stats, error), error) {
-	if c.Kernel == "many-small-loops" {
+	if c.Kernel == "many-small-loops" || c.Kernel == "steady-loops" {
 		return manySmallLoops(c)
 	}
 	opts := func(reg *telemetry.Registry, prov telemetry.ProvSink) core.Config {
@@ -265,21 +266,30 @@ func realKernel(c Case) (func(reg *telemetry.Registry, prov telemetry.ProvSink) 
 			return core.ParallelFor(opts(reg, prov), d.Iterations(), d.Body)
 		}, nil
 	}
-	return nil, fmt.Errorf("unknown real-substrate kernel %q (gauss, sor, adjoint, many-small-loops)", c.Kernel)
+	return nil, fmt.Errorf("unknown real-substrate kernel %q (gauss, sor, adjoint, many-small-loops, steady-loops)", c.Kernel)
 }
 
-// manySmallLoops is the executor-reuse duel kernel: one sample is a
-// stream of c.Phases tiny AFS loops of c.N iterations over one shared
+// manySmallLoops is the executor-reuse duel kernel (also serving the
+// "steady-loops" case, which differs only in loop size): one sample
+// is a stream of c.Phases AFS loops of c.N iterations over one shared
 // slice, timed end to end. The case's Algo picks the arm rather than
-// the scheduler (both arms schedule with AFS): "executor" submits
+// the scheduler (all arms schedule with AFS): "executor" submits
 // every loop to a single persistent pool, so worker goroutines and
 // affinity state are paid for once per stream; "percall" calls
-// core.ParallelFor per loop, paying spawn/teardown each time. The work
-// is identical — the measured difference is pure lifetime overhead,
-// which is the headline claim for repro.Executor.
+// core.ParallelFor per loop, paying spawn/teardown each time;
+// "executor-obs" is the executor arm with a live observability plane
+// attached and a scraper goroutine snapshotting metrics and dumping
+// the flight ring throughout the stream. The loop work is identical
+// across arms: executor vs percall measures pure lifetime overhead
+// (the headline claim for repro.Executor), and executor-obs vs
+// executor measures pure observability overhead (the budget `perflab
+// overhead` gates). With many-small-loops sizes the obs arm is the
+// deliberate worst case — chunk bodies of ~100ns against fixed
+// per-chunk instrument cost; with steady-loops sizes the chunks are
+// tens of microseconds and the same instruments amortise to noise.
 func manySmallLoops(c Case) (func(reg *telemetry.Registry, prov telemetry.ProvSink) (core.Stats, error), error) {
-	if c.Algo != "executor" && c.Algo != "percall" {
-		return nil, fmt.Errorf("many-small-loops wants algo executor or percall (got %q)", c.Algo)
+	if c.Algo != "executor" && c.Algo != "percall" && c.Algo != "executor-obs" {
+		return nil, fmt.Errorf("many-small-loops wants algo executor, percall, or executor-obs (got %q)", c.Algo)
 	}
 	spec, err := sched.ByName("afs")
 	if err != nil {
@@ -291,7 +301,7 @@ func manySmallLoops(c Case) (func(reg *telemetry.Registry, prov telemetry.ProvSi
 		cfg := core.Config{Procs: c.Procs, Spec: spec, Metrics: reg, Prov: prov}
 		var total core.Stats
 		start := time.Now()
-		if c.Algo == "executor" {
+		if c.Algo == "executor" || c.Algo == "executor-obs" {
 			// Pool creation is inside the timed region on purpose: the
 			// claim is that one setup amortised over the stream beats
 			// per-loop setup, not that setup is free.
@@ -300,6 +310,19 @@ func manySmallLoops(c Case) (func(reg *telemetry.Registry, prov telemetry.ProvSi
 				return total, err
 			}
 			defer x.Close()
+			if c.Algo == "executor-obs" {
+				// Plane setup, the scraper's whole life, and plane
+				// teardown all sit inside the timed region: the gated
+				// number is what attaching observability costs a real
+				// serving process, scrapes included.
+				plane := livemetrics.New(livemetrics.Options{})
+				x.SetObservability(plane)
+				stopScrape := scrapeLoop(plane)
+				defer func() {
+					stopScrape()
+					plane.Close()
+				}()
+			}
 			for ph := 0; ph < c.Phases; ph++ {
 				st, err := x.Submit(context.Background(), cfg, c.N, body)
 				if err != nil {
@@ -321,4 +344,34 @@ func manySmallLoops(c Case) (func(reg *telemetry.Registry, prov telemetry.ProvSi
 		total.Elapsed = time.Since(start)
 		return total, nil
 	}, nil
+}
+
+// scrapeLoop runs an aggressive metrics consumer against the plane —
+// quantile snapshots every 5ms and a full flight-ring dump every
+// 50ms, roughly 10x a realistic scrape cadence — so the executor-obs
+// arm prices the read path, not just the hot-path instruments. The
+// returned stop blocks until the scraper exits.
+func scrapeLoop(p *livemetrics.Plane) (stop func()) {
+	done := make(chan struct{})
+	quit := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for n := 0; ; n++ {
+			select {
+			case <-quit:
+				return
+			case <-tick.C:
+				p.Snapshot()
+				if n%10 == 9 {
+					p.Recorder().Dump("scrape")
+				}
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-done
+	}
 }

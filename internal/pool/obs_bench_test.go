@@ -1,0 +1,45 @@
+package pool
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/livemetrics"
+	"repro/internal/sched"
+)
+
+// benchStream measures the per-submission cost of a live observability
+// plane: the same AFS loop stream with and without instruments. The
+// instrument cost per submission is roughly constant (it scales with
+// chunk count, ~P·log N, not with N), so the relative overhead shrinks
+// as loops grow — `perflab overhead` gates that property; these
+// benchmarks are the microscope for it:
+//
+//	go test ./internal/pool -bench BenchmarkStream -benchtime 100x
+func benchStream(b *testing.B, obs bool) {
+	spec, _ := sched.ByName("afs")
+	x, err := New(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer x.Close()
+	if obs {
+		p := livemetrics.New(livemetrics.Options{})
+		defer p.Close()
+		x.SetObservability(p)
+	}
+	n := 1 << 15
+	data := make([]float64, n)
+	body := func(i int) { data[i] += 1 / (1 + data[i]) }
+	cfg := core.Config{Procs: 4, Spec: spec}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := x.Submit(context.Background(), cfg, n, body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamBare(b *testing.B) { benchStream(b, false) }
+func BenchmarkStreamObs(b *testing.B)  { benchStream(b, true) }

@@ -20,8 +20,11 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/livemetrics"
+	"repro/internal/telemetry"
 )
 
 // ErrClosed is returned by submissions admitted after Close.
@@ -53,6 +56,10 @@ type Executor struct {
 	eng    *core.Engine
 	closed atomic.Bool
 	subs   atomic.Int64
+	// plane, when set, is the executor's live observability plane:
+	// every submission feeds its hot-path hooks, tees its telemetry
+	// into the flight recorder, and reports its wall latency/outcome.
+	plane atomic.Pointer[livemetrics.Plane]
 }
 
 // New starts an executor with procs persistent workers (procs >= 1).
@@ -71,6 +78,32 @@ func (x *Executor) Procs() int { return x.eng.Procs() }
 // Submissions counts the submissions that completed execution
 // (including cancelled and panicked ones).
 func (x *Executor) Submissions() int64 { return x.subs.Load() }
+
+// SetObservability attaches a live observability plane: subsequent
+// submissions feed its rolling instruments and flight recorder, and
+// the plane's queue-depth gauge reads the engine live. A nil plane
+// detaches. The executor does not own the plane — the caller Closes
+// it (it may outlive the executor or be scraped after Close).
+func (x *Executor) SetObservability(p *livemetrics.Plane) {
+	if p != nil {
+		p.Bind(x.eng.QueueDepths, x.eng.Procs())
+	}
+	x.plane.Store(p)
+}
+
+// Observability returns the attached plane, or nil.
+func (x *Executor) Observability() *livemetrics.Plane { return x.plane.Load() }
+
+// instrument wires one submission's config into the plane: hot-path
+// hooks for the collector, and telemetry/provenance tees into the
+// flight recorder alongside whatever sinks the submitter configured.
+func instrument(cfg core.Config, p *livemetrics.Plane) core.Config {
+	cfg.Hooks = p.Collector()
+	evSink, pvSink := p.Recorder().ForSubmission()
+	cfg.Events = telemetry.Tee(cfg.Events, evSink)
+	cfg.Prov = telemetry.TeeProv(cfg.Prov, pvSink)
+	return cfg
+}
 
 // Submit executes body(i) for i in [0, n) on the pool under cfg and
 // blocks until the loop completes, is cancelled, or panics. Safe for
@@ -93,9 +126,26 @@ func (x *Executor) SubmitPhases(ctx context.Context, cfg core.Config, phases int
 		ctx = context.Background()
 	}
 	cfg.Ctx = ctx
+	plane := x.plane.Load()
+	var start time.Time
+	if plane != nil {
+		cfg = instrument(cfg, plane)
+		start = time.Now() //lint:allow determinism live submission latency is measured host time
+	}
 	res, err := x.eng.Execute(cfg, phases, n, body)
 	if !errors.Is(err, ErrClosed) {
 		x.subs.Add(1)
+		if plane != nil {
+			elapsed := time.Since(start) //lint:allow determinism live submission latency is measured host time
+			switch {
+			case res.Panic != nil:
+				plane.ObserveSubmission(elapsed, livemetrics.OutcomePanicked, fmt.Sprint(res.Panic))
+			case err != nil:
+				plane.ObserveSubmission(elapsed, livemetrics.OutcomeCancelled, err.Error())
+			default:
+				plane.ObserveSubmission(elapsed, livemetrics.OutcomeOK, "")
+			}
+		}
 	}
 	if res.Panic != nil {
 		return res.Stats, &PanicError{Value: res.Panic}

@@ -42,6 +42,33 @@ func Median(xs []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
+// Quantile returns the q-quantile of xs (0 ≤ q ≤ 1) by linear
+// interpolation between order statistics — the exact reference
+// estimator that the live plane's bucketed rolling histograms are
+// tested against. q is clamped to [0, 1]; an empty slice returns 0.
+// xs is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[n-1]
+	}
+	pos := q * float64(n-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= n {
+		return s[n-1]
+	}
+	return s[i] + frac*(s[i+1]-s[i])
+}
+
 // MAD returns the median absolute deviation from the median — the
 // robust spread estimator paired with Median. 0 for empty or constant
 // samples.

@@ -1,0 +1,96 @@
+package repro_test
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"repro"
+)
+
+// TestObservabilityExecutor wires a plane to a persistent executor via
+// the public API — the engineview deployment shape — and checks that
+// the plane sees every submission.
+func TestObservabilityExecutor(t *testing.T) {
+	plane := repro.NewObservability(repro.ObservabilityOptions{})
+	defer plane.Close()
+	ex, err := repro.NewExecutor(repro.WithProcs(4), repro.WithObservability(plane))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+	if ex.Observability() != plane {
+		t.Fatal("Executor.Observability does not return the attached plane")
+	}
+	n := 2048
+	data := make([]float64, n)
+	const subs = 4
+	for i := 0; i < subs; i++ {
+		if _, err := ex.Submit(t.Context(), n, func(i int) { data[i]++ }, repro.WithScheduler("afs")); err != nil {
+			t.Fatalf("submission %d: %v", i, err)
+		}
+	}
+	snap := plane.Snapshot()
+	if snap.Counters.Submissions != subs {
+		t.Errorf("submissions = %d, want %d", snap.Counters.Submissions, subs)
+	}
+	if snap.Counters.Completed != subs {
+		t.Errorf("completed = %d, want %d", snap.Counters.Completed, subs)
+	}
+	if snap.Counters.Chunks == 0 {
+		t.Error("plane saw no chunks")
+	}
+	if len(snap.Workers) != 4 {
+		t.Errorf("worker rows = %d, want 4", len(snap.Workers))
+	}
+	for i := range data {
+		if data[i] != subs {
+			t.Fatalf("data[%d] = %v, want %d: submissions interfered", i, data[i], subs)
+		}
+	}
+}
+
+// TestObservabilityOneShot: the one-shot ParallelFor path observes
+// through the same plane option.
+func TestObservabilityOneShot(t *testing.T) {
+	plane := repro.NewObservability(repro.ObservabilityOptions{})
+	defer plane.Close()
+	n := 1024
+	var hits [1024]int32
+	if _, err := repro.ParallelFor(n, func(i int) { hits[i]++ },
+		repro.WithProcs(4), repro.WithScheduler("afs"), repro.WithObservability(plane)); err != nil {
+		t.Fatal(err)
+	}
+	snap := plane.Snapshot()
+	if snap.Counters.Submissions != 1 {
+		t.Errorf("submissions = %d, want 1", snap.Counters.Submissions)
+	}
+	if snap.Counters.Completed != 1 {
+		t.Errorf("completed = %d, want 1", snap.Counters.Completed)
+	}
+}
+
+// TestObservabilityHandler serves the plane over HTTP from the public
+// wrapper and decodes the scrape.
+func TestObservabilityHandler(t *testing.T) {
+	plane := repro.NewObservability(repro.ObservabilityOptions{})
+	defer plane.Close()
+	if _, err := repro.ParallelFor(512, func(int) {},
+		repro.WithProcs(2), repro.WithObservability(plane)); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(repro.ObservabilityHandler(plane, "public-api"))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap repro.ObservabilitySnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("/metrics is not an ObservabilitySnapshot: %v", err)
+	}
+	if snap.Counters.Submissions != 1 {
+		t.Errorf("scraped submissions = %d, want 1", snap.Counters.Submissions)
+	}
+}

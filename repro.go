@@ -25,10 +25,12 @@ package repro
 import (
 	"context"
 	"io"
+	"net/http"
 	"runtime"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/livemetrics"
 	"repro/internal/machine"
 	"repro/internal/pool"
 	"repro/internal/sched"
@@ -97,6 +99,7 @@ type Option func(*config)
 
 type config struct {
 	core.Config
+	obs *livemetrics.Plane
 	err error
 }
 
@@ -168,14 +171,86 @@ func WithQueueDepthSampling(every time.Duration) Option {
 	return func(c *config) { c.QueueDepthEvery = every }
 }
 
-func buildConfig(opts []Option) (core.Config, error) {
+// Observability is a live observability plane: lock-cheap rolling
+// latency quantiles (per submission and per chunk), per-worker
+// utilization / steal-rate / queue-depth / affinity-hit gauges, and a
+// bounded flight recorder of recent telemetry that freezes
+// automatically on panic or cancellation. Create with NewObservability,
+// attach with WithObservability, scrape with Snapshot or serve over
+// HTTP with ObservabilityHandler (see also cmd/engineview), and Close
+// when done.
+type Observability = livemetrics.Plane
+
+// ObservabilityOptions sizes a plane's instruments (rolling window,
+// flight-ring capacities, gauge sampling interval). The zero value
+// gives usable defaults.
+type ObservabilityOptions = livemetrics.Options
+
+// ObservabilitySnapshot is one coherent scrape of a plane.
+type ObservabilitySnapshot = livemetrics.Snapshot
+
+// NewObservability creates a live observability plane.
+func NewObservability(opts ObservabilityOptions) *Observability {
+	return livemetrics.New(opts)
+}
+
+// WithObservability attaches a plane. At NewExecutor it observes every
+// subsequent submission (latencies, hot-path hooks, flight recorder,
+// live queue depths); on a one-shot call it observes that run. The
+// caller owns the plane and Closes it.
+func WithObservability(p *Observability) Option {
+	return func(c *config) { c.obs = p }
+}
+
+// ObservabilityHandler serves a plane over HTTP: an auto-refreshing
+// HTML view at /, /metrics (JSON + expvar), /workers, /flight
+// (?format=jsonl|chrome|trace, ?which=live|anomaly), and /debug/
+// (pprof + expvar). label names the engine in views and trace
+// metadata.
+func ObservabilityHandler(p *Observability, label string) http.Handler {
+	return livemetrics.NewHandler(p, label)
+}
+
+func buildConfig(opts []Option) (config, error) {
 	// One-shot paths run under context.Background(); the *Ctx variants
 	// and Executor submissions overwrite Ctx afterwards.
 	cfg := config{Config: core.Config{Spec: sched.SpecAFS(), Ctx: context.Background()}}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return cfg.Config, cfg.err
+	return cfg, cfg.err
+}
+
+// applyObs wires a one-shot run's core config into the plane: hot-path
+// hooks plus telemetry/provenance tees into the flight recorder (an
+// Executor's plane is instead wired by internal/pool per submission).
+func applyObs(cfg config) core.Config {
+	cc := cfg.Config
+	if cfg.obs != nil {
+		cc.Hooks = cfg.obs.Collector()
+		ev, pv := cfg.obs.Recorder().ForSubmission()
+		cc.Events = telemetry.Tee(cc.Events, ev)
+		cc.Prov = telemetry.TeeProv(cc.Prov, pv)
+	}
+	return cc
+}
+
+// runObserved times one one-shot run and reports it to the plane as a
+// submission (a cancelled run counts as an anomaly and freezes the
+// flight recorder). A nil plane runs f unobserved.
+func runObserved(p *livemetrics.Plane, f func() (RunStats, error)) (RunStats, error) {
+	if p == nil {
+		return f()
+	}
+	start := time.Now() //lint:allow determinism live submission latency is measured host time
+	st, err := f()
+	elapsed := time.Since(start) //lint:allow determinism live submission latency is measured host time
+	if err != nil {
+		p.ObserveSubmission(elapsed, livemetrics.OutcomeCancelled, err.Error())
+	} else {
+		p.ObserveSubmission(elapsed, livemetrics.OutcomeOK, "")
+	}
+	return st, err
 }
 
 // ParallelFor executes body(i) for every i in [0, n) on a pool of
@@ -186,7 +261,9 @@ func ParallelFor(n int, body func(i int), opts ...Option) (RunStats, error) {
 	if err != nil {
 		return RunStats{}, err
 	}
-	return core.ParallelFor(cfg, n, body)
+	return runObserved(cfg.obs, func() (RunStats, error) {
+		return core.ParallelFor(applyObs(cfg), n, body)
+	})
 }
 
 // ParallelForCtx is ParallelFor with a cancellation context: when ctx
@@ -199,7 +276,9 @@ func ParallelForCtx(ctx context.Context, n int, body func(i int), opts ...Option
 		return RunStats{}, err
 	}
 	cfg.Ctx = ctx
-	return core.ParallelFor(cfg, n, body)
+	return runObserved(cfg.obs, func() (RunStats, error) {
+		return core.ParallelFor(applyObs(cfg), n, body)
+	})
 }
 
 // ForPhases executes a parallel loop nested inside a sequential loop —
@@ -212,7 +291,9 @@ func ForPhases(phases int, n func(ph int) int, body func(ph, i int), opts ...Opt
 	if err != nil {
 		return RunStats{}, err
 	}
-	return core.Run(cfg, phases, n, body)
+	return runObserved(cfg.obs, func() (RunStats, error) {
+		return core.Run(applyObs(cfg), phases, n, body)
+	})
 }
 
 // ForPhasesCtx is ForPhases with a cancellation context, with the same
@@ -225,7 +306,9 @@ func ForPhasesCtx(ctx context.Context, phases int, n func(ph int) int, body func
 		return RunStats{}, err
 	}
 	cfg.Ctx = ctx
-	return core.Run(cfg, phases, n, body)
+	return runObserved(cfg.obs, func() (RunStats, error) {
+		return core.Run(applyObs(cfg), phases, n, body)
+	})
 }
 
 // Executor is the persistent lifetime of the runtime: a long-lived
@@ -272,9 +355,12 @@ func NewExecutor(opts ...Option) (*Executor, error) {
 	if err != nil {
 		return nil, err
 	}
-	px, err := pool.New(procsOf(cfg))
+	px, err := pool.New(procsOf(cfg.Config))
 	if err != nil {
 		return nil, err
+	}
+	if cfg.obs != nil {
+		px.SetObservability(cfg.obs)
 	}
 	return &Executor{px: px, defaults: opts}, nil
 }
@@ -301,13 +387,22 @@ func (e *Executor) Submissions() int64 { return e.px.Submissions() }
 func (e *Executor) Close() error { return e.px.Close() }
 
 // submitConfig merges the executor defaults with one submission's
-// options. Allocates a fresh slice so concurrent submitters never
-// share an append buffer.
+// options, resolving the submission's core config. The executor's own
+// plane (WithObservability at NewExecutor) is wired by internal/pool
+// once per submission; a plane passed per submission is only honoured
+// when the executor has none, so streams are never double-teed.
 func (e *Executor) submitConfig(opts []Option) (core.Config, error) {
 	merged := make([]Option, 0, len(e.defaults)+len(opts))
 	merged = append(merged, e.defaults...)
 	merged = append(merged, opts...)
-	return buildConfig(merged)
+	cfg, err := buildConfig(merged)
+	if err != nil {
+		return core.Config{}, err
+	}
+	if cfg.obs != nil && cfg.obs != e.px.Observability() && e.px.Observability() == nil {
+		return applyObs(cfg), nil
+	}
+	return cfg.Config, nil
 }
 
 // Submit executes body(i) for i in [0, n) on the pool and blocks until
@@ -331,6 +426,10 @@ func (e *Executor) SubmitPhases(ctx context.Context, phases int, n func(ph int) 
 	}
 	return e.px.SubmitPhases(ctx, cfg, phases, n, body)
 }
+
+// Observability returns the executor's live plane (set with
+// WithObservability at NewExecutor), or nil.
+func (e *Executor) Observability() *Observability { return e.px.Observability() }
 
 // Machine is a simulated shared-memory multiprocessor description.
 type Machine = machine.Machine

@@ -6,19 +6,26 @@
 //
 //	engineview -addr localhost:8077 -algos afs,gss -p 4 -n 65536
 //
-//	/         auto-refreshing HTML view
-//	/metrics  rolling p50/p90/p99 latencies, counters, worker gauges
-//	/workers  per-worker ownership, affinity-hit ratio, steal rate,
-//	          queue depth
-//	/flight   flight-recorder dump (?format=jsonl|chrome|trace,
-//	          ?which=live|anomaly)
-//	/debug/   pprof + expvar
+//	/             auto-refreshing HTML view
+//	/metrics      rolling p50/p90/p99 latencies, counters, worker
+//	              gauges, slow-submission exemplars with trace IDs
+//	/metrics.prom Prometheus text exposition (plane + SLO series)
+//	/workers      per-worker ownership, affinity-hit ratio, steal
+//	              rate, queue depth
+//	/flight       flight-recorder dump (?format=jsonl|chrome|trace,
+//	              ?which=live|anomaly)
+//	/traces       recent span traces; /trace?id=N one span tree
+//	              (?format=json|gantt|trace)
+//	/slo          SLO burn-rate report (?format=json)
+//	/debug/       pprof + expvar
 //
 // The trace format feeds straight into forensics: `loopdoctor attach
 // http://localhost:8077` captures a flight dump and produces the
-// standard attribution report. Embedders serving their own executor
-// use repro.WithObservability + repro.ObservabilityHandler instead;
-// this command is the batteries-included harness around them.
+// standard attribution report, and `loopdoctor trace <id>` does the
+// same for one traced submission named by a /metrics exemplar.
+// Embedders serving their own executor use repro.WithObservability +
+// repro.ObservabilityHandler instead; this command is the
+// batteries-included harness around them.
 package main
 
 import (
@@ -31,6 +38,8 @@ import (
 
 	"repro"
 	"repro/internal/cli"
+	"repro/internal/livemetrics"
+	"repro/internal/slo"
 )
 
 func main() {
@@ -108,14 +117,41 @@ func run(args []string) error {
 	})
 	defer plane.Close()
 
+	// Size the trace store to outlive the exemplar window: the plane's
+	// slow exemplars name traces from up to -window ago, so the store
+	// must retain at least window/pause submissions (×4 margin) or the
+	// exemplar a scraper follows with `loopdoctor trace` has already
+	// been evicted.
+	store := 4096
+	if o.pause > 0 {
+		if s := 4 * int(o.window/o.pause); s < store {
+			store = s
+		}
+	}
+	if store < 64 {
+		store = 64
+	}
+	tracer := repro.NewTracing(repro.TracingOptions{Store: store})
 	ex, err := repro.NewExecutor(
 		repro.WithProcs(o.procs),
 		repro.WithObservability(plane),
+		repro.WithTracing(tracer),
 	)
 	if err != nil {
 		return err
 	}
 	defer ex.Close()
+
+	// The SLO engine scores the plane's snapshots against the default
+	// objectives (submission p99, affinity-hit floor, steal-share
+	// ceiling) once a second; /slo serves the burn-rate report and
+	// /metrics.prom carries the loopsched_slo_* series.
+	sloEng, err := slo.New(plane.Snapshot, slo.DefaultObjectives(), slo.Options{})
+	if err != nil {
+		return err
+	}
+	stopSLO := sloEng.Start(time.Second)
+	defer stopSLO()
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -151,9 +187,24 @@ func run(args []string) error {
 		}
 	}()
 
+	label := fmt.Sprintf("executor p=%d (%v)", o.procs, o.algos)
+	obsHandler := repro.ObservabilityHandler(plane, label)
+	mux := http.NewServeMux()
+	mux.Handle("/", obsHandler)
+	mux.Handle("/slo", slo.Handler(sloEng, label))
+	// Override the plane's /metrics.prom with a combined exposition:
+	// the plane's series followed by the SLO engine's, one scrape.
+	mux.HandleFunc("/metrics.prom", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := livemetrics.WriteProm(w, plane.Snapshot()); err != nil {
+			return
+		}
+		slo.WriteProm(w, sloEng.Report())
+	})
+
 	srv := &http.Server{
 		Addr:    o.addr,
-		Handler: repro.ObservabilityHandler(plane, fmt.Sprintf("executor p=%d (%v)", o.procs, o.algos)),
+		Handler: mux,
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.ListenAndServe() }()

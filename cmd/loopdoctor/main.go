@@ -43,6 +43,8 @@ func main() {
 		err = runDiff(os.Args[2:])
 	case "attach":
 		err = runAttach(os.Args[2:])
+	case "trace":
+		err = runTrace(os.Args[2:])
 	case "-h", "--help", "help":
 		usage(os.Stdout)
 		return
@@ -71,7 +73,14 @@ usage:
       attribution verdict
   loopdoctor attach URL [-which live|anomaly] [-format md|json] [-o OUT] [-save FILE]
       capture a flight dump from a running engineview / observability
-      endpoint and run the standard attribution report on it
+      endpoint and run the standard attribution report on it; with
+      -watch INTERVAL, re-capture and re-report every INTERVAL
+      (-count N stops after N reports)
+  loopdoctor trace ID [-url U] [-format md|json] [-o OUT] [-save FILE]
+      fetch one traced submission's span tree from a running engine
+      (default -url localhost:8077) and run the attribution report on
+      it — the forensics half of the exemplar triage loop: /metrics
+      names a slow trace ID, this command explains where its time went
 `)
 }
 
@@ -194,18 +203,103 @@ func runAttach(args []string) error {
 	format := fs.String("format", "md", "output format: md or json")
 	out := fs.String("o", "", "output file (default stdout)")
 	save := fs.String("save", "", "also save the captured trace file here")
+	watch := fs.Duration("watch", 0, "re-capture and re-report at this interval (0 = once)")
+	count := fs.Int("count", 0, "with -watch, stop after this many reports (0 = forever)")
 	pos := parseMixed(fs, args)
 	if len(pos) != 1 {
 		return fmt.Errorf("attach wants exactly one engine URL, got %d args", len(pos))
 	}
-	if err := cli.OneOf("-which", *which, "live", "anomaly"); err != nil {
+	if err := cli.FirstError(
+		cli.OneOf("-which", *which, "live", "anomaly"),
+		cli.OneOf("-format", *format, "md", "markdown", "json"),
+	); err != nil {
+		return err
+	}
+	if *watch != 0 {
+		if err := cli.PositiveDuration("-watch", *watch); err != nil {
+			return err
+		}
+	}
+	if *count != 0 {
+		if *watch == 0 {
+			return fmt.Errorf("-count only makes sense with -watch")
+		}
+		if err := cli.PositiveInt("-count", *count); err != nil {
+			return err
+		}
+	}
+
+	// One capture → one report. In -watch mode this runs repeatedly
+	// against the same writer, each report preceded by a separator so
+	// successive snapshots are greppable in one stream.
+	report := func(w io.Writer, round int) error {
+		tr, err := fetchFlightTrace(pos[0], *which)
+		if err != nil {
+			return err
+		}
+		if *save != "" {
+			// In watch mode every round overwrites the same file: -save
+			// keeps the freshest capture, the report stream keeps history.
+			if err := tr.WriteFile(*save); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "saved %d events, %d provenance records → %s\n",
+				len(tr.Events), len(tr.Prov), *save)
+		}
+		a, err := forensics.Analyze(tr)
+		if err != nil {
+			return err
+		}
+		if *watch != 0 {
+			fmt.Fprintf(w, "--- attach %s round %d @ %s ---\n",
+				*which, round, time.Now().Format(time.RFC3339))
+		}
+		if *format == "json" {
+			return forensics.WriteJSON(w, a)
+		}
+		return forensics.WriteMarkdown(w, a)
+	}
+
+	w, closeW, err := outWriter(*out)
+	if err != nil {
+		return err
+	}
+	err = report(w, 1)
+	for round := 2; err == nil && *watch != 0 && (*count == 0 || round <= *count); round++ {
+		time.Sleep(*watch)
+		err = report(w, round)
+	}
+	if cerr := closeW(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// runTrace closes the triage loop that starts at a /metrics exemplar:
+// given the trace ID the exemplar names, it fetches that submission's
+// span tree from the running engine (the spantrace /trace endpoint
+// lowers it to forensics trace format) and runs the standard
+// attribution report, so "which submission was slow" becomes "where
+// inside it the time went" in one command.
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	base := fs.String("url", "localhost:8077", "engine observability URL")
+	format := fs.String("format", "md", "output format: md or json")
+	out := fs.String("o", "", "output file (default stdout)")
+	save := fs.String("save", "", "also save the fetched trace file here")
+	pos := parseMixed(fs, args)
+	if len(pos) != 1 {
+		return fmt.Errorf("trace wants exactly one trace ID, got %d args", len(pos))
+	}
+	id, err := cli.Uint64Arg("trace ID", pos[0])
+	if err != nil {
 		return err
 	}
 	if err := cli.OneOf("-format", *format, "md", "markdown", "json"); err != nil {
 		return err
 	}
 
-	tr, err := fetchFlightTrace(pos[0], *which)
+	tr, err := fetchSpanTrace(*base, id)
 	if err != nil {
 		return err
 	}
@@ -224,16 +318,40 @@ func runAttach(args []string) error {
 	if err != nil {
 		return err
 	}
-	switch *format {
-	case "json":
+	if *format == "json" {
 		err = forensics.WriteJSON(w, a)
-	default:
+	} else {
 		err = forensics.WriteMarkdown(w, a)
 	}
 	if cerr := closeW(); err == nil {
 		err = cerr
 	}
 	return err
+}
+
+// fetchSpanTrace GETs URL/trace?id=N&format=trace and parses the
+// forensics trace file the span-trace endpoint serves.
+func fetchSpanTrace(base string, id uint64) (*forensics.Trace, error) {
+	u := strings.TrimSuffix(base, "/")
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	u += fmt.Sprintf("/trace?id=%d&format=trace", id)
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(u)
+	if err != nil {
+		return nil, fmt.Errorf("trace %s: %w", u, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("trace %s: %s: %s", u, resp.Status, strings.TrimSpace(string(body)))
+	}
+	tr, err := forensics.ReadTrace(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("trace %s: %w", u, err)
+	}
+	return tr, nil
 }
 
 // fetchFlightTrace GETs URL/flight?format=trace&which=… and parses the

@@ -51,6 +51,8 @@ func main() {
 		err = cmdDuel(os.Args[2:])
 	case "overhead":
 		err = cmdOverhead(os.Args[2:])
+	case "slo":
+		err = cmdSLO(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "-h", "-help", "--help", "help":
@@ -78,6 +80,10 @@ func usage() {
            expected winner's median beats the loser's by -margin
   overhead run an instrumented case against its bare twin; exit 1 if
            median(instrumented)/median(bare) exceeds -budget
+  slo      run an instrumented workload and score it against the
+           declarative service objectives (p99 ceiling, affinity-hit
+           floor, steal-share ceiling); exit 1 if any objective's
+           burn rate breaches in all of its windows
   serve    live HTML dashboard over the baseline history
 
 Run 'perflab <subcommand> -h' for flags.
@@ -366,6 +372,60 @@ func cmdOverhead(args []string) error {
 	if ratio > *budget {
 		return fmt.Errorf("perflab overhead: observability costs %.3fx over the bare case (budget %.2fx)",
 			ratio, *budget)
+	}
+	return nil
+}
+
+// cmdSLO is the service-objective gate: it runs a real executor
+// workload with the observability plane and span tracer attached,
+// ticks the burn-rate engine once per submission, prints the report,
+// and fails if any objective breaches. A built-in self-test scores the
+// same workload against impossible objectives and insists they DO
+// breach, so a silently broken evaluator cannot produce a vacuous
+// green.
+func cmdSLO(args []string) error {
+	fs := flag.NewFlagSet("perflab slo", flag.ExitOnError)
+	short := fs.Bool("short", false, "CI-sized workload")
+	procs := fs.Int("p", 0, "worker goroutines (0 = min(4, NumCPU), so CI hosts are not oversubscribed)")
+	n := fs.Int("n", 1<<16, "iterations per loop")
+	loops := fs.Int("loops", 40, "submissions in the stream")
+	fs.Parse(args)
+	if err := cli.FirstError(
+		cli.PositiveInt("-n", *n),
+		cli.PositiveInt("-loops", *loops),
+	); err != nil {
+		return err
+	}
+	if *procs != 0 {
+		if err := cli.PositiveInt("-p", *procs); err != nil {
+			return err
+		}
+	}
+	if *short {
+		*n, *loops = 1<<13, 12
+	}
+	res, err := perflab.RunSLOGate(perflab.SLOGateOptions{Procs: *procs, N: *n, Loops: *loops})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("perflab slo: %d evaluations, self-test breached as expected\n", res.Report.Ticks)
+	for _, o := range res.Report.Objectives {
+		val := "unobserved"
+		if o.Observed {
+			val = fmt.Sprintf("%.4g", o.Value)
+		}
+		verdict := "ok"
+		if o.Breaching {
+			verdict = "BREACHING"
+		}
+		fmt.Printf("  %-22s %-22s value %-12s %s\n", o.Name, string(o.Metric), val, verdict)
+		for _, w := range o.Windows {
+			fmt.Printf("    window %4.0fs: %3d samples, bad %.3f, burn %.2f (max %.2f)\n",
+				w.DurationSecs, w.Samples, w.BadFraction, w.BurnRate, w.MaxBurn)
+		}
+	}
+	if res.Report.Breaching {
+		return fmt.Errorf("perflab slo: objective breaching — see report above")
 	}
 	return nil
 }

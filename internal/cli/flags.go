@@ -5,6 +5,7 @@ import (
 	"net"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/sched"
 )
@@ -29,6 +30,27 @@ func PositiveFloat(flagName string, v float64) error {
 		return fmt.Errorf("%s must be > 0 (got %g)", flagName, v)
 	}
 	return nil
+}
+
+// PositiveDuration rejects non-positive durations, naming the flag —
+// the validator behind every polling-interval flag (loopdoctor attach
+// -watch), where zero or negative would spin a hot loop.
+func PositiveDuration(flagName string, v time.Duration) error {
+	if v <= 0 {
+		return fmt.Errorf("%s must be a positive duration (got %v)", flagName, v)
+	}
+	return nil
+}
+
+// Uint64Arg parses a positive integer operand (e.g. loopdoctor's
+// trace ID), naming the operand in the error like the flag validators
+// name their flag.
+func Uint64Arg(name, val string) (uint64, error) {
+	v, err := strconv.ParseUint(val, 10, 64)
+	if err != nil || v == 0 {
+		return 0, fmt.Errorf("%s must be a positive integer (got %q)", name, val)
+	}
+	return v, nil
 }
 
 // OneOf rejects values outside the allowed set, naming the flag and

@@ -3,6 +3,7 @@ package cli
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 // Every helper must lead its error with the offending flag's name —
@@ -28,6 +29,32 @@ func TestPositiveFloat(t *testing.T) {
 	}
 	if err := PositiveFloat("-threshold", 0); err == nil || !strings.HasPrefix(err.Error(), "-threshold ") {
 		t.Errorf("zero threshold: %v", err)
+	}
+}
+
+func TestPositiveDuration(t *testing.T) {
+	if err := PositiveDuration("-watch", 2*time.Second); err != nil {
+		t.Errorf("valid interval rejected: %v", err)
+	}
+	for _, v := range []time.Duration{0, -time.Second} {
+		err := PositiveDuration("-watch", v)
+		if err == nil {
+			t.Fatalf("PositiveDuration(%v): no error", v)
+		}
+		if !strings.HasPrefix(err.Error(), "-watch ") {
+			t.Errorf("error %q does not lead with the flag name", err)
+		}
+	}
+}
+
+func TestUint64Arg(t *testing.T) {
+	if v, err := Uint64Arg("trace ID", "42"); err != nil || v != 42 {
+		t.Errorf("Uint64Arg(42) = %d, %v", v, err)
+	}
+	for _, bad := range []string{"0", "-3", "abc", ""} {
+		if _, err := Uint64Arg("trace ID", bad); err == nil || !strings.HasPrefix(err.Error(), "trace ID ") {
+			t.Errorf("Uint64Arg(%q): %v", bad, err)
+		}
 	}
 }
 

@@ -92,6 +92,29 @@ type ObsHooks interface {
 	ObserveSteal(thief, victim, iters int, latNS float64)
 }
 
+// SpanObserver is the optional causal-tracing extension of ObsHooks:
+// when Config.Hooks also implements it (one type assertion per
+// submission, never per chunk), the runner reports span windows for
+// phases, chunks and steals with their causal coordinates, and the
+// observer assembles them into a span tree (internal/spantrace). The
+// same hot-path contract as ObsHooks applies — OnChunkSpan and
+// OnStealSpan are called inline from worker goroutines and must be
+// cheap and concurrent-safe; OnPhaseSpan is called by the submitting
+// goroutine after each phase barrier, so both its timestamps are
+// final. Timestamps are nanoseconds on the runner's telemetry clock.
+type SpanObserver interface {
+	// OnPhaseSpan fires once per phase after its barrier drains: the
+	// phase index, its iteration count, and its [start, end] window.
+	OnPhaseSpan(ph, n int, startNS, endNS float64)
+	// OnChunkSpan fires once per executed chunk with its causal
+	// coordinates: phase, executing worker, owning queue (-1 central),
+	// migration flag, iteration range, and execution window.
+	OnChunkSpan(ph, proc, owner int, stolen bool, lo, hi int, startNS, endNS float64)
+	// OnStealSpan fires once per successful steal, immediately before
+	// the stolen chunk executes on the thief.
+	OnStealSpan(ph, thief, victim, lo, hi int, startNS, endNS float64)
+}
+
 func (c Config) procs() int {
 	if c.Procs > 0 {
 		return c.Procs
@@ -183,15 +206,19 @@ func Run(cfg Config, phases int, n func(ph int) int, body func(ph, i int)) (Stat
 // submission gets a fresh runner, so nothing here outlives or leaks
 // across submissions on a shared Engine.
 type runner struct {
-	cfg     Config
-	p       int
-	d       dispatcher
-	body    func(ph, i int)
-	stats   Stats
-	t0      time.Time
-	sink    telemetry.Sink
-	prov    telemetry.ProvSink
-	hooks   ObsHooks
+	cfg   Config
+	p     int
+	d     dispatcher
+	body  func(ph, i int)
+	stats Stats
+	t0    time.Time
+	sink  telemetry.Sink
+	prov  telemetry.ProvSink
+	hooks ObsHooks
+	// spans is cfg.Hooks's SpanObserver extension, resolved by one
+	// type assertion at Execute — non-nil only when hooks is non-nil,
+	// so every spans call site is already behind the hooks gate.
+	spans   SpanObserver
 	rh      *coreHandles
 	depthMu sync.Mutex
 	phaseNo atomic.Int64
@@ -263,6 +290,9 @@ func (r *runner) work(w, ph int) {
 			end := r.nowNS()
 			if r.hooks != nil {
 				r.hooks.ObserveChunk(w, fm.owner, fm.stolen, c.Len(), end-start)
+			}
+			if r.spans != nil {
+				r.spans.OnChunkSpan(ph, w, fm.owner, fm.stolen, c.Lo, c.Hi, start, end)
 			}
 			if r.sink != nil {
 				r.sink.Emit(telemetry.Event{Kind: telemetry.KindExec,
@@ -559,6 +589,9 @@ func (d *afsDispatch) fetch(r *runner, w int) (sched.Chunk, fetchMeta, bool) {
 			fm.wait = end - stealStart
 			if r.hooks != nil {
 				r.hooks.ObserveSteal(w, victim, c.Len(), end-stealStart)
+			}
+			if r.spans != nil {
+				r.spans.OnStealSpan(r.phase(), w, victim, c.Lo, c.Hi, stealStart, end)
 			}
 			if r.rh != nil {
 				r.rh.stealLatency.Observe(end - stealStart)

@@ -178,6 +178,9 @@ func (e *Engine) Execute(cfg Config, phases int, n func(ph int) int, body func(p
 	}
 
 	r := &runner{cfg: cfg, p: p, d: d, body: body, sink: cfg.Events, prov: cfg.Prov, hooks: cfg.Hooks}
+	// Causal tracing piggybacks on the hooks slot: one assertion per
+	// submission, so the per-chunk hot path stays a nil check.
+	r.spans, _ = cfg.Hooks.(SpanObserver)
 	r.stats.LocalOps = make([]int64, p)
 	r.stats.RemoteOps = make([]int64, p)
 	if cfg.Metrics != nil {
@@ -210,20 +213,30 @@ func (e *Engine) Execute(cfg Config, phases int, n func(ph int) int, body func(p
 		}
 		r.phaseNo.Store(int64(ph))
 		d.initPhase(r, ph, nn)
+		var phStart float64
+		if r.sink != nil || r.spans != nil {
+			phStart = r.nowNS()
+		}
 		if r.sink != nil {
-			t := r.nowNS()
 			r.sink.Emit(telemetry.Event{Kind: telemetry.KindPhaseBegin,
-				Proc: -1, Victim: -1, Step: ph, Hi: nn, Start: t, End: t})
+				Proc: -1, Victim: -1, Step: ph, Hi: nn, Start: phStart, End: phStart})
 		}
 		r.phaseWG.Add(p)
 		for w := 0; w < p; w++ {
 			e.starts[w] <- phaseTask{r, ph}
 		}
 		r.phaseWG.Wait()
-		if r.sink != nil {
+		if r.sink != nil || r.spans != nil {
 			t := r.nowNS()
-			r.sink.Emit(telemetry.Event{Kind: telemetry.KindPhaseEnd,
-				Proc: -1, Victim: -1, Step: ph, Start: t, End: t})
+			if r.sink != nil {
+				r.sink.Emit(telemetry.Event{Kind: telemetry.KindPhaseEnd,
+					Proc: -1, Victim: -1, Step: ph, Start: t, End: t})
+			}
+			// Both endpoints are final here: the barrier has drained, so
+			// every chunk span of this phase happens-before this call.
+			if r.spans != nil {
+				r.spans.OnPhaseSpan(ph, nn, phStart, t)
+			}
 		}
 		if r.rh != nil {
 			r.snapshotPhase(ph)

@@ -21,7 +21,9 @@
 //     mutex still held (use defer) in internal/core + internal/pool;
 //   - telemetry: no discarded error results from exporter/sink
 //     packages, no telemetry.Event composite literal without an
-//     explicit Step field;
+//     explicit Step field, and no span collection started
+//     (spantrace.StartSubmission) without an End/Abandon seal before
+//     every return path in the span-emitting packages;
 //   - hygiene: flag parsing in cmd/ goes through the internal/cli
 //     validators, and no new call sites of deprecated API.
 //
@@ -93,6 +95,17 @@ type Config struct {
 	// ("pkg/path.TypeName") whose composite literals must carry an
 	// explicit Step field.
 	EventTypes []string
+	// SpanPkgs lists the packages (exact import paths, no prefix
+	// matching — the module root is a member and would otherwise match
+	// everything) whose functions must seal every span collection they
+	// start: a StartSubmission call must be followed by an End or
+	// Abandon call before any return statement, or the trace — and the
+	// exemplar the /metrics tail would link to — silently leaks.
+	SpanPkgs []string
+	// SpanTracePkg is the import path of the span-tracing package whose
+	// Tracer.StartSubmission / Active.End / Active.Abandon methods the
+	// span-balance rule keys on.
+	SpanTracePkg string
 	// CmdPkgs lists the command packages whose flag parsing must go
 	// through the internal/cli validators.
 	CmdPkgs []string
@@ -114,6 +127,8 @@ func DefaultConfig(modulePath string) Config {
 		Locking:       []string{p("internal/core"), p("internal/pool")},
 		ExporterPkgs:  []string{p("internal/telemetry"), p("internal/trace"), p("internal/forensics"), p("internal/stats")},
 		EventTypes:    []string{p("internal/telemetry") + ".Event"},
+		SpanPkgs:      []string{modulePath, p("internal/core"), p("internal/pool")},
+		SpanTracePkg:  p("internal/spantrace"),
 		CmdPkgs:       []string{modulePath + "/cmd"},
 		CLIPkg:        p("internal/cli"),
 	}

@@ -44,6 +44,8 @@ func fixtureConfig(m *Module) Config {
 		Locking:       []string{fix + "/lockfix"},
 		ExporterPkgs:  []string{m.Path + "/internal/telemetry"},
 		EventTypes:    []string{m.Path + "/internal/telemetry.Event"},
+		SpanPkgs:      []string{fix + "/spanfix"},
+		SpanTracePkg:  m.Path + "/internal/spantrace",
 		CmdPkgs:       []string{fix + "/hygienefix"},
 		CLIPkg:        m.Path + "/internal/cli",
 	}
@@ -53,7 +55,7 @@ func fixtureConfig(m *Module) Config {
 // per check, each holding both violating and //lint:allow-suppressed
 // cases — and compares the text report against the committed golden.
 func TestFixtures(t *testing.T) {
-	fixtures := []string{"determfix", "lockfix", "telemfix", "hygienefix", "directivefix"}
+	fixtures := []string{"determfix", "lockfix", "telemfix", "spanfix", "hygienefix", "directivefix"}
 	m := loadTestModule(t)
 	for _, name := range fixtures {
 		t.Run(name, func(t *testing.T) {

@@ -2,24 +2,32 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
 
-// telemetryCheck enforces the observability layer's two conventions
-// (PR 1): exporter and sink errors are never dropped — a trace that
-// silently truncated is worse than no trace, because the forensics
-// and perf-lab tooling would attribute costs from a partial stream —
-// and every emitted telemetry.Event carries an explicit Step, since
-// the per-step invariant verifier (tracecheck) and the per-phase
-// metrics series both key on it.
+// telemetryCheck enforces the observability layer's conventions:
+// exporter and sink errors are never dropped — a trace that silently
+// truncated is worse than no trace, because the forensics and
+// perf-lab tooling would attribute costs from a partial stream —
+// every emitted telemetry.Event carries an explicit Step, since the
+// per-step invariant verifier (tracecheck) and the per-phase metrics
+// series both key on it, and every span collection started in the
+// span-emitting packages is sealed before the function returns.
 var telemetryCheck = &Check{
 	Name: "telemetry",
-	Doc:  "forbid discarded exporter/sink errors and Event literals without an explicit Step field",
+	Doc:  "forbid discarded exporter/sink errors, Event literals without an explicit Step field, and unsealed span collections",
 	Run:  runTelemetry,
 }
 
 func runTelemetry(p *Pass) {
+	spanPkg := false
+	for _, path := range p.Cfg.SpanPkgs {
+		if p.Pkg.Path == path {
+			spanPkg = true
+		}
+	}
 	for _, f := range p.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
@@ -33,6 +41,10 @@ func runTelemetry(p *Pass) {
 				p.checkDiscardedError(n.Call)
 			case *ast.CompositeLit:
 				p.checkEventLiteral(n)
+			case *ast.FuncDecl:
+				if spanPkg {
+					p.checkSpanBalance(n)
+				}
 			}
 			return true
 		})
@@ -69,6 +81,80 @@ func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
 		return fn
 	}
 	return nil
+}
+
+// checkSpanBalance enforces span hygiene in the span-emitting packages
+// (Config.SpanPkgs): a function that starts a span collection
+// (Tracer.StartSubmission) must seal it — call Active.End or
+// Active.Abandon, directly or in a defer — and must not return between
+// the start and the first seal. An unsealed collection leaks its spans
+// and its trace ID: the /metrics exemplar pointing at it would resolve
+// to nothing. The rule is lexical, so conditional seals pass as long
+// as they sit before every return (the shape pool.SubmitPhases and the
+// root runObserved use: Execute, then one seal block, then the
+// returns).
+func (p *Pass) checkSpanBalance(fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	var start, seal token.Pos
+	var returns []*ast.ReturnStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch {
+			case p.isSpanTraceMethod(n, "Tracer", "StartSubmission"):
+				if !start.IsValid() {
+					start = n.Pos()
+				}
+			case p.isSpanTraceMethod(n, "Active", "End"), p.isSpanTraceMethod(n, "Active", "Abandon"):
+				if !seal.IsValid() {
+					seal = n.Pos()
+				}
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, n)
+		}
+		return true
+	})
+	if !start.IsValid() {
+		return
+	}
+	if !seal.IsValid() || seal < start {
+		p.Reportf(start, "StartSubmission result is never sealed: call End or Abandon before every return, or the span collection leaks open")
+		return
+	}
+	for _, r := range returns {
+		// A return whose own expression performs the seal
+		// (`return at.End(...).TraceID`) ends after the seal position
+		// and is fine; only returns wholly before the seal leak.
+		if start < r.Pos() && r.End() < seal {
+			p.Reportf(r.Pos(), "return between StartSubmission and its End/Abandon seal: this path leaks the span collection open")
+		}
+	}
+}
+
+// isSpanTraceMethod reports whether call's static callee is the named
+// method on the named receiver type of the configured span-trace
+// package.
+func (p *Pass) isSpanTraceMethod(call *ast.CallExpr, recvType, method string) bool {
+	if p.Cfg.SpanTracePkg == "" {
+		return false
+	}
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Name() != method || fn.Pkg() == nil || fn.Pkg().Path() != p.Cfg.SpanTracePkg {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == recvType
 }
 
 // checkEventLiteral flags keyed composite literals of the configured

@@ -1,0 +1,64 @@
+// Package spanfix is the telemetry check's span-balance fixture: the
+// good shapes (seal before return, conditional seal before every
+// return, deferred seal), the two violations (return between start and
+// seal, start never sealed), and a suppressed case.
+package spanfix
+
+import "repro/internal/spantrace"
+
+func work() {}
+
+// sealedDirect is the canonical good shape: start, work, seal, return.
+func sealedDirect(t *spantrace.Tracer) uint64 {
+	at := t.StartSubmission(spantrace.SubmissionInfo{Scheduler: "afs", Procs: 2, Phases: 1})
+	work()
+	return at.End("ok").TraceID
+}
+
+// sealedConditionally mirrors pool.SubmitPhases: the start and the
+// seal are both conditional, but the seal block sits lexically before
+// every return, so no path can leave the collection open.
+func sealedConditionally(t *spantrace.Tracer, fail bool) {
+	var at *spantrace.Active
+	if t != nil {
+		at = t.StartSubmission(spantrace.SubmissionInfo{})
+	}
+	work()
+	if at != nil {
+		if fail {
+			at.Abandon()
+		} else {
+			at.End("ok")
+		}
+	}
+}
+
+// sealedByDefer seals on every path by construction.
+func sealedByDefer(t *spantrace.Tracer) {
+	at := t.StartSubmission(spantrace.SubmissionInfo{})
+	defer at.End("ok")
+	work()
+}
+
+// returnsBeforeSeal leaks the collection on the early-error path.
+func returnsBeforeSeal(t *spantrace.Tracer, err error) error {
+	at := t.StartSubmission(spantrace.SubmissionInfo{})
+	if err != nil {
+		return err
+	}
+	at.End("ok")
+	return nil
+}
+
+// neverSealed starts a collection and forgets it entirely.
+func neverSealed(t *spantrace.Tracer) {
+	t.StartSubmission(spantrace.SubmissionInfo{})
+	work()
+}
+
+// allowedLeak shows the suppression path: the directive must carry a
+// reason and names the telemetry check.
+func allowedLeak(t *spantrace.Tracer) {
+	//lint:allow telemetry fixture: intentional leak demonstrating suppression
+	t.StartSubmission(spantrace.SubmissionInfo{})
+}

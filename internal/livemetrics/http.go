@@ -6,11 +6,12 @@ import (
 	"fmt"
 	"html/template"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"net/http/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/spantrace"
 	"repro/internal/telemetry"
 	"repro/internal/webui"
 )
@@ -27,14 +28,22 @@ var (
 // NewHandler serves a plane over HTTP — the engineview introspection
 // surface:
 //
-//	/         auto-refreshing HTML view (shared webui scaffold)
-//	/metrics  full Snapshot as JSON (also published via expvar as
-//	          "livemetrics" under /debug/vars)
-//	/workers  per-worker rows only: ownership totals, affinity-hit
-//	          ratio, utilization, steal rate, queue depth
-//	/flight   flight-recorder dump; ?format=jsonl|chrome|trace,
-//	          ?which=live|anomaly
-//	/debug/   pprof and expvar via the default mux
+//	/             auto-refreshing HTML view (shared webui scaffold)
+//	/metrics      full Snapshot as JSON (also published via expvar as
+//	              "livemetrics" under /debug/vars)
+//	/metrics.prom Snapshot in Prometheus text exposition format
+//	/workers      per-worker rows only: ownership totals, affinity-hit
+//	              ratio, utilization, steal rate, queue depth
+//	/flight       flight-recorder dump; ?format=jsonl|chrome|trace,
+//	              ?which=live|anomaly
+//	/traces       span-trace summaries (404 until SetTracer)
+//	/trace        one span tree by ?id=; ?format=json|trace
+//	/debug/       pprof and expvar
+//
+// The /debug/ tree serves explicit pprof and expvar handlers, NOT
+// http.DefaultServeMux: mounting the default mux would leak every
+// handler any package in the process registered globally (and pprof's
+// init-time registrations) into this surface.
 //
 // label names the engine in the HTML view and trace metadata.
 func NewHandler(p *Plane, label string) http.Handler {
@@ -55,13 +64,38 @@ func NewHandler(p *Plane, label string) http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, p.Snapshot())
 	})
+	mux.HandleFunc("/metrics.prom", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteProm(w, p.Snapshot())
+	})
 	mux.HandleFunc("/workers", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, p.Snapshot().Workers)
 	})
 	mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
 		serveFlight(w, r, p, label)
 	})
-	mux.Handle("/debug/", http.DefaultServeMux) // pprof + expvar
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		t := p.Tracer()
+		if t == nil {
+			http.Error(w, "no tracer attached", http.StatusNotFound)
+			return
+		}
+		spantrace.ServeTraces(w, t)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		t := p.Tracer()
+		if t == nil {
+			http.Error(w, "no tracer attached", http.StatusNotFound)
+			return
+		}
+		spantrace.ServeTrace(w, r, t)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
 	return mux
 }
 
@@ -138,9 +172,10 @@ func serveFlight(w http.ResponseWriter, r *http.Request, p *Plane, label string)
 var indexBody = template.Must(template.New("engineview").Parse(`
 <h1>engineview — {{.Label}}</h1>
 <p class="muted">Live observability plane.
-See <a href="/metrics">/metrics</a>, <a href="/workers">/workers</a>,
+See <a href="/metrics">/metrics</a>, <a href="/metrics.prom">/metrics.prom</a>,
+<a href="/workers">/workers</a>,
 <a href="/flight">/flight</a> (<a href="/flight?format=chrome">chrome</a>,
-<a href="/flight?format=trace">trace</a>),
+<a href="/flight?format=trace">trace</a>), <a href="/traces">/traces</a>,
 <a href="/debug/vars">/debug/vars</a>, <a href="/debug/pprof/">/debug/pprof</a>.</p>
 
 <h2>Engine</h2>
@@ -155,6 +190,14 @@ See <a href="/metrics">/metrics</a>, <a href="/workers">/workers</a>,
 <thead><tr><th>worker</th><th>chunks</th><th>iters</th><th>affinity hit</th>
 <th>stolen exec</th><th>victimized</th><th>util</th><th>steals/s</th><th>queue</th></tr></thead>
 <tbody id="worker-rows"></tbody>
+</table>
+
+<h2>Slow exemplars</h2>
+<p class="muted">Traced submissions retained per latency bucket, slowest
+first; trace links resolve to full span trees.</p>
+<table>
+<thead><tr><th>trace</th><th>latency</th><th>bucket ≤</th><th>age</th></tr></thead>
+<tbody id="exemplar-rows"></tbody>
 </table>
 `))
 
@@ -195,6 +238,17 @@ function render(s) {
       w.stolen_exec, w.victimized,
       (100 * w.utilization).toFixed(0) + '%',
       w.steal_rate.toFixed(1), w.queue_depth]));
+  }
+  const ex = document.getElementById('exemplar-rows');
+  ex.innerHTML = '';
+  for (const e of (s.submission_exemplars || [])) {
+    const tr = row(['', fmtNS(e.latency_ns), fmtNS(e.bucket_ns),
+      e.age_seconds.toFixed(1) + 's']);
+    const a = document.createElement('a');
+    a.href = '/trace?id=' + e.trace_id;
+    a.textContent = '#' + e.trace_id;
+    tr.firstChild.appendChild(a);
+    ex.appendChild(tr);
   }
 }
 pollLoop('/metrics', 1000, render);

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/spantrace"
 	"repro/internal/telemetry"
 )
 
@@ -90,7 +91,14 @@ type Plane struct {
 	col  *Collector
 	rec  *Recorder
 
-	subHist     *rollingHist
+	subHist *rollingHist
+	// exemplars retains the slowest traced submissions per latency
+	// bucket, so /metrics tail quantiles resolve to span trees.
+	exemplars *exemplarStore
+	// tracer, when set, is the span tracer whose trace IDs the
+	// exemplars reference; the HTTP handler serves /trace and /traces
+	// from it.
+	tracer      atomic.Pointer[spantrace.Tracer]
 	submissions atomic.Int64
 	completed   atomic.Int64
 	cancelled   atomic.Int64
@@ -134,6 +142,7 @@ func New(opts Options) *Plane {
 	}
 	p.col = newCollector(p.nowNS, o)
 	p.subHist = newRollingHist(int64(o.Window), o.Slots, latencyBounds)
+	p.exemplars = newExemplarStore(int64(o.Window), latencyBounds)
 	go p.sample()
 	return p
 }
@@ -157,13 +166,25 @@ func (p *Plane) Bind(depths func() []int, procs int) {
 	p.bindMu.Unlock()
 }
 
+// SetTracer attaches a span tracer: exemplar trace IDs reference its
+// traces and the HTTP handler serves /trace and /traces from it. nil
+// detaches.
+func (p *Plane) SetTracer(t *spantrace.Tracer) { p.tracer.Store(t) }
+
+// Tracer returns the attached span tracer, or nil.
+func (p *Plane) Tracer() *spantrace.Tracer { return p.tracer.Load() }
+
 // ObserveSubmission records one finished submission: its wall latency
-// and outcome. Anomalous outcomes (cancellation, panic) snapshot the
-// flight recorder so the last moments before the anomaly stay
-// recoverable; detail labels the snapshot.
-func (p *Plane) ObserveSubmission(d time.Duration, outcome Outcome, detail string) {
+// and outcome. traceID, when non-zero, is the submission's span-trace
+// ID; the plane retains it as a latency exemplar so tail quantiles
+// link to the causal span tree. Anomalous outcomes (cancellation,
+// panic) snapshot the flight recorder so the last moments before the
+// anomaly stay recoverable; detail labels the snapshot.
+func (p *Plane) ObserveSubmission(d time.Duration, outcome Outcome, detail string, traceID uint64) {
 	p.submissions.Add(1)
-	p.subHist.observe(p.nowNS(), float64(d))
+	now := p.nowNS()
+	p.subHist.observe(now, float64(d))
+	p.exemplars.observe(now, float64(d), traceID)
 	switch outcome {
 	case OutcomeCancelled:
 		p.cancelled.Add(1)
@@ -285,6 +306,10 @@ type Snapshot struct {
 	Chunk         Quantiles        `json:"chunk"`
 	Steal         Quantiles        `json:"steal"`
 	Workers       []WorkerSnapshot `json:"workers"`
+	// SubmissionExemplars are the retained traced submissions, slowest
+	// first: the head is the current tail-latency exemplar, resolvable
+	// through /trace?id= or `loopdoctor trace <id>`.
+	SubmissionExemplars []Exemplar `json:"submission_exemplars,omitempty"`
 	// QueueDepths is the raw backlog sample: one entry per worker
 	// queue (AFS), or a single entry of remaining central iterations.
 	QueueDepths []int `json:"queue_depths,omitempty"`
@@ -319,6 +344,7 @@ func (p *Plane) Snapshot() Snapshot {
 		Steal:      p.quantiles(p.col.stealHist),
 	}
 	s.FlightDroppedEvents, s.FlightDroppedProv = p.rec.Dropped()
+	s.SubmissionExemplars = p.exemplars.snapshot(p.nowNS())
 
 	p.bindMu.Lock()
 	depthsFn, procs := p.depthsFn, p.procs

@@ -1,0 +1,94 @@
+package livemetrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteProm renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4) — the integration surface for fleet
+// monitoring, scraped at /metrics.prom. Every metric is prefixed
+// loopsched_; quantiles are gauges carrying a quantile label, and the
+// retained latency exemplars appear as gauges labelled with their
+// trace IDs so an alert on the p99 series links straight to a span
+// tree. Validity is locked down by internal/promtext's parser test.
+func WriteProm(w io.Writer, s Snapshot) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+	counter := func(name, help string, v int64) {
+		p("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("loopsched_submissions_total", "Submissions observed since the plane started.", s.Counters.Submissions)
+	counter("loopsched_submissions_completed_total", "Submissions that ran to completion.", s.Counters.Completed)
+	counter("loopsched_submissions_cancelled_total", "Submissions stopped by their context.", s.Counters.Cancellations)
+	counter("loopsched_submissions_panicked_total", "Submissions whose loop body panicked.", s.Counters.Panics)
+	counter("loopsched_chunks_total", "Chunks executed across all workers.", s.Counters.Chunks)
+	counter("loopsched_steals_total", "Successful steal operations.", s.Counters.Steals)
+	counter("loopsched_migrated_iters_total", "Iterations moved by steals.", s.Counters.MigratedIters)
+	counter("loopsched_flight_dropped_events_total", "Flight-recorder event evictions.", s.FlightDroppedEvents)
+	counter("loopsched_flight_dropped_prov_total", "Flight-recorder provenance evictions.", s.FlightDroppedProv)
+
+	p("# HELP loopsched_uptime_seconds Seconds since the plane started.\n")
+	p("# TYPE loopsched_uptime_seconds gauge\n")
+	p("loopsched_uptime_seconds %s\n", f(s.UptimeSeconds))
+
+	quant := func(name, help string, q Quantiles) {
+		p("# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		p("%s{quantile=\"0.5\"} %s\n", name, f(q.P50))
+		p("%s{quantile=\"0.9\"} %s\n", name, f(q.P90))
+		p("%s{quantile=\"0.99\"} %s\n", name, f(q.P99))
+		cname := name + "_count"
+		p("# HELP %s Observations in the rolling window.\n# TYPE %s gauge\n%s %d\n", cname, cname, cname, q.Count)
+	}
+	quant("loopsched_submission_latency_ns", "Rolling submission wall latency (ns).", s.Submission)
+	quant("loopsched_chunk_latency_ns", "Rolling chunk execution latency (ns).", s.Chunk)
+	quant("loopsched_steal_latency_ns", "Rolling steal latency (ns).", s.Steal)
+
+	p("# HELP loopsched_worker_chunks_total Chunks executed by the worker.\n")
+	p("# TYPE loopsched_worker_chunks_total counter\n")
+	for _, ws := range s.Workers {
+		p("loopsched_worker_chunks_total{worker=\"%d\"} %d\n", ws.Worker, ws.Chunks)
+	}
+	p("# HELP loopsched_worker_affinity_hit_ratio Un-stolen chunks run on their static owner / all chunks.\n")
+	p("# TYPE loopsched_worker_affinity_hit_ratio gauge\n")
+	for _, ws := range s.Workers {
+		p("loopsched_worker_affinity_hit_ratio{worker=\"%d\"} %s\n", ws.Worker, f(ws.AffinityHitRatio))
+	}
+	p("# HELP loopsched_worker_utilization Busy-time fraction over the last sample interval.\n")
+	p("# TYPE loopsched_worker_utilization gauge\n")
+	for _, ws := range s.Workers {
+		p("loopsched_worker_utilization{worker=\"%d\"} %s\n", ws.Worker, f(ws.Utilization))
+	}
+	p("# HELP loopsched_worker_queue_depth Queued iterations in the worker's queue.\n")
+	p("# TYPE loopsched_worker_queue_depth gauge\n")
+	for _, ws := range s.Workers {
+		p("loopsched_worker_queue_depth{worker=\"%d\"} %d\n", ws.Worker, ws.QueueDepth)
+	}
+
+	if len(s.SubmissionExemplars) > 0 {
+		p("# HELP loopsched_submission_exemplar_latency_ns Retained traced submissions, slowest first; trace_id resolves via /trace?id= or loopdoctor trace.\n")
+		p("# TYPE loopsched_submission_exemplar_latency_ns gauge\n")
+		// The exposition format forbids duplicate label sets; exemplars
+		// are unique by trace ID, but guard anyway in case one trace is
+		// retained in two buckets after a histogram reconfiguration.
+		seen := make(map[uint64]bool, len(s.SubmissionExemplars))
+		ordered := append([]Exemplar(nil), s.SubmissionExemplars...)
+		sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].LatencyNS > ordered[j].LatencyNS })
+		for i, e := range ordered {
+			if seen[e.TraceID] {
+				continue
+			}
+			seen[e.TraceID] = true
+			p("loopsched_submission_exemplar_latency_ns{trace_id=\"%d\",rank=\"%d\"} %s\n", e.TraceID, i, f(e.LatencyNS))
+		}
+	}
+	return err
+}

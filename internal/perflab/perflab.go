@@ -174,14 +174,17 @@ func DefaultRegistry(short bool) *Registry {
 	// spawn/teardown on every loop; the "executor-obs" arm is the
 	// executor arm with a live observability plane attached and an
 	// aggressive concurrent scraper — tiny chunks make it the worst
-	// case for instrument overhead. Tracked for trends, raced by
-	// `perflab duel` and budget-checked by `perflab overhead` in CI's
-	// perf-smoke job; not gated (wall time).
+	// case for instrument overhead. The "executor-traced" arm stacks
+	// causal span tracing on top of the plane — every submission builds
+	// a full span tree — so its gap over "executor" is the whole traced
+	// observability story, priced at the nastiest granularity. Tracked
+	// for trends, raced by `perflab duel` and budget-checked by
+	// `perflab overhead` in CI's perf-smoke job; not gated (wall time).
 	loops, loopN := 400, 256
 	if short {
 		loops, loopN = 160, 128
 	}
-	for _, a := range []string{"executor", "percall", "executor-obs"} {
+	for _, a := range []string{"executor", "percall", "executor-obs", "executor-traced"} {
 		r.Add(Case{Substrate: SubstrateReal, Kernel: "many-small-loops", Algo: a,
 			N: loopN, Phases: loops, Procs: 4, Repeats: realRepeats, Warmup: 1})
 	}
@@ -190,12 +193,13 @@ func DefaultRegistry(short bool) *Registry {
 	// instrument cost (roughly constant per submission — chunk count
 	// grows with P·log N, not N) amortises to a few percent or less.
 	// `perflab overhead` gates the executor vs executor-obs pair here
-	// at a tight budget (and the many-small-loops pair at a loose one).
+	// at a tight budget (and the many-small-loops pair at a loose one);
+	// CI also gates executor vs executor-traced at 1.3x.
 	steadyLoops, steadyN := 20, 1<<20
 	if short {
 		steadyLoops, steadyN = 10, 1<<20
 	}
-	for _, a := range []string{"executor", "executor-obs"} {
+	for _, a := range []string{"executor", "executor-obs", "executor-traced"} {
 		r.Add(Case{Substrate: SubstrateReal, Kernel: "steady-loops", Algo: a,
 			N: steadyN, Phases: steadyLoops, Procs: 4, Repeats: realRepeats, Warmup: 1})
 	}

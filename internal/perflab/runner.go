@@ -15,6 +15,7 @@ import (
 	"repro/internal/pool"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/spantrace"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
@@ -279,17 +280,21 @@ func realKernel(c Case) (func(reg *telemetry.Registry, prov telemetry.ProvSink) 
 // core.ParallelFor per loop, paying spawn/teardown each time;
 // "executor-obs" is the executor arm with a live observability plane
 // attached and a scraper goroutine snapshotting metrics and dumping
-// the flight ring throughout the stream. The loop work is identical
-// across arms: executor vs percall measures pure lifetime overhead
-// (the headline claim for repro.Executor), and executor-obs vs
-// executor measures pure observability overhead (the budget `perflab
-// overhead` gates). With many-small-loops sizes the obs arm is the
+// the flight ring throughout the stream; "executor-traced" stacks a
+// span tracer on the obs arm, so every submission additionally builds
+// and seals a causal span tree. The loop work is identical across
+// arms: executor vs percall measures pure lifetime overhead (the
+// headline claim for repro.Executor), executor-obs vs executor
+// measures pure observability overhead (the budget `perflab overhead`
+// gates), and executor-traced vs executor prices tracing on top. With many-small-loops sizes the obs arm is the
 // deliberate worst case — chunk bodies of ~100ns against fixed
 // per-chunk instrument cost; with steady-loops sizes the chunks are
 // tens of microseconds and the same instruments amortise to noise.
 func manySmallLoops(c Case) (func(reg *telemetry.Registry, prov telemetry.ProvSink) (core.Stats, error), error) {
-	if c.Algo != "executor" && c.Algo != "percall" && c.Algo != "executor-obs" {
-		return nil, fmt.Errorf("many-small-loops wants algo executor, percall, or executor-obs (got %q)", c.Algo)
+	switch c.Algo {
+	case "executor", "percall", "executor-obs", "executor-traced":
+	default:
+		return nil, fmt.Errorf("many-small-loops wants algo executor, percall, executor-obs, or executor-traced (got %q)", c.Algo)
 	}
 	spec, err := sched.ByName("afs")
 	if err != nil {
@@ -301,7 +306,7 @@ func manySmallLoops(c Case) (func(reg *telemetry.Registry, prov telemetry.ProvSi
 		cfg := core.Config{Procs: c.Procs, Spec: spec, Metrics: reg, Prov: prov}
 		var total core.Stats
 		start := time.Now()
-		if c.Algo == "executor" || c.Algo == "executor-obs" {
+		if c.Algo != "percall" {
 			// Pool creation is inside the timed region on purpose: the
 			// claim is that one setup amortised over the stream beats
 			// per-loop setup, not that setup is free.
@@ -310,13 +315,21 @@ func manySmallLoops(c Case) (func(reg *telemetry.Registry, prov telemetry.ProvSi
 				return total, err
 			}
 			defer x.Close()
-			if c.Algo == "executor-obs" {
+			if c.Algo == "executor-obs" || c.Algo == "executor-traced" {
 				// Plane setup, the scraper's whole life, and plane
 				// teardown all sit inside the timed region: the gated
 				// number is what attaching observability costs a real
 				// serving process, scrapes included.
 				plane := livemetrics.New(livemetrics.Options{})
 				x.SetObservability(plane)
+				if c.Algo == "executor-traced" {
+					// The traced arm additionally builds a span tree per
+					// submission and retains exemplars, so its gap over
+					// the bare executor prices the whole tracing path.
+					tracer := spantrace.NewTracer(spantrace.Options{})
+					x.SetTracer(tracer)
+					plane.SetTracer(tracer)
+				}
 				stopScrape := scrapeLoop(plane)
 				defer func() {
 					stopScrape()

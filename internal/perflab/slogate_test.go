@@ -1,0 +1,35 @@
+package perflab
+
+import "testing"
+
+func TestRunSLOGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real workload")
+	}
+	res, err := RunSLOGate(SLOGateOptions{Procs: 2, N: 1 << 12, Loops: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sanity.Breaching {
+		t.Fatal("impossible objectives did not breach")
+	}
+	if res.Report.Ticks != 8 {
+		t.Fatalf("engine ticked %d times, want one per submission (8)", res.Report.Ticks)
+	}
+	if len(res.Report.Objectives) == 0 {
+		t.Fatal("report has no objectives")
+	}
+	// The p99 objective must actually have scored samples — a gate that
+	// never observes anything passes vacuously.
+	var scored bool
+	for _, o := range res.Report.Objectives {
+		for _, w := range o.Windows {
+			if w.Samples > 0 {
+				scored = true
+			}
+		}
+	}
+	if !scored {
+		t.Fatalf("no objective scored any samples: %+v", res.Report.Objectives)
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/livemetrics"
+	"repro/internal/spantrace"
 	"repro/internal/telemetry"
 )
 
@@ -60,6 +61,12 @@ type Executor struct {
 	// every submission feeds its hot-path hooks, tees its telemetry
 	// into the flight recorder, and reports its wall latency/outcome.
 	plane atomic.Pointer[livemetrics.Plane]
+	// tracer, when set, turns every submission into a span tree: the
+	// executor opens an Active per submission, threads it through the
+	// hooks slot (core resolves it with one type assertion), and seals
+	// it when Execute returns. The trace ID flows to the plane so
+	// latency exemplars resolve to traces.
+	tracer atomic.Pointer[spantrace.Tracer]
 }
 
 // New starts an executor with procs persistent workers (procs >= 1).
@@ -93,6 +100,37 @@ func (x *Executor) SetObservability(p *livemetrics.Plane) {
 
 // Observability returns the attached plane, or nil.
 func (x *Executor) Observability() *livemetrics.Plane { return x.plane.Load() }
+
+// SetTracer attaches a causal tracer: subsequent submissions record
+// span trees into it and report their trace IDs to the plane (if one
+// is attached) as latency exemplars. A nil tracer detaches. Like the
+// plane, the tracer is caller-owned and may outlive the executor.
+func (x *Executor) SetTracer(t *spantrace.Tracer) { x.tracer.Store(t) }
+
+// Tracer returns the attached tracer, or nil.
+func (x *Executor) Tracer() *spantrace.Tracer { return x.tracer.Load() }
+
+// spanHooks composes the plane's hot-path hooks (which may be absent)
+// with one submission's span collection, so a single Config.Hooks
+// value satisfies both core.ObsHooks and core.SpanObserver. The
+// embedded *Active contributes the On*Span observers; the explicit
+// methods forward the counter hooks to the plane when one is attached.
+type spanHooks struct {
+	inner core.ObsHooks
+	*spantrace.Active
+}
+
+func (h spanHooks) ObserveChunk(proc, owner int, stolen bool, iters int, durNS float64) {
+	if h.inner != nil {
+		h.inner.ObserveChunk(proc, owner, stolen, iters, durNS)
+	}
+}
+
+func (h spanHooks) ObserveSteal(thief, victim, iters int, latNS float64) {
+	if h.inner != nil {
+		h.inner.ObserveSteal(thief, victim, iters, latNS)
+	}
+}
 
 // instrument wires one submission's config into the plane: hot-path
 // hooks for the collector, and telemetry/provenance tees into the
@@ -132,18 +170,46 @@ func (x *Executor) SubmitPhases(ctx context.Context, cfg core.Config, phases int
 		cfg = instrument(cfg, plane)
 		start = time.Now() //lint:allow determinism live submission latency is measured host time
 	}
+	var at *spantrace.Active
+	if tracer := x.tracer.Load(); tracer != nil {
+		procs := cfg.Procs
+		if procs <= 0 || procs > x.eng.Procs() {
+			procs = x.eng.Procs()
+		}
+		at = tracer.StartSubmission(spantrace.SubmissionInfo{
+			Scheduler: cfg.Spec.Name, Procs: procs, Phases: phases,
+		})
+		cfg.Hooks = spanHooks{inner: cfg.Hooks, Active: at}
+	}
 	res, err := x.eng.Execute(cfg, phases, n, body)
+	// Seal the span collection before any return: rejected submissions
+	// never dispatched are abandoned, everything else becomes a trace.
+	var traceID uint64
+	if at != nil {
+		if errors.Is(err, ErrClosed) {
+			at.Abandon()
+		} else {
+			outcome := "ok"
+			switch {
+			case res.Panic != nil:
+				outcome = "panicked"
+			case err != nil:
+				outcome = "cancelled"
+			}
+			traceID = at.End(outcome).TraceID
+		}
+	}
 	if !errors.Is(err, ErrClosed) {
 		x.subs.Add(1)
 		if plane != nil {
 			elapsed := time.Since(start) //lint:allow determinism live submission latency is measured host time
 			switch {
 			case res.Panic != nil:
-				plane.ObserveSubmission(elapsed, livemetrics.OutcomePanicked, fmt.Sprint(res.Panic))
+				plane.ObserveSubmission(elapsed, livemetrics.OutcomePanicked, fmt.Sprint(res.Panic), traceID)
 			case err != nil:
-				plane.ObserveSubmission(elapsed, livemetrics.OutcomeCancelled, err.Error())
+				plane.ObserveSubmission(elapsed, livemetrics.OutcomeCancelled, err.Error(), traceID)
 			default:
-				plane.ObserveSubmission(elapsed, livemetrics.OutcomeOK, "")
+				plane.ObserveSubmission(elapsed, livemetrics.OutcomeOK, "", traceID)
 			}
 		}
 	}

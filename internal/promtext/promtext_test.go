@@ -1,0 +1,67 @@
+package promtext
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseValid(t *testing.T) {
+	const in = `
+# HELP x_total Things counted.
+# TYPE x_total counter
+x_total 42
+# TYPE lat gauge
+lat{quantile="0.5"} 1.5e3
+lat{quantile="0.99"} 2e6
+esc{name="a\"b\\c\nd"} -3 1700000000000
+`
+	exp, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := exp.Value("x_total"); err != nil || v != 42 {
+		t.Fatalf("x_total = %v, %v", v, err)
+	}
+	if v, err := exp.Value("lat", "quantile", "0.99"); err != nil || v != 2e6 {
+		t.Fatalf("lat p99 = %v, %v", v, err)
+	}
+	if got := len(exp.ByName("lat")); got != 2 {
+		t.Fatalf("lat series = %d, want 2", got)
+	}
+	if exp.Families["x_total"].Type != "counter" || exp.Families["x_total"].Help == "" {
+		t.Fatalf("family metadata: %+v", exp.Families["x_total"])
+	}
+	if s := exp.ByName("esc"); len(s) != 1 || s[0].Labels["name"] != "a\"b\\c\nd" {
+		t.Fatalf("escaped label value: %+v", s)
+	}
+	if _, err := exp.Value("lat", "quantile", "0.75"); err == nil {
+		t.Fatal("missing sample found")
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := map[string]string{
+		"duplicate identity":  "a 1\na 2\n",
+		"duplicate labeled":   `a{x="1"} 1` + "\n" + `a{x="1"} 2` + "\n",
+		"bad metric name":     "1abc 1\n",
+		"bad label name":      `a{1x="v"} 1` + "\n",
+		"unquoted label":      `a{x=v} 1` + "\n",
+		"unterminated value":  `a{x="v} 1` + "\n",
+		"no value":            "a\n",
+		"bad value":           "a one\n",
+		"bad timestamp":       "a 1 soon\n",
+		"unknown type":        "# TYPE a histogramm\na 1\n",
+		"type after samples":  "a 1\n# TYPE a counter\n",
+		"malformed TYPE line": "# TYPE a\n",
+		"duplicate label":     `a{x="1",x="2"} 1` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted:\n%s", name, in)
+		}
+	}
+	// A free-form comment is not an error.
+	if _, err := Parse(strings.NewReader("# hello\na 1\n")); err != nil {
+		t.Errorf("free-form comment rejected: %v", err)
+	}
+}

@@ -1,0 +1,246 @@
+package slo
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/livemetrics"
+	"repro/internal/promtext"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func latencyObjective(budget float64, windows ...Window) []Objective {
+	return []Objective{{
+		Name: "p99", Metric: MetricP99SubmissionNS,
+		Threshold: 1e6, Budget: budget, Windows: windows,
+	}}
+}
+
+func TestValidation(t *testing.T) {
+	src := func() livemetrics.Snapshot { return livemetrics.Snapshot{} }
+	good := latencyObjective(0.5, Window{Duration: time.Minute, MaxBurn: 1})
+	if _, err := New(src, good, Options{}); err != nil {
+		t.Fatalf("valid objective rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		objs []Objective
+	}{
+		{"no objectives", nil},
+		{"empty name", []Objective{{Metric: MetricStealShare, Budget: 0.1, Windows: good[0].Windows}}},
+		{"unknown metric", []Objective{{Name: "x", Metric: "nope", Budget: 0.1, Windows: good[0].Windows}}},
+		{"zero budget", latencyObjective(0, Window{Duration: time.Minute, MaxBurn: 1})},
+		{"budget above one", latencyObjective(1.5, Window{Duration: time.Minute, MaxBurn: 1})},
+		{"no windows", latencyObjective(0.5)},
+		{"zero window", latencyObjective(0.5, Window{MaxBurn: 1})},
+		{"zero max burn", latencyObjective(0.5, Window{Duration: time.Minute})},
+	}
+	for _, tc := range bad {
+		if _, err := New(src, tc.objs, Options{}); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if _, err := New(nil, good, Options{}); err == nil {
+		t.Error("nil source accepted")
+	}
+}
+
+func TestBurnRateBreachAndRecovery(t *testing.T) {
+	clock := newFakeClock()
+	var snap livemetrics.Snapshot
+	e, err := New(func() livemetrics.Snapshot { return snap }, latencyObjective(0.5,
+		Window{Duration: 10 * time.Second, MaxBurn: 2},
+		Window{Duration: time.Minute, MaxBurn: 1},
+	), Options{Now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy traffic: p99 well under the 1ms ceiling.
+	snap.Submission = livemetrics.Quantiles{Count: 10, P99: 1e5}
+	for i := 0; i < 6; i++ {
+		e.Tick()
+		clock.advance(time.Second)
+	}
+	rep := e.Report()
+	if rep.Breaching {
+		t.Fatalf("healthy traffic breaches: %+v", rep)
+	}
+	if got := rep.Objectives[0].Windows[0].Samples; got != 6 {
+		t.Fatalf("short window samples = %d, want 6", got)
+	}
+	if !rep.Objectives[0].Observed || rep.Objectives[0].Value != 1e5 {
+		t.Fatalf("observed value = %+v", rep.Objectives[0])
+	}
+
+	// Sustained violation: every observation bad. With budget 0.5 the
+	// burn rate heads to 2 in the short window and above 1 in the long
+	// one — both burning, so the objective breaches.
+	snap.Submission = livemetrics.Quantiles{Count: 10, P99: 5e6}
+	for i := 0; i < 12; i++ {
+		e.Tick()
+		clock.advance(time.Second)
+	}
+	rep = e.Report()
+	if !rep.Breaching {
+		t.Fatalf("sustained violation does not breach: %+v", rep.Objectives[0])
+	}
+
+	// Recovery: good observations age the bad ones out of the short
+	// window; the long window may still burn, but multi-window alerting
+	// requires ALL windows, so the breach clears.
+	snap.Submission = livemetrics.Quantiles{Count: 10, P99: 1e5}
+	for i := 0; i < 11; i++ {
+		e.Tick()
+		clock.advance(time.Second)
+	}
+	rep = e.Report()
+	if rep.Breaching {
+		t.Fatalf("breach did not clear after recovery: %+v", rep.Objectives[0])
+	}
+	if short := rep.Objectives[0].Windows[0]; short.Burning {
+		t.Fatalf("short window still burning after recovery: %+v", short)
+	}
+}
+
+func TestP99SkippedWithoutSubmissions(t *testing.T) {
+	clock := newFakeClock()
+	e, err := New(func() livemetrics.Snapshot { return livemetrics.Snapshot{} },
+		latencyObjective(0.5, Window{Duration: time.Minute, MaxBurn: 1}),
+		Options{Now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Tick()
+	rep := e.Report()
+	if rep.Objectives[0].Observed {
+		t.Fatal("p99 observed with an empty rolling window")
+	}
+	if rep.Objectives[0].Windows[0].Samples != 0 {
+		t.Fatal("empty window accumulated samples")
+	}
+	if rep.Breaching {
+		t.Fatal("unobserved objective breaches")
+	}
+}
+
+func TestDeltaMetrics(t *testing.T) {
+	clock := newFakeClock()
+	var snap livemetrics.Snapshot
+	objs := []Objective{
+		{Name: "aff", Metric: MetricAffinityHitRatio, Threshold: 0.5, Budget: 0.1,
+			Windows: []Window{{Duration: time.Minute, MaxBurn: 1}}},
+		{Name: "steal", Metric: MetricStealShare, Threshold: 0.5, Budget: 0.1,
+			Windows: []Window{{Duration: time.Minute, MaxBurn: 1}}},
+	}
+	e, err := New(func() livemetrics.Snapshot { return snap }, objs, Options{Now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	set := func(hits, chunks, steals int64) {
+		snap = livemetrics.Snapshot{
+			Workers:  []livemetrics.WorkerSnapshot{{AffinityHits: hits, Chunks: chunks}},
+			Counters: livemetrics.Counters{Steals: steals},
+		}
+	}
+
+	// First tick only primes the counter baseline.
+	set(80, 100, 10)
+	e.Tick()
+	rep := e.Report()
+	if rep.Objectives[0].Observed || rep.Objectives[1].Observed {
+		t.Fatalf("ratio metrics observed on the priming tick: %+v", rep.Objectives)
+	}
+
+	// Second tick measures the interval, not cumulative history: 10 of
+	// the 20 new chunks hit affinity (cumulative ratio is still 90/120),
+	// and 10 steals per 20 chunks.
+	clock.advance(time.Second)
+	set(90, 120, 20)
+	e.Tick()
+	rep = e.Report()
+	if got := rep.Objectives[0].Value; got != 0.5 {
+		t.Fatalf("affinity delta ratio = %v, want 0.5", got)
+	}
+	if got := rep.Objectives[1].Value; got != 0.5 {
+		t.Fatalf("steal share delta = %v, want 0.5", got)
+	}
+
+	// An idle interval (no new chunks) is skipped, not scored.
+	clock.advance(time.Second)
+	e.Tick()
+	rep = e.Report()
+	if got := rep.Objectives[0].Windows[0].Samples; got != 1 {
+		t.Fatalf("idle interval scored: %d samples, want 1", got)
+	}
+}
+
+func TestWritePromParses(t *testing.T) {
+	clock := newFakeClock()
+	var snap livemetrics.Snapshot
+	e, err := New(func() livemetrics.Snapshot { return snap },
+		DefaultObjectives(), Options{Now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Submission = livemetrics.Quantiles{Count: 5, P99: 2e5}
+	snap.Workers = []livemetrics.WorkerSnapshot{{AffinityHits: 9, Chunks: 10}}
+	e.Tick()
+	clock.advance(time.Second)
+	snap.Workers = []livemetrics.WorkerSnapshot{{AffinityHits: 18, Chunks: 20}}
+	e.Tick()
+
+	var b strings.Builder
+	if err := WriteProm(&b, e.Report()); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := promtext.Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, b.String())
+	}
+	if v, err := exp.Value("loopsched_slo_breaching", "objective", "submission-p99"); err != nil || v != 0 {
+		t.Fatalf("breaching sample = %v, %v", v, err)
+	}
+	if v, err := exp.Value("loopsched_slo_value", "objective", "affinity-hit-floor"); err != nil || v != 0.9 {
+		t.Fatalf("affinity value sample = %v, %v", v, err)
+	}
+	if v, err := exp.Value("loopsched_slo_evaluations_total"); err != nil || v != 2 {
+		t.Fatalf("evaluations sample = %v, %v", v, err)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	e, err := New(func() livemetrics.Snapshot { return livemetrics.Snapshot{} },
+		DefaultObjectives(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Handler(e, "test")
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/slo?format=json", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"objectives"`) {
+		t.Fatalf("json response: %d %q", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/slo", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "<html>") {
+		t.Fatalf("html response: %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/slo?format=xml", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad format status = %d, want 400", rec.Code)
+	}
+}

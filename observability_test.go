@@ -2,6 +2,7 @@ package repro_test
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http/httptest"
 	"testing"
 
@@ -67,6 +68,100 @@ func TestObservabilityOneShot(t *testing.T) {
 	}
 	if snap.Counters.Completed != 1 {
 		t.Errorf("completed = %d, want 1", snap.Counters.Completed)
+	}
+}
+
+// TestTracingExecutor wires a tracer and a plane to a persistent
+// executor via the public API and follows the triage loop end to end:
+// every submission yields a span tree, the plane's exemplars carry the
+// trace IDs, and TraceHandler serves the trees over HTTP.
+func TestTracingExecutor(t *testing.T) {
+	plane := repro.NewObservability(repro.ObservabilityOptions{})
+	defer plane.Close()
+	tracer := repro.NewTracing(repro.TracingOptions{})
+	ex, err := repro.NewExecutor(repro.WithProcs(2),
+		repro.WithObservability(plane), repro.WithTracing(tracer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+	if ex.Tracing() != tracer {
+		t.Fatal("Executor.Tracing does not return the attached tracer")
+	}
+	const subs = 3
+	data := make([]float64, 4096)
+	for i := 0; i < subs; i++ {
+		if _, err := ex.Submit(t.Context(), len(data), func(i int) { data[i]++ },
+			repro.WithScheduler("afs")); err != nil {
+			t.Fatalf("submission %d: %v", i, err)
+		}
+	}
+
+	traces := tracer.Traces()
+	if len(traces) != subs {
+		t.Fatalf("tracer retained %d traces, want %d", len(traces), subs)
+	}
+	for _, tr := range traces {
+		if tr.Outcome != "ok" || tr.Chunks() == 0 || tr.Scheduler != "AFS" {
+			t.Fatalf("trace %d looks wrong: %+v", tr.TraceID, tr.Summary())
+		}
+	}
+
+	// The plane's slow exemplars name real retained traces.
+	snap := plane.Snapshot()
+	if len(snap.SubmissionExemplars) == 0 {
+		t.Fatal("plane retained no submission exemplars despite tracing")
+	}
+	for _, e := range snap.SubmissionExemplars {
+		if tracer.Get(e.TraceID) == nil {
+			t.Fatalf("exemplar trace %d not resolvable in the tracer", e.TraceID)
+		}
+	}
+
+	// TraceHandler serves both endpoints from the public wrapper.
+	srv := httptest.NewServer(repro.TraceHandler(tracer))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var summaries []json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&summaries); err != nil {
+		t.Fatalf("/traces does not decode: %v", err)
+	}
+	if len(summaries) != subs {
+		t.Fatalf("/traces lists %d traces, want %d", len(summaries), subs)
+	}
+	resp2, err := srv.Client().Get(srv.URL + fmt.Sprintf("/trace?id=%d", traces[0].TraceID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var tree repro.SpanTrace
+	if err := json.NewDecoder(resp2.Body).Decode(&tree); err != nil {
+		t.Fatalf("/trace does not decode: %v", err)
+	}
+	if tree.TraceID != traces[0].TraceID || len(tree.Spans) == 0 {
+		t.Fatalf("served span tree is wrong: id %d, %d spans", tree.TraceID, len(tree.Spans))
+	}
+}
+
+// TestTracingOneShot: the one-shot ParallelFor path seals a trace per
+// call through the same WithTracing option.
+func TestTracingOneShot(t *testing.T) {
+	tracer := repro.NewTracing(repro.TracingOptions{})
+	var hits [512]int32
+	if _, err := repro.ParallelFor(len(hits), func(i int) { hits[i]++ },
+		repro.WithProcs(2), repro.WithTracing(tracer)); err != nil {
+		t.Fatal(err)
+	}
+	traces := tracer.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("tracer retained %d traces, want 1", len(traces))
+	}
+	if traces[0].Outcome != "ok" || traces[0].Chunks() == 0 {
+		t.Fatalf("one-shot trace looks wrong: %+v", traces[0].Summary())
 	}
 }
 

@@ -35,6 +35,7 @@ import (
 	"repro/internal/pool"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/spantrace"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -99,8 +100,9 @@ type Option func(*config)
 
 type config struct {
 	core.Config
-	obs *livemetrics.Plane
-	err error
+	obs    *livemetrics.Plane
+	tracer *spantrace.Tracer
+	err    error
 }
 
 // WithProcs sets the number of worker goroutines.
@@ -203,13 +205,54 @@ func WithObservability(p *Observability) Option {
 }
 
 // ObservabilityHandler serves a plane over HTTP: an auto-refreshing
-// HTML view at /, /metrics (JSON + expvar), /workers, /flight
-// (?format=jsonl|chrome|trace, ?which=live|anomaly), and /debug/
-// (pprof + expvar). label names the engine in views and trace
-// metadata.
+// HTML view at /, /metrics (JSON + expvar), /metrics.prom (Prometheus
+// text exposition), /workers, /flight (?format=jsonl|chrome|trace,
+// ?which=live|anomaly), /traces + /trace?id= (when a tracer is
+// attached), and /debug/ (pprof + expvar). label names the engine in
+// views and trace metadata.
 func ObservabilityHandler(p *Observability, label string) http.Handler {
 	return livemetrics.NewHandler(p, label)
 }
+
+// Tracing is a causal span tracer: every traced submission becomes a
+// span tree — one submission root, one span per phase, one span per
+// executed chunk and per steal, with parent/child and steals-from
+// causal links — retained in a bounded ring keyed by trace ID. Create
+// with NewTracing, attach with WithTracing, look up with Get/Traces or
+// serve with TraceHandler; tail-latency exemplars in an attached
+// Observability plane carry these trace IDs, so a slow /metrics tail
+// resolves to the exact dispatch history that produced it
+// (`loopdoctor trace <id>`).
+type Tracing = spantrace.Tracer
+
+// TracingOptions sizes a tracer (per-trace span cap, completed-trace
+// ring). The zero value gives usable defaults.
+type TracingOptions = spantrace.Options
+
+// SpanTrace is one sealed submission's span tree.
+type SpanTrace = spantrace.Trace
+
+// Span is one node of a span tree.
+type Span = spantrace.Span
+
+// NewTracing creates a causal span tracer.
+func NewTracing(opts TracingOptions) *Tracing { return spantrace.NewTracer(opts) }
+
+// WithTracing attaches a tracer. At NewExecutor it traces every
+// subsequent submission; on a one-shot call it traces that run. When
+// an Observability plane is attached alongside it, the plane's
+// latency exemplars carry trace IDs and its HTTP handler serves
+// /traces and /trace?id=. The caller owns the tracer.
+func WithTracing(t *Tracing) Option {
+	return func(c *config) { c.tracer = t }
+}
+
+// TraceHandler serves a tracer over HTTP on its own: /traces (summary
+// list, newest first) and /trace?id= (?format=json for the span tree,
+// ?format=trace for a forensics-compatible telemetry file). The same
+// endpoints appear under ObservabilityHandler when the plane has a
+// tracer attached.
+func TraceHandler(t *Tracing) http.Handler { return spantrace.Handler(t) }
 
 func buildConfig(opts []Option) (config, error) {
 	// One-shot paths run under context.Background(); the *Ctx variants
@@ -235,20 +278,71 @@ func applyObs(cfg config) core.Config {
 	return cc
 }
 
-// runObserved times one one-shot run and reports it to the plane as a
-// submission (a cancelled run counts as an anomaly and freezes the
-// flight recorder). A nil plane runs f unobserved.
-func runObserved(p *livemetrics.Plane, f func() (RunStats, error)) (RunStats, error) {
-	if p == nil {
-		return f()
+// spanHooks composes a one-shot run's plane hooks (which may be
+// absent) with its span collection, so one Config.Hooks value
+// satisfies both core.ObsHooks and core.SpanObserver. The Executor
+// path has its own copy in internal/pool.
+type spanHooks struct {
+	inner core.ObsHooks
+	*spantrace.Active
+}
+
+func (h spanHooks) ObserveChunk(proc, owner int, stolen bool, iters int, durNS float64) {
+	if h.inner != nil {
+		h.inner.ObserveChunk(proc, owner, stolen, iters, durNS)
+	}
+}
+
+func (h spanHooks) ObserveSteal(thief, victim, iters int, latNS float64) {
+	if h.inner != nil {
+		h.inner.ObserveSteal(thief, victim, iters, latNS)
+	}
+}
+
+func oneShotOutcome(err error) string {
+	if err != nil {
+		return "cancelled"
+	}
+	return "ok"
+}
+
+// runObserved runs one one-shot loop under the config's plane and
+// tracer: it times the run and reports it to the plane as a submission
+// (a cancelled run counts as an anomaly and freezes the flight
+// recorder), and seals the span tree carrying the trace ID into the
+// plane's latency exemplars. With neither attached, f runs bare. A
+// body panic propagates (one-shot semantics); the trace of a panicked
+// run is dropped with its Active.
+func runObserved(cfg config, phases int, f func(cc core.Config) (RunStats, error)) (RunStats, error) {
+	cc := applyObs(cfg)
+	var at *spantrace.Active
+	if cfg.tracer != nil {
+		if cfg.obs != nil {
+			cfg.obs.SetTracer(cfg.tracer)
+		}
+		at = cfg.tracer.StartSubmission(spantrace.SubmissionInfo{
+			Scheduler: cfg.Spec.Name, Procs: procsOf(cfg.Config), Phases: phases,
+		})
+		cc.Hooks = spanHooks{inner: cc.Hooks, Active: at}
+	}
+	if cfg.obs == nil {
+		st, err := f(cc)
+		if at != nil {
+			at.End(oneShotOutcome(err))
+		}
+		return st, err
 	}
 	start := time.Now() //lint:allow determinism live submission latency is measured host time
-	st, err := f()
+	st, err := f(cc)
 	elapsed := time.Since(start) //lint:allow determinism live submission latency is measured host time
+	var traceID uint64
+	if at != nil {
+		traceID = at.End(oneShotOutcome(err)).TraceID
+	}
 	if err != nil {
-		p.ObserveSubmission(elapsed, livemetrics.OutcomeCancelled, err.Error())
+		cfg.obs.ObserveSubmission(elapsed, livemetrics.OutcomeCancelled, err.Error(), traceID)
 	} else {
-		p.ObserveSubmission(elapsed, livemetrics.OutcomeOK, "")
+		cfg.obs.ObserveSubmission(elapsed, livemetrics.OutcomeOK, "", traceID)
 	}
 	return st, err
 }
@@ -261,8 +355,8 @@ func ParallelFor(n int, body func(i int), opts ...Option) (RunStats, error) {
 	if err != nil {
 		return RunStats{}, err
 	}
-	return runObserved(cfg.obs, func() (RunStats, error) {
-		return core.ParallelFor(applyObs(cfg), n, body)
+	return runObserved(cfg, 1, func(cc core.Config) (RunStats, error) {
+		return core.ParallelFor(cc, n, body)
 	})
 }
 
@@ -276,8 +370,8 @@ func ParallelForCtx(ctx context.Context, n int, body func(i int), opts ...Option
 		return RunStats{}, err
 	}
 	cfg.Ctx = ctx
-	return runObserved(cfg.obs, func() (RunStats, error) {
-		return core.ParallelFor(applyObs(cfg), n, body)
+	return runObserved(cfg, 1, func(cc core.Config) (RunStats, error) {
+		return core.ParallelFor(cc, n, body)
 	})
 }
 
@@ -291,8 +385,8 @@ func ForPhases(phases int, n func(ph int) int, body func(ph, i int), opts ...Opt
 	if err != nil {
 		return RunStats{}, err
 	}
-	return runObserved(cfg.obs, func() (RunStats, error) {
-		return core.Run(applyObs(cfg), phases, n, body)
+	return runObserved(cfg, phases, func(cc core.Config) (RunStats, error) {
+		return core.Run(cc, phases, n, body)
 	})
 }
 
@@ -306,8 +400,8 @@ func ForPhasesCtx(ctx context.Context, phases int, n func(ph int) int, body func
 		return RunStats{}, err
 	}
 	cfg.Ctx = ctx
-	return runObserved(cfg.obs, func() (RunStats, error) {
-		return core.Run(applyObs(cfg), phases, n, body)
+	return runObserved(cfg, phases, func(cc core.Config) (RunStats, error) {
+		return core.Run(cc, phases, n, body)
 	})
 }
 
@@ -361,6 +455,12 @@ func NewExecutor(opts ...Option) (*Executor, error) {
 	}
 	if cfg.obs != nil {
 		px.SetObservability(cfg.obs)
+	}
+	if cfg.tracer != nil {
+		px.SetTracer(cfg.tracer)
+		if cfg.obs != nil {
+			cfg.obs.SetTracer(cfg.tracer)
+		}
 	}
 	return &Executor{px: px, defaults: opts}, nil
 }
@@ -430,6 +530,12 @@ func (e *Executor) SubmitPhases(ctx context.Context, phases int, n func(ph int) 
 // Observability returns the executor's live plane (set with
 // WithObservability at NewExecutor), or nil.
 func (e *Executor) Observability() *Observability { return e.px.Observability() }
+
+// Tracing returns the executor's causal tracer (set with WithTracing
+// at NewExecutor), or nil. Like the plane, tracing is an
+// executor-lifetime concern: WithTracing passed to an individual
+// Submit is ignored.
+func (e *Executor) Tracing() *Tracing { return e.px.Tracer() }
 
 // Machine is a simulated shared-memory multiprocessor description.
 type Machine = machine.Machine

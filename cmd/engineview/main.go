@@ -17,6 +17,12 @@
 //	/traces       recent span traces; /trace?id=N one span tree
 //	              (?format=json|gantt|trace)
 //	/slo          SLO burn-rate report (?format=json)
+//	/watchdog     online anomaly detector status (rules, baselines,
+//	              recent triggers)
+//	/runtime      Go runtime/metrics sample (GC pause + sched latency
+//	              quantiles, goroutines, heap)
+//	/bundles      captured diagnostic bundles (with -bundles DIR)
+//	/bundle?id=   one bundle as a tar, ready for `loopdoctor bundle`
 //	/debug/       pprof + expvar
 //
 // The trace format feeds straight into forensics: `loopdoctor attach
@@ -30,16 +36,22 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"time"
 
 	"repro"
+	"repro/internal/bundle"
 	"repro/internal/cli"
 	"repro/internal/livemetrics"
+	"repro/internal/promtext"
+	"repro/internal/runtimeobs"
 	"repro/internal/slo"
+	"repro/internal/watchdog"
 )
 
 func main() {
@@ -50,15 +62,19 @@ func main() {
 }
 
 type options struct {
-	addr     string
-	procs    int
-	n        int
-	phases   int
-	algos    []string
-	pause    time.Duration
-	window   time.Duration
-	flight   int
-	duration time.Duration
+	addr       string
+	procs      int
+	n          int
+	phases     int
+	algos      []string
+	pause      time.Duration
+	window     time.Duration
+	flight     int
+	duration   time.Duration
+	bundles    string
+	wdTick     time.Duration
+	stormAfter time.Duration
+	stormFor   time.Duration
 }
 
 // parseArgs resolves and validates the flag set (internal/cli
@@ -74,6 +90,10 @@ func parseArgs(args []string) (options, error) {
 	window := fs.Duration("window", 10*time.Second, "rolling-quantile window")
 	flight := fs.Int("flight", 4096, "flight-recorder event capacity")
 	duration := fs.Duration("duration", 0, "stop after this long (0 = run until killed)")
+	bundles := fs.String("bundles", "", "capture watchdog diagnostic bundles into this directory (empty = watchdog only, no capture)")
+	wdTick := fs.Duration("watchdog-tick", 250*time.Millisecond, "watchdog detector tick interval")
+	stormAfter := fs.Duration("storm-after", 0, "inject a synthetic steal storm this long after start (0 = never; CI anomaly self-test)")
+	stormFor := fs.Duration("storm-for", 10*time.Second, "how long the injected storm lasts")
 	fs.Parse(args)
 
 	var o options
@@ -99,9 +119,34 @@ func parseArgs(args []string) (options, error) {
 	for _, s := range specs {
 		o.algos = append(o.algos, s.Name)
 	}
+	if err := cli.PositiveDuration("-watchdog-tick", *wdTick); err != nil {
+		return o, err
+	}
 	o.procs, o.n, o.phases = *procs, *n, *phases
 	o.pause, o.window, o.flight, o.duration = *pause, *window, *flight, *duration
+	o.bundles, o.wdTick = *bundles, *wdTick
+	o.stormAfter, o.stormFor = *stormAfter, *stormFor
 	return o, nil
+}
+
+// writeCombinedProm concatenates every exposition the server owns
+// into one scrape, deduplicating # HELP/# TYPE per family so a series
+// shared by two writers stays a valid exposition.
+func writeCombinedProm(w io.Writer, plane *livemetrics.Plane, sloEng *slo.Engine, wd *watchdog.Watchdog, sampler *runtimeobs.Sampler) error {
+	d := promtext.NewFamilyDeduper(w)
+	if err := livemetrics.WriteProm(d, plane.Snapshot()); err != nil {
+		return err
+	}
+	if err := slo.WriteProm(d, sloEng.Report()); err != nil {
+		return err
+	}
+	if err := watchdog.WriteProm(d, wd.Status()); err != nil {
+		return err
+	}
+	if err := runtimeobs.WriteProm(d, sampler.Snapshot()); err != nil {
+		return err
+	}
+	return d.Flush()
 }
 
 func run(args []string) error {
@@ -153,6 +198,48 @@ func run(args []string) error {
 	stopSLO := sloEng.Start(time.Second)
 	defer stopSLO()
 
+	// The Go-runtime correlation source: GC pause and scheduler-latency
+	// quantiles ride along in every plane snapshot and the combined
+	// scrape, so an affinity collapse and runtime pressure are one view.
+	sampler := runtimeobs.NewSampler()
+	stopSampler := sampler.Start(time.Second)
+	defer stopSampler()
+	plane.SetRuntimeSource(sampler.SnapshotAny)
+
+	label := fmt.Sprintf("executor p=%d (%v)", o.procs, o.algos)
+
+	// The auto-triage loop: the watchdog watches the plane's own
+	// signals; when a rule fires, the attached capturer freezes a
+	// diagnostic bundle into the bounded -bundles store.
+	wd, err := watchdog.New(plane.Snapshot, watchdog.DefaultRules(), watchdog.Options{
+		SLO:        sloEng,
+		AnomalySeq: plane.Recorder().AnomalySeq,
+	})
+	if err != nil {
+		return err
+	}
+	var bstore *bundle.Store
+	if o.bundles != "" {
+		bstore, err = bundle.OpenStore(o.bundles, bundle.StoreOptions{})
+		if err != nil {
+			return err
+		}
+		capt, err := bundle.NewCapturer(bstore, bundle.Sources{
+			Plane: plane, SLO: sloEng, Runtime: sampler, Label: label,
+		}, bundle.Options{})
+		if err != nil {
+			return err
+		}
+		bundle.Attach(wd, capt, func(err error) {
+			fmt.Fprintln(os.Stderr, "engineview: bundle capture:", err)
+		})
+	}
+	wd.OnTrigger(func(t watchdog.Trigger) {
+		fmt.Fprintf(os.Stderr, "engineview: watchdog fired: %s (%s)\n", t.Rule, t.Reason)
+	})
+	stopWD := wd.Start(o.wdTick)
+	defer stopWD()
+
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	if o.duration > 0 {
@@ -164,15 +251,38 @@ func run(args []string) error {
 	// index space, alternating schedulers so /workers shows the paper's
 	// contrast live — AFS submissions keep a high affinity-hit ratio,
 	// central-queue ones sit at zero.
+	//
+	// The -storm-after window injects the CI anomaly: during it, the
+	// first eighth of the index space does ~64× the work, so the worker
+	// owning that slab lags and everyone else steals from it — steal
+	// share and queue wait blow up, the affinity-hit ratio collapses,
+	// and the watchdog's stock rules must catch it.
 	data := make([]float64, o.n)
+	t0 := time.Now()
+	storming := func() bool {
+		if o.stormAfter <= 0 {
+			return false
+		}
+		since := time.Since(t0)
+		return since >= o.stormAfter && since < o.stormAfter+o.stormFor
+	}
 	workloadDone := make(chan struct{})
 	go func() {
 		defer close(workloadDone)
 		for round := 0; ctx.Err() == nil; round++ {
 			algo := o.algos[round%len(o.algos)]
+			storm := storming()
 			_, err := ex.SubmitPhases(ctx, o.phases,
 				func(int) int { return o.n },
-				func(ph, i int) { data[i] = data[i]*0.999 + float64(ph+i) },
+				func(ph, i int) {
+					reps := 1
+					if storm && i < o.n/8 {
+						reps = 64
+					}
+					for r := 0; r < reps; r++ {
+						data[i] = data[i]*0.999 + float64(ph+i)
+					}
+				},
 				repro.WithScheduler(algo))
 			if err != nil {
 				return
@@ -187,24 +297,51 @@ func run(args []string) error {
 		}
 	}()
 
-	label := fmt.Sprintf("executor p=%d (%v)", o.procs, o.algos)
 	obsHandler := repro.ObservabilityHandler(plane, label)
 	mux := http.NewServeMux()
 	mux.Handle("/", obsHandler)
 	mux.Handle("/slo", slo.Handler(sloEng, label))
-	// Override the plane's /metrics.prom with a combined exposition:
-	// the plane's series followed by the SLO engine's, one scrape.
-	mux.HandleFunc("/metrics.prom", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := livemetrics.WriteProm(w, plane.Snapshot()); err != nil {
+	serveJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	}
+	mux.HandleFunc("/watchdog", func(w http.ResponseWriter, r *http.Request) {
+		serveJSON(w, wd.Status())
+	})
+	mux.HandleFunc("/runtime", func(w http.ResponseWriter, r *http.Request) {
+		serveJSON(w, sampler.Snapshot())
+	})
+	mux.HandleFunc("/bundles", func(w http.ResponseWriter, r *http.Request) {
+		if bstore == nil {
+			http.Error(w, "bundle capture disabled (start engineview with -bundles DIR)", http.StatusNotFound)
 			return
 		}
-		slo.WriteProm(w, sloEng.Report())
+		bundle.ServeList(w, bstore)
+	})
+	mux.HandleFunc("/bundle", func(w http.ResponseWriter, r *http.Request) {
+		if bstore == nil {
+			http.Error(w, "bundle capture disabled (start engineview with -bundles DIR)", http.StatusNotFound)
+			return
+		}
+		bundle.ServeBundle(w, r, bstore)
+	})
+	// Override the plane's /metrics.prom with a combined exposition —
+	// plane, SLO, watchdog, and runtime series in one scrape, routed
+	// through a family deduper so a family declared by two writers
+	// keeps a single # HELP/# TYPE (real Prometheus rejects repeats).
+	mux.HandleFunc("/metrics.prom", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeCombinedProm(w, plane, sloEng, wd, sampler)
 	})
 
 	srv := &http.Server{
 		Addr:    o.addr,
 		Handler: mux,
+	}
+	if o.stormAfter > 0 {
+		fmt.Fprintf(os.Stderr, "engineview: steal storm armed: t+%v for %v\n", o.stormAfter, o.stormFor)
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.ListenAndServe() }()

@@ -45,6 +45,8 @@ func main() {
 		err = runAttach(os.Args[2:])
 	case "trace":
 		err = runTrace(os.Args[2:])
+	case "bundle":
+		err = runBundle(os.Args[2:])
 	case "-h", "--help", "help":
 		usage(os.Stdout)
 		return
@@ -75,12 +77,19 @@ usage:
       capture a flight dump from a running engineview / observability
       endpoint and run the standard attribution report on it; with
       -watch INTERVAL, re-capture and re-report every INTERVAL
-      (-count N stops after N reports)
+      (-count N stops after N reports); transient connection errors
+      are retried with backoff (-retries N, default 3, 0 disables)
   loopdoctor trace ID [-url U] [-format md|json] [-o OUT] [-save FILE]
       fetch one traced submission's span tree from a running engine
       (default -url localhost:8077) and run the attribution report on
       it — the forensics half of the exemplar triage loop: /metrics
       names a slow trace ID, this command explains where its time went
+  loopdoctor bundle PATH|URL [-format md|json] [-o OUT]
+      triage a diagnostic bundle captured by the watchdog (a local
+      .tar, or a running engine's /bundle?id= URL): names the dominant
+      overhead bucket from the frozen flight trace and the slowest
+      exemplar span tree, next to the Go-runtime and SLO state at the
+      moment of the firing
 `)
 }
 
@@ -205,6 +214,7 @@ func runAttach(args []string) error {
 	save := fs.String("save", "", "also save the captured trace file here")
 	watch := fs.Duration("watch", 0, "re-capture and re-report at this interval (0 = once)")
 	count := fs.Int("count", 0, "with -watch, stop after this many reports (0 = forever)")
+	retries := fs.Int("retries", 3, "retry transient connection errors this many times (0 = fail on the first)")
 	pos := parseMixed(fs, args)
 	if len(pos) != 1 {
 		return fmt.Errorf("attach wants exactly one engine URL, got %d args", len(pos))
@@ -212,6 +222,7 @@ func runAttach(args []string) error {
 	if err := cli.FirstError(
 		cli.OneOf("-which", *which, "live", "anomaly"),
 		cli.OneOf("-format", *format, "md", "markdown", "json"),
+		cli.NonNegativeInt("-retries", *retries),
 	); err != nil {
 		return err
 	}
@@ -233,7 +244,7 @@ func runAttach(args []string) error {
 	// against the same writer, each report preceded by a separator so
 	// successive snapshots are greppable in one stream.
 	report := func(w io.Writer, round int) error {
-		tr, err := fetchFlightTrace(pos[0], *which)
+		tr, err := fetchFlightTrace(pos[0], *which, *retries)
 		if err != nil {
 			return err
 		}
@@ -329,54 +340,69 @@ func runTrace(args []string) error {
 	return err
 }
 
-// fetchSpanTrace GETs URL/trace?id=N&format=trace and parses the
-// forensics trace file the span-trace endpoint serves.
-func fetchSpanTrace(base string, id uint64) (*forensics.Trace, error) {
+// normalizeURL defaults the scheme and strips a trailing slash, so
+// operands like localhost:8077 work as-is.
+func normalizeURL(base string) string {
 	u := strings.TrimSuffix(base, "/")
 	if !strings.Contains(u, "://") {
 		u = "http://" + u
 	}
-	u += fmt.Sprintf("/trace?id=%d&format=trace", id)
+	return u
+}
+
+// httpGet fetches u, retrying transport-level failures (connection
+// refused or reset, timeouts — the shapes a just-starting or briefly
+// hiccuping engine produces) up to retries times with doubling backoff
+// from 250ms. An HTTP error status is a definitive answer from a live
+// server, not a transient fault, so it is returned immediately.
+func httpGet(u string, retries int) (*http.Response, error) {
 	client := &http.Client{Timeout: 10 * time.Second}
-	resp, err := client.Get(u)
+	backoff := 250 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Get(u)
+		if err == nil {
+			return resp, nil
+		}
+		if attempt >= retries {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "loopdoctor: %v — retry %d/%d in %v\n", err, attempt+1, retries, backoff)
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// fetchTrace GETs a forensics trace file from an endpoint, with the
+// shared retry policy and error shape.
+func fetchTrace(what, u string, retries int) (*forensics.Trace, error) {
+	resp, err := httpGet(u, retries)
 	if err != nil {
-		return nil, fmt.Errorf("trace %s: %w", u, err)
+		return nil, fmt.Errorf("%s %s: %w", what, u, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, fmt.Errorf("trace %s: %s: %s", u, resp.Status, strings.TrimSpace(string(body)))
+		return nil, fmt.Errorf("%s %s: %s: %s", what, u, resp.Status, strings.TrimSpace(string(body)))
 	}
 	tr, err := forensics.ReadTrace(resp.Body)
 	if err != nil {
-		return nil, fmt.Errorf("trace %s: %w", u, err)
+		return nil, fmt.Errorf("%s %s: %w", what, u, err)
 	}
 	return tr, nil
 }
 
+// fetchSpanTrace GETs URL/trace?id=N&format=trace and parses the
+// forensics trace file the span-trace endpoint serves.
+func fetchSpanTrace(base string, id uint64) (*forensics.Trace, error) {
+	u := normalizeURL(base) + fmt.Sprintf("/trace?id=%d&format=trace", id)
+	return fetchTrace("trace", u, 0)
+}
+
 // fetchFlightTrace GETs URL/flight?format=trace&which=… and parses the
 // forensics trace file the endpoint serves.
-func fetchFlightTrace(base, which string) (*forensics.Trace, error) {
-	u := strings.TrimSuffix(base, "/")
-	if !strings.Contains(u, "://") {
-		u = "http://" + u
-	}
-	u += "/flight?format=trace&which=" + which
-	client := &http.Client{Timeout: 10 * time.Second}
-	resp, err := client.Get(u)
-	if err != nil {
-		return nil, fmt.Errorf("attach %s: %w", u, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, fmt.Errorf("attach %s: %s: %s", u, resp.Status, strings.TrimSpace(string(body)))
-	}
-	tr, err := forensics.ReadTrace(resp.Body)
-	if err != nil {
-		return nil, fmt.Errorf("attach %s: %w", u, err)
-	}
-	return tr, nil
+func fetchFlightTrace(base, which string, retries int) (*forensics.Trace, error) {
+	u := normalizeURL(base) + "/flight?format=trace&which=" + which
+	return fetchTrace("attach", u, retries)
 }
 
 func runDiff(args []string) error {

@@ -1,0 +1,74 @@
+package bundle
+
+import (
+	"archive/tar"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Bundle is a fully loaded diagnostic bundle, as read back by
+// loopdoctor (or tests) for offline analysis.
+type Bundle struct {
+	Meta  Meta
+	Files map[string][]byte
+}
+
+// File returns a named entry's bytes, or nil when absent.
+func (b *Bundle) File(name string) []byte { return b.Files[name] }
+
+// ExemplarNames lists the bundle's exemplar span-tree entries in
+// manifest order.
+func (b *Bundle) ExemplarNames() []string {
+	var names []string
+	for _, name := range b.Meta.Files {
+		if strings.HasPrefix(name, ExemplarPrefix) {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// Read parses a bundle tar. The manifest must be the first entry —
+// the writer's invariant, and what keeps indexing O(1).
+func Read(r io.Reader) (*Bundle, error) {
+	tr := tar.NewReader(r)
+	hdr, err := tr.Next()
+	if err != nil {
+		return nil, fmt.Errorf("bundle: not a bundle tar: %w", err)
+	}
+	if hdr.Name != ManifestName {
+		return nil, fmt.Errorf("bundle: first entry is %q, want %s", hdr.Name, ManifestName)
+	}
+	b := &Bundle{Files: map[string][]byte{}}
+	if err := json.NewDecoder(io.LimitReader(tr, 1<<20)).Decode(&b.Meta); err != nil {
+		return nil, fmt.Errorf("bundle: bad manifest: %w", err)
+	}
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bundle: %w", err)
+		}
+		data, err := io.ReadAll(tr)
+		if err != nil {
+			return nil, fmt.Errorf("bundle: read %s: %w", hdr.Name, err)
+		}
+		b.Files[hdr.Name] = data
+	}
+	return b, nil
+}
+
+// ReadFile loads a bundle tar from disk.
+func ReadFile(path string) (*Bundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("bundle: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

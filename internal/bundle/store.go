@@ -1,0 +1,242 @@
+package bundle
+
+import (
+	"archive/tar"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// StoreOptions bounds the on-disk store. Zero values select the
+// defaults noted on each field.
+type StoreOptions struct {
+	// MaxBundles caps how many bundles are retained (default 16).
+	MaxBundles int
+	// MaxBytes caps the store's total size (default 256 MiB).
+	MaxBytes int64
+}
+
+func (o StoreOptions) withDefaults() StoreOptions {
+	if o.MaxBundles <= 0 {
+		o.MaxBundles = 16
+	}
+	if o.MaxBytes <= 0 {
+		o.MaxBytes = 256 << 20
+	}
+	return o
+}
+
+// Entry is one retained bundle's listing row.
+type Entry struct {
+	ID         string    `json:"id"`
+	SizeBytes  int64     `json:"size_bytes"`
+	CapturedAt time.Time `json:"captured_at"`
+	// Rule and Reason summarize the trigger that caused the capture
+	// (from the bundle's manifest).
+	Rule   string `json:"rule,omitempty"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// Store is a bounded directory of bundle tars with oldest-first
+// eviction — the retention policy that keeps auto-triage from eating
+// a disk during an alert storm: new evidence always lands, the oldest
+// evidence pays for it.
+type Store struct {
+	dir  string
+	opts StoreOptions
+
+	mu      sync.Mutex
+	entries []Entry // oldest first
+	seq     int64
+}
+
+// OpenStore opens (creating if needed) a bundle directory and indexes
+// the bundles already present, oldest first. Files that do not parse
+// as bundles are ignored rather than fatal: a truncated capture from
+// a crashed process must not brick the store.
+func OpenStore(dir string, opts StoreOptions) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("bundle: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("bundle: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts.withDefaults()}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("bundle: %w", err)
+	}
+	for _, de := range names {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".tar") {
+			continue
+		}
+		path := filepath.Join(dir, de.Name())
+		e, err := indexBundle(path)
+		if err != nil {
+			continue
+		}
+		s.entries = append(s.entries, e)
+	}
+	sort.Slice(s.entries, func(i, j int) bool {
+		return s.entries[i].CapturedAt.Before(s.entries[j].CapturedAt)
+	})
+	return s, nil
+}
+
+// indexBundle reads just the manifest (the first tar entry) to build a
+// listing row without loading the bundle.
+func indexBundle(path string) (Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Entry{}, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return Entry{}, err
+	}
+	tr := tar.NewReader(f)
+	hdr, err := tr.Next()
+	if err != nil || hdr.Name != ManifestName {
+		return Entry{}, fmt.Errorf("bundle %s: first entry is not %s", path, ManifestName)
+	}
+	var m Meta
+	if err := json.NewDecoder(io.LimitReader(tr, 1<<20)).Decode(&m); err != nil {
+		return Entry{}, fmt.Errorf("bundle %s: bad manifest: %w", path, err)
+	}
+	if m.ID == "" {
+		return Entry{}, fmt.Errorf("bundle %s: manifest has no ID", path)
+	}
+	return Entry{
+		ID: m.ID, SizeBytes: st.Size(), CapturedAt: m.CapturedAt,
+		Rule: m.Trigger.Rule, Reason: m.Trigger.Reason,
+	}, nil
+}
+
+// nextID mints a unique, sortable bundle ID.
+func (s *Store) nextID(now time.Time) string {
+	s.mu.Lock()
+	s.seq++
+	seq := s.seq
+	s.mu.Unlock()
+	return fmt.Sprintf("%s-%04d", now.UTC().Format("20060102T150405"), seq)
+}
+
+// file is one entry destined for a bundle tar.
+type file struct {
+	name string
+	data []byte
+}
+
+// add writes a new bundle atomically (temp file + rename), records
+// it, and evicts oldest-first past the store's bounds. The freshly
+// added bundle is never evicted: the newest evidence is the point.
+func (s *Store) add(m Meta, files []file) (Entry, error) {
+	manifest, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return Entry{}, fmt.Errorf("bundle: marshal manifest: %w", err)
+	}
+	all := append([]file{{name: ManifestName, data: manifest}}, files...)
+
+	tmp, err := os.CreateTemp(s.dir, ".bundle-*.tmp")
+	if err != nil {
+		return Entry{}, fmt.Errorf("bundle: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after the rename
+	tw := tar.NewWriter(tmp)
+	for _, f := range all {
+		hdr := &tar.Header{
+			Name: f.name, Mode: 0o644, Size: int64(len(f.data)),
+			ModTime: m.CapturedAt, Typeflag: tar.TypeReg,
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			tmp.Close()
+			return Entry{}, fmt.Errorf("bundle: write %s: %w", f.name, err)
+		}
+		if _, err := tw.Write(f.data); err != nil {
+			tmp.Close()
+			return Entry{}, fmt.Errorf("bundle: write %s: %w", f.name, err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		tmp.Close()
+		return Entry{}, fmt.Errorf("bundle: finalize tar: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return Entry{}, fmt.Errorf("bundle: %w", err)
+	}
+	final := filepath.Join(s.dir, m.ID+".tar")
+	if err := os.Rename(tmpName, final); err != nil {
+		return Entry{}, fmt.Errorf("bundle: %w", err)
+	}
+	st, err := os.Stat(final)
+	if err != nil {
+		return Entry{}, fmt.Errorf("bundle: %w", err)
+	}
+	e := Entry{
+		ID: m.ID, SizeBytes: st.Size(), CapturedAt: m.CapturedAt,
+		Rule: m.Trigger.Rule, Reason: m.Trigger.Reason,
+	}
+
+	s.mu.Lock()
+	s.entries = append(s.entries, e)
+	evict := s.evictionsLocked()
+	s.mu.Unlock()
+	for _, old := range evict {
+		os.Remove(filepath.Join(s.dir, old.ID+".tar"))
+	}
+	return e, nil
+}
+
+// evictionsLocked trims the entry list to the store's bounds and
+// returns the removed entries (caller deletes the files outside the
+// lock). The newest entry is exempt.
+func (s *Store) evictionsLocked() []Entry {
+	var evicted []Entry
+	total := int64(0)
+	for _, e := range s.entries {
+		total += e.SizeBytes
+	}
+	for len(s.entries) > 1 &&
+		(len(s.entries) > s.opts.MaxBundles || total > s.opts.MaxBytes) {
+		old := s.entries[0]
+		s.entries = s.entries[1:]
+		total -= old.SizeBytes
+		evicted = append(evicted, old)
+	}
+	return evicted
+}
+
+// List returns the retained bundles, newest first (the order a triage
+// UI wants).
+func (s *Store) List() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, len(s.entries))
+	for i, e := range s.entries {
+		out[len(out)-1-i] = e
+	}
+	return out
+}
+
+// Path resolves a bundle ID to its tar file.
+func (s *Store) Path(id string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.entries {
+		if e.ID == id {
+			return filepath.Join(s.dir, id+".tar"), true
+		}
+	}
+	return "", false
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }

@@ -24,6 +24,16 @@ func PositiveInt(flagName string, v int) error {
 	return nil
 }
 
+// NonNegativeInt rejects values below 0, naming the offending flag —
+// the validator for count flags where zero is a meaningful "off"
+// (loopdoctor attach -retries 0 disables retrying).
+func NonNegativeInt(flagName string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("%s must be >= 0 (got %d)", flagName, v)
+	}
+	return nil
+}
+
 // PositiveFloat rejects non-positive values, naming the flag.
 func PositiveFloat(flagName string, v float64) error {
 	if v <= 0 {

@@ -23,6 +23,21 @@ func TestPositiveInt(t *testing.T) {
 	}
 }
 
+func TestNonNegativeInt(t *testing.T) {
+	for _, v := range []int{0, 3} {
+		if err := NonNegativeInt("-retries", v); err != nil {
+			t.Errorf("NonNegativeInt(%d) rejected: %v", v, err)
+		}
+	}
+	err := NonNegativeInt("-retries", -1)
+	if err == nil {
+		t.Fatal("NonNegativeInt(-1): no error")
+	}
+	if !strings.HasPrefix(err.Error(), "-retries ") {
+		t.Errorf("error %q does not lead with the flag name", err)
+	}
+}
+
 func TestPositiveFloat(t *testing.T) {
 	if err := PositiveFloat("-threshold", 0.05); err != nil {
 		t.Errorf("valid value rejected: %v", err)

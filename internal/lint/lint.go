@@ -21,9 +21,12 @@
 //     mutex still held (use defer) in internal/core + internal/pool;
 //   - telemetry: no discarded error results from exporter/sink
 //     packages, no telemetry.Event composite literal without an
-//     explicit Step field, and no span collection started
+//     explicit Step field, no span collection started
 //     (spantrace.StartSubmission) without an End/Abandon seal before
-//     every return path in the span-emitting packages;
+//     every return path in the span-emitting packages, and no armed
+//     anomaly detector (watchdog.New) without a diagnostic-bundle
+//     capture (bundle.Attach / Capturer.Capture) wired in the same
+//     function;
 //   - hygiene: flag parsing in cmd/ goes through the internal/cli
 //     validators, and no new call sites of deprecated API.
 //
@@ -106,6 +109,15 @@ type Config struct {
 	// Tracer.StartSubmission / Active.End / Active.Abandon methods the
 	// span-balance rule keys on.
 	SpanTracePkg string
+	// WatchdogPkg is the import path of the anomaly-detector package.
+	// When set (together with BundlePkg), the telemetry check requires
+	// every function that arms a detector (watchdog.New) to also wire a
+	// bundle capture — call bundle.Attach or Capturer.Capture — so a
+	// firing produces a diagnostic bundle, not just a log line.
+	WatchdogPkg string
+	// BundlePkg is the import path of the diagnostic-bundle package the
+	// triage-wiring rule accepts capture calls from.
+	BundlePkg string
 	// CmdPkgs lists the command packages whose flag parsing must go
 	// through the internal/cli validators.
 	CmdPkgs []string
@@ -129,6 +141,8 @@ func DefaultConfig(modulePath string) Config {
 		EventTypes:    []string{p("internal/telemetry") + ".Event"},
 		SpanPkgs:      []string{modulePath, p("internal/core"), p("internal/pool")},
 		SpanTracePkg:  p("internal/spantrace"),
+		WatchdogPkg:   p("internal/watchdog"),
+		BundlePkg:     p("internal/bundle"),
 		CmdPkgs:       []string{modulePath + "/cmd"},
 		CLIPkg:        p("internal/cli"),
 	}

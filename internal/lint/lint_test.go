@@ -46,6 +46,8 @@ func fixtureConfig(m *Module) Config {
 		EventTypes:    []string{m.Path + "/internal/telemetry.Event"},
 		SpanPkgs:      []string{fix + "/spanfix"},
 		SpanTracePkg:  m.Path + "/internal/spantrace",
+		WatchdogPkg:   m.Path + "/internal/watchdog",
+		BundlePkg:     m.Path + "/internal/bundle",
 		CmdPkgs:       []string{fix + "/hygienefix"},
 		CLIPkg:        m.Path + "/internal/cli",
 	}
@@ -55,7 +57,7 @@ func fixtureConfig(m *Module) Config {
 // per check, each holding both violating and //lint:allow-suppressed
 // cases — and compares the text report against the committed golden.
 func TestFixtures(t *testing.T) {
-	fixtures := []string{"determfix", "lockfix", "telemfix", "spanfix", "hygienefix", "directivefix"}
+	fixtures := []string{"determfix", "lockfix", "telemfix", "spanfix", "hygienefix", "directivefix", "triagefix"}
 	m := loadTestModule(t)
 	for _, name := range fixtures {
 		t.Run(name, func(t *testing.T) {

@@ -13,11 +13,12 @@ import (
 // perf-lab tooling would attribute costs from a partial stream —
 // every emitted telemetry.Event carries an explicit Step, since the
 // per-step invariant verifier (tracecheck) and the per-phase metrics
-// series both key on it, and every span collection started in the
-// span-emitting packages is sealed before the function returns.
+// series both key on it, every span collection started in the
+// span-emitting packages is sealed before the function returns, and
+// every armed anomaly detector has a bundle capture wired to it.
 var telemetryCheck = &Check{
 	Name: "telemetry",
-	Doc:  "forbid discarded exporter/sink errors, Event literals without an explicit Step field, and unsealed span collections",
+	Doc:  "forbid discarded exporter/sink errors, Event literals without an explicit Step field, unsealed span collections, and watchdogs armed without bundle capture",
 	Run:  runTelemetry,
 }
 
@@ -45,6 +46,7 @@ func runTelemetry(p *Pass) {
 				if spanPkg {
 					p.checkSpanBalance(n)
 				}
+				p.checkTriageWiring(n)
 			}
 			return true
 		})
@@ -131,6 +133,47 @@ func (p *Pass) checkSpanBalance(fd *ast.FuncDecl) {
 		if start < r.Pos() && r.End() < seal {
 			p.Reportf(r.Pos(), "return between StartSubmission and its End/Abandon seal: this path leaks the span collection open")
 		}
+	}
+}
+
+// checkTriageWiring enforces the auto-triage convention, module-wide:
+// a function that arms an anomaly detector (watchdog.New) must also
+// wire its firings to a diagnostic-bundle capture — call
+// bundle.Attach, or drive Capturer.Capture itself — or a detector
+// trigger evaporates into a log line with no profile, frozen flight
+// trace, or exemplar spans to triage from. Like the span-balance rule
+// this is lexical: an Attach behind a "bundles enabled?" conditional
+// in the same function counts, because the wiring decision is then
+// visibly local rather than forgotten.
+func (p *Pass) checkTriageWiring(fd *ast.FuncDecl) {
+	if p.Cfg.WatchdogPkg == "" || p.Cfg.BundlePkg == "" || fd.Body == nil {
+		return
+	}
+	var armed token.Pos
+	wired := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case p.Cfg.WatchdogPkg:
+			if fn.Name() == "New" && !armed.IsValid() {
+				armed = call.Pos()
+			}
+		case p.Cfg.BundlePkg:
+			if fn.Name() == "Attach" || fn.Name() == "Capture" {
+				wired = true
+			}
+		}
+		return true
+	})
+	if armed.IsValid() && !wired {
+		p.Reportf(armed, "watchdog.New without a bundle capture wired: call bundle.Attach (or Capturer.Capture) in the same function so firings produce a diagnostic bundle, not just a log line")
 	}
 }
 

@@ -1,0 +1,36 @@
+package triagefix
+
+import (
+	"repro/internal/bundle"
+	"repro/internal/livemetrics"
+	"repro/internal/watchdog"
+)
+
+// ArmWired arms a detector and routes its firings to bundle capture.
+func ArmWired(src func() livemetrics.Snapshot, capt *bundle.Capturer) (*watchdog.Watchdog, error) {
+	wd, err := watchdog.New(src, watchdog.DefaultRules(), watchdog.Options{})
+	if err != nil {
+		return nil, err
+	}
+	bundle.Attach(wd, capt, nil)
+	return wd, nil
+}
+
+// ArmManual drives the capturer directly instead of through Attach.
+func ArmManual(src func() livemetrics.Snapshot, capt *bundle.Capturer) (*watchdog.Watchdog, error) {
+	wd, err := watchdog.New(src, watchdog.DefaultRules(), watchdog.Options{})
+	if err != nil {
+		return nil, err
+	}
+	wd.OnTrigger(func(t watchdog.Trigger) {
+		_, _ = capt.Capture(t)
+	})
+	return wd, nil
+}
+
+// ArmBare is an annotated exception: a detector armed capture-free on
+// purpose.
+func ArmBare(src func() livemetrics.Snapshot) (*watchdog.Watchdog, error) {
+	//lint:allow telemetry fixture: detector under test, capture deliberately unwired
+	return watchdog.New(src, watchdog.DefaultRules(), watchdog.Options{})
+}

@@ -1,0 +1,14 @@
+// Package triagefix exercises the telemetry check's triage-wiring
+// rule against the real watchdog and bundle packages: a detector
+// armed with no bundle capture in reach.
+package triagefix
+
+import (
+	"repro/internal/livemetrics"
+	"repro/internal/watchdog"
+)
+
+// ArmUnwired arms a detector whose firings go nowhere.
+func ArmUnwired(src func() livemetrics.Snapshot) (*watchdog.Watchdog, error) {
+	return watchdog.New(src, watchdog.DefaultRules(), watchdog.Options{})
+}

@@ -30,6 +30,7 @@ type Recorder struct {
 
 	anomMu  sync.Mutex
 	anomaly *FlightDump
+	anomSeq atomic.Int64
 }
 
 type flightEv struct {
@@ -248,7 +249,14 @@ func (r *Recorder) NoteAnomaly(reason string) {
 	r.anomMu.Lock()
 	r.anomaly = d
 	r.anomMu.Unlock()
+	r.anomSeq.Add(1)
 }
+
+// AnomalySeq counts anomaly dumps taken since creation — the
+// monotonic edge the watchdog's flight-freeze trigger watches, so a
+// panic or cancellation that froze the rings also produces a
+// diagnostic bundle.
+func (r *Recorder) AnomalySeq() int64 { return r.anomSeq.Load() }
 
 // Anomaly returns the most recent anomaly dump, or nil.
 func (r *Recorder) Anomaly() *FlightDump {

@@ -5,6 +5,7 @@ import (
 	"expvar"
 	"fmt"
 	"html/template"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"strings"
@@ -121,6 +122,23 @@ type traceFile struct {
 	Prov   []telemetry.Prov  `json:"prov,omitempty"`
 }
 
+// WriteTrace serializes the dump's fully captured steps (Consistent)
+// as a forensics trace file — the same wire form /flight?format=trace
+// serves, reusable by the bundle capturer so a frozen flight ring
+// lands on disk ready for `loopdoctor analyze`.
+func (d *FlightDump) WriteTrace(w io.Writer, label string, procs int) error {
+	evs, pvs := d.Consistent()
+	var t traceFile
+	t.Meta.Label = label
+	t.Meta.Substrate = "real"
+	t.Meta.Procs = procs
+	t.Meta.TimeUnit = "ns"
+	t.Events, t.Prov = evs, pvs
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
 func serveFlight(w http.ResponseWriter, r *http.Request, p *Plane, label string) {
 	var d *FlightDump
 	switch which := r.URL.Query().Get("which"); which {
@@ -156,14 +174,10 @@ func serveFlight(w http.ResponseWriter, r *http.Request, p *Plane, label string)
 		// The forensics-ready form: only fully captured steps, so the
 		// stream passes tracecheck and loopdoctor attach can run the
 		// standard attribution pipeline on it.
-		evs, pvs := d.Consistent()
-		var t traceFile
-		t.Meta.Label = fmt.Sprintf("%s flight (%s)", label, d.Reason)
-		t.Meta.Substrate = "real"
-		t.Meta.Procs = p.Procs()
-		t.Meta.TimeUnit = "ns"
-		t.Events, t.Prov = evs, pvs
-		writeJSON(w, t)
+		w.Header().Set("Content-Type", "application/json")
+		if err := d.WriteTrace(w, fmt.Sprintf("%s flight (%s)", label, d.Reason), p.Procs()); err != nil {
+			return // mid-stream failure: the response cannot be repaired
+		}
 	default:
 		http.Error(w, fmt.Sprintf("unknown format %q (jsonl|chrome|trace)", format), http.StatusBadRequest)
 	}

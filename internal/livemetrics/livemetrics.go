@@ -98,7 +98,10 @@ type Plane struct {
 	// tracer, when set, is the span tracer whose trace IDs the
 	// exemplars reference; the HTTP handler serves /trace and /traces
 	// from it.
-	tracer      atomic.Pointer[spantrace.Tracer]
+	tracer atomic.Pointer[spantrace.Tracer]
+	// runtimeFn, when set, contributes a Go-runtime correlation block
+	// (internal/runtimeobs) to every Snapshot.
+	runtimeFn   atomic.Pointer[func() any]
 	submissions atomic.Int64
 	completed   atomic.Int64
 	cancelled   atomic.Int64
@@ -173,6 +176,21 @@ func (p *Plane) SetTracer(t *spantrace.Tracer) { p.tracer.Store(t) }
 
 // Tracer returns the attached span tracer, or nil.
 func (p *Plane) Tracer() *spantrace.Tracer { return p.tracer.Load() }
+
+// SetRuntimeSource merges a Go-runtime correlation source into the
+// plane: fn's result (typically a runtimeobs.Snapshot) rides along as
+// Snapshot.Runtime, so one scrape answers both "did the affinity hit
+// ratio collapse" and "was the Go runtime under GC or scheduling
+// pressure at the time". nil detaches. The plane treats the value as
+// opaque — the dependency points runtimeobs→nothing, engineview wires
+// the two together.
+func (p *Plane) SetRuntimeSource(fn func() any) {
+	if fn == nil {
+		p.runtimeFn.Store(nil)
+		return
+	}
+	p.runtimeFn.Store(&fn)
+}
 
 // ObserveSubmission records one finished submission: its wall latency
 // and outcome. traceID, when non-zero, is the submission's span-trace
@@ -316,6 +334,10 @@ type Snapshot struct {
 	// FlightDropped counts ring evictions since New (events, prov).
 	FlightDroppedEvents int64 `json:"flight_dropped_events"`
 	FlightDroppedProv   int64 `json:"flight_dropped_prov"`
+	// Runtime is the Go-runtime correlation block contributed by
+	// SetRuntimeSource (a runtimeobs.Snapshot when engineview wires
+	// one), or nil.
+	Runtime any `json:"runtime,omitempty"`
 }
 
 func (p *Plane) quantiles(h *rollingHist) Quantiles {
@@ -345,6 +367,9 @@ func (p *Plane) Snapshot() Snapshot {
 	}
 	s.FlightDroppedEvents, s.FlightDroppedProv = p.rec.Dropped()
 	s.SubmissionExemplars = p.exemplars.snapshot(p.nowNS())
+	if fn := p.runtimeFn.Load(); fn != nil {
+		s.Runtime = (*fn)()
+	}
 
 	p.bindMu.Lock()
 	depthsFn, procs := p.depthsFn, p.procs
@@ -459,10 +484,13 @@ func (c *Collector) grow(w int) *workerState {
 	if w < len(old) {
 		return old[w]
 	}
+	// Size exactly to the highest index seen: every slot becomes a
+	// worker row in Snapshot (and a per-worker series in /metrics.prom),
+	// so over-allocating — e.g. doubling — invents phantom zero workers
+	// whenever indices arrive out of order. Growth is bounded by the
+	// executor's worker count, so the amortization doubling would buy is
+	// irrelevant here.
 	n := w + 1
-	if n < 2*len(old) {
-		n = 2 * len(old)
-	}
 	next := make([]*workerState, n)
 	copy(next, old)
 	for i := len(old); i < n; i++ {

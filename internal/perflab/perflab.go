@@ -195,11 +195,17 @@ func DefaultRegistry(short bool) *Registry {
 	// `perflab overhead` gates the executor vs executor-obs pair here
 	// at a tight budget (and the many-small-loops pair at a loose one);
 	// CI also gates executor vs executor-traced at 1.3x.
+	// The "executor-triage" arm stacks the full auto-triage pipeline on
+	// executor-obs — armed watchdog ticking fast, runtime sampler, and a
+	// bundle capturer wired in — and doubles as a self-test: a steady
+	// workload must capture zero bundles, so CI's overhead gate
+	// (executor-obs vs executor-triage ≤ 1.1x) prices an armed-and-quiet
+	// detector, not a firing one.
 	steadyLoops, steadyN := 20, 1<<20
 	if short {
 		steadyLoops, steadyN = 10, 1<<20
 	}
-	for _, a := range []string{"executor", "executor-obs", "executor-traced"} {
+	for _, a := range []string{"executor", "executor-obs", "executor-traced", "executor-triage"} {
 		r.Add(Case{Substrate: SubstrateReal, Kernel: "steady-loops", Algo: a,
 			N: steadyN, Phases: steadyLoops, Procs: 4, Repeats: realRepeats, Warmup: 1})
 	}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"os"
 	"time"
 
+	"repro/internal/bundle"
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/forensics"
@@ -13,11 +15,13 @@ import (
 	"repro/internal/livemetrics"
 	"repro/internal/machine"
 	"repro/internal/pool"
+	"repro/internal/runtimeobs"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/spantrace"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
+	"repro/internal/watchdog"
 )
 
 // CaseResult is one case's measured distribution: raw samples (seconds
@@ -286,15 +290,18 @@ func realKernel(c Case) (func(reg *telemetry.Registry, prov telemetry.ProvSink) 
 // arms: executor vs percall measures pure lifetime overhead (the
 // headline claim for repro.Executor), executor-obs vs executor
 // measures pure observability overhead (the budget `perflab overhead`
-// gates), and executor-traced vs executor prices tracing on top. With many-small-loops sizes the obs arm is the
+// gates), executor-traced vs executor prices tracing on top, and
+// "executor-triage" arms the full auto-triage pipeline (watchdog +
+// runtime sampler + bundle capturer, see armTriage) over the obs arm,
+// gated against executor-obs. With many-small-loops sizes the obs arm is the
 // deliberate worst case — chunk bodies of ~100ns against fixed
 // per-chunk instrument cost; with steady-loops sizes the chunks are
 // tens of microseconds and the same instruments amortise to noise.
 func manySmallLoops(c Case) (func(reg *telemetry.Registry, prov telemetry.ProvSink) (core.Stats, error), error) {
 	switch c.Algo {
-	case "executor", "percall", "executor-obs", "executor-traced":
+	case "executor", "percall", "executor-obs", "executor-traced", "executor-triage":
 	default:
-		return nil, fmt.Errorf("many-small-loops wants algo executor, percall, executor-obs, or executor-traced (got %q)", c.Algo)
+		return nil, fmt.Errorf("many-small-loops wants algo executor, percall, executor-obs, executor-traced, or executor-triage (got %q)", c.Algo)
 	}
 	spec, err := sched.ByName("afs")
 	if err != nil {
@@ -315,7 +322,8 @@ func manySmallLoops(c Case) (func(reg *telemetry.Registry, prov telemetry.ProvSi
 				return total, err
 			}
 			defer x.Close()
-			if c.Algo == "executor-obs" || c.Algo == "executor-traced" {
+			var checkQuiet func() error
+			if c.Algo != "executor" && c.Algo != "percall" {
 				// Plane setup, the scraper's whole life, and plane
 				// teardown all sit inside the timed region: the gated
 				// number is what attaching observability costs a real
@@ -331,7 +339,17 @@ func manySmallLoops(c Case) (func(reg *telemetry.Registry, prov telemetry.ProvSi
 					plane.SetTracer(tracer)
 				}
 				stopScrape := scrapeLoop(plane)
+				var stopTriage func()
+				if c.Algo == "executor-triage" {
+					stopTriage, checkQuiet, err = armTriage(plane)
+					if err != nil {
+						return total, err
+					}
+				}
 				defer func() {
+					if stopTriage != nil {
+						stopTriage()
+					}
 					stopScrape()
 					plane.Close()
 				}()
@@ -343,6 +361,11 @@ func manySmallLoops(c Case) (func(reg *telemetry.Registry, prov telemetry.ProvSi
 				}
 				total.Iterations += st.Iterations
 				total.Steals += st.Steals
+			}
+			if checkQuiet != nil {
+				if err := checkQuiet(); err != nil {
+					return total, err
+				}
 			}
 		} else {
 			for ph := 0; ph < c.Phases; ph++ {
@@ -357,6 +380,58 @@ func manySmallLoops(c Case) (func(reg *telemetry.Registry, prov telemetry.ProvSi
 		total.Elapsed = time.Since(start)
 		return total, nil
 	}, nil
+}
+
+// armTriage wires the full auto-triage pipeline over the triage arm's
+// plane — armed watchdog ticking at 25ms (10x the engineview default,
+// the priced worst case), a runtime sampler merged into every
+// snapshot, and a bundle capturer into a throwaway store — and
+// returns a teardown plus the arm's self-check: a steady workload
+// must capture zero bundles, so the gated overhead number describes
+// an armed-and-quiet detector and any false positive fails the run
+// outright instead of silently inflating it.
+func armTriage(plane *livemetrics.Plane) (stop func(), checkQuiet func() error, err error) {
+	dir, err := os.MkdirTemp("", "perflab-triage-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	fail := func(err error) (func(), func() error, error) {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	store, err := bundle.OpenStore(dir, bundle.StoreOptions{})
+	if err != nil {
+		return fail(err)
+	}
+	capt, err := bundle.NewCapturer(store, bundle.Sources{Plane: plane, Label: "perflab-triage"},
+		bundle.Options{CPUProfile: -1}) // a CPU profile would skew the very sample being timed
+	if err != nil {
+		return fail(err)
+	}
+	wd, err := watchdog.New(plane.Snapshot, watchdog.DefaultRules(), watchdog.Options{
+		AnomalySeq: plane.Recorder().AnomalySeq,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	bundle.Attach(wd, capt, nil)
+	sampler := runtimeobs.NewSampler()
+	stopSampler := sampler.Start(50 * time.Millisecond)
+	plane.SetRuntimeSource(sampler.SnapshotAny)
+	stopWD := wd.Start(25 * time.Millisecond)
+	stop = func() {
+		stopWD()
+		stopSampler()
+		plane.SetRuntimeSource(nil)
+		os.RemoveAll(dir)
+	}
+	checkQuiet = func() error {
+		if n := capt.Captures(); n != 0 {
+			return fmt.Errorf("triage arm captured %d bundle(s) on a steady workload (watchdog false positive)", n)
+		}
+		return nil
+	}
+	return stop, checkQuiet, nil
 }
 
 // scrapeLoop runs an aggressive metrics consumer against the plane —

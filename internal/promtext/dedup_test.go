@@ -1,0 +1,113 @@
+package promtext
+
+import (
+	"strings"
+	"testing"
+)
+
+// Two expositions sharing a family — what naive concatenation of two
+// WriteProm calls produces when both emit the same series.
+const combinedDup = `# HELP loopsched_shared_total A counter both writers declare.
+# TYPE loopsched_shared_total counter
+loopsched_shared_total{src="plane"} 3
+# HELP loopsched_plane_only A plane-only gauge.
+# TYPE loopsched_plane_only gauge
+loopsched_plane_only 1
+# HELP loopsched_shared_total A counter both writers declare.
+# TYPE loopsched_shared_total counter
+loopsched_shared_total{src="slo"} 7
+`
+
+func TestParseRejectsDuplicateFamilyDeclarations(t *testing.T) {
+	if _, err := Parse(strings.NewReader(combinedDup)); err == nil {
+		t.Fatal("duplicate HELP/TYPE declarations parsed without error")
+	} else if !strings.Contains(err.Error(), "duplicate HELP") {
+		t.Fatalf("err = %v, want duplicate-HELP rejection", err)
+	}
+
+	dupType := "# TYPE loopsched_x counter\n# TYPE loopsched_x counter\nloopsched_x 1\n"
+	if _, err := Parse(strings.NewReader(dupType)); err == nil || !strings.Contains(err.Error(), "duplicate TYPE") {
+		t.Fatalf("duplicate TYPE: err = %v", err)
+	}
+}
+
+func TestFamilyDeduperFixesCombinedScrape(t *testing.T) {
+	var out strings.Builder
+	d := NewFamilyDeduper(&out)
+	if _, err := d.Write([]byte(combinedDup)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	e, err := Parse(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatalf("deduped scrape does not parse: %v\n%s", err, out.String())
+	}
+	// All three samples survive; the shared family keeps one declaration.
+	if got := len(e.Samples); got != 3 {
+		t.Errorf("samples = %d, want 3", got)
+	}
+	if got := strings.Count(out.String(), "# TYPE loopsched_shared_total"); got != 1 {
+		t.Errorf("shared family declared %d times, want 1", got)
+	}
+	if fam := e.Families["loopsched_shared_total"]; fam.Type != "counter" {
+		t.Errorf("shared family = %+v", fam)
+	}
+	if _, err := e.Value("loopsched_shared_total", "src", "slo"); err != nil {
+		t.Errorf("second writer's sample lost: %v", err)
+	}
+}
+
+// TestFamilyDeduperSplitWrites exercises the line buffering: bytes
+// arriving one at a time (worst-case chunking from fmt.Fprintf) must
+// produce the same output as one big write.
+func TestFamilyDeduperSplitWrites(t *testing.T) {
+	var whole, split strings.Builder
+	d := NewFamilyDeduper(&whole)
+	d.Write([]byte(combinedDup))
+	d.Flush()
+
+	d2 := NewFamilyDeduper(&split)
+	for i := 0; i < len(combinedDup); i++ {
+		if _, err := d2.Write([]byte{combinedDup[i]}); err != nil {
+			t.Fatalf("byte %d: %v", i, err)
+		}
+	}
+	d2.Flush()
+
+	if whole.String() != split.String() {
+		t.Fatalf("split writes diverge:\nwhole:\n%s\nsplit:\n%s", whole.String(), split.String())
+	}
+}
+
+// TestFamilyDeduperFlushUnterminated pins Flush semantics for a
+// trailing line without a newline.
+func TestFamilyDeduperFlushUnterminated(t *testing.T) {
+	var out strings.Builder
+	d := NewFamilyDeduper(&out)
+	d.Write([]byte("# TYPE a gauge\na 1\n# TYPE a gauge"))
+	if err := d.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if got := out.String(); got != "# TYPE a gauge\na 1\n" {
+		t.Fatalf("out = %q", got)
+	}
+}
+
+func TestFamilyDeduperPassesSamplesAndComments(t *testing.T) {
+	in := "# scraped by test\nx{l=\"v\"} 1\nx{l=\"v\"} 2\n"
+	var out strings.Builder
+	d := NewFamilyDeduper(&out)
+	d.Write([]byte(in))
+	d.Flush()
+	// Duplicate *samples* must pass through (and still fail Parse): the
+	// deduper fixes formatting collisions, not writer bugs.
+	if out.String() != in {
+		t.Fatalf("non-declaration lines altered: %q", out.String())
+	}
+	if _, err := Parse(strings.NewReader(out.String())); err == nil {
+		t.Fatal("duplicate sample identity survived Parse")
+	}
+}

@@ -108,7 +108,8 @@ var validTypes = map[string]bool{
 func Parse(r io.Reader) (*Exposition, error) {
 	e := &Exposition{Families: map[string]Family{}}
 	seen := map[string]bool{}
-	sampled := map[string]bool{} // families that already emitted samples
+	sampled := map[string]bool{}  // families that already emitted samples
+	declared := map[string]bool{} // "H name" / "T name" declarations seen
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	lineNo := 0
@@ -119,7 +120,7 @@ func Parse(r io.Reader) (*Exposition, error) {
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
-			if err := e.parseComment(line, sampled); err != nil {
+			if err := e.parseComment(line, sampled, declared); err != nil {
 				return nil, fmt.Errorf("line %d: %w", lineNo, err)
 			}
 			continue
@@ -145,7 +146,7 @@ func Parse(r io.Reader) (*Exposition, error) {
 // to their declared family when one exists.
 func familyOf(name string) string { return name }
 
-func (e *Exposition) parseComment(line string, sampled map[string]bool) error {
+func (e *Exposition) parseComment(line string, sampled, declared map[string]bool) error {
 	fields := strings.SplitN(line, " ", 4)
 	if len(fields) < 2 {
 		return nil // free-form comment
@@ -155,6 +156,13 @@ func (e *Exposition) parseComment(line string, sampled map[string]bool) error {
 		if len(fields) < 3 || !validName(fields[2]) {
 			return fmt.Errorf("malformed HELP line %q", line)
 		}
+		// The format allows at most one HELP per family; a repeat is
+		// the signature of naively concatenated expositions (route the
+		// writers through a FamilyDeduper instead).
+		if declared["H "+fields[2]] {
+			return fmt.Errorf("duplicate HELP for %s", fields[2])
+		}
+		declared["H "+fields[2]] = true
 		fam := e.Families[fields[2]]
 		fam.Name = fields[2]
 		if len(fields) == 4 {
@@ -171,6 +179,10 @@ func (e *Exposition) parseComment(line string, sampled map[string]bool) error {
 		if sampled[fields[2]] {
 			return fmt.Errorf("TYPE for %s appears after its samples", fields[2])
 		}
+		if declared["T "+fields[2]] {
+			return fmt.Errorf("duplicate TYPE for %s", fields[2])
+		}
+		declared["T "+fields[2]] = true
 		fam := e.Families[fields[2]]
 		fam.Name = fields[2]
 		fam.Type = fields[3]

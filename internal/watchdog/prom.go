@@ -1,0 +1,63 @@
+package watchdog
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteProm renders the detector status in the Prometheus text
+// exposition format (version 0.0.4), for appending to the combined
+// /metrics.prom scrape: tick/trigger totals, per-rule firing counts,
+// and the live value/baseline pairs an operator graphs next to the
+// plane's own series when a trigger page arrives.
+func WriteProm(w io.Writer, st Status) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+	p("# HELP loopsched_watchdog_ticks_total Detector ticks since start.\n")
+	p("# TYPE loopsched_watchdog_ticks_total counter\n")
+	p("loopsched_watchdog_ticks_total %d\n", st.Ticks)
+
+	p("# HELP loopsched_watchdog_triggers_total Triggers fired since start (all rules and synthetic sources).\n")
+	p("# TYPE loopsched_watchdog_triggers_total counter\n")
+	p("loopsched_watchdog_triggers_total %d\n", st.Triggers)
+
+	p("# HELP loopsched_watchdog_rule_firings_total Firings per detection rule.\n")
+	p("# TYPE loopsched_watchdog_rule_firings_total counter\n")
+	for _, r := range st.Rules {
+		p("loopsched_watchdog_rule_firings_total{rule=%q} %d\n", r.Name, r.Firings)
+	}
+
+	p("# HELP loopsched_watchdog_rule_value Most recent observation of the rule's signal.\n")
+	p("# TYPE loopsched_watchdog_rule_value gauge\n")
+	for _, r := range st.Rules {
+		if r.Observed {
+			p("loopsched_watchdog_rule_value{rule=%q} %s\n", r.Name, f(r.Value))
+		}
+	}
+
+	p("# HELP loopsched_watchdog_rule_baseline Rolling-window median the rule judges against.\n")
+	p("# TYPE loopsched_watchdog_rule_baseline gauge\n")
+	for _, r := range st.Rules {
+		if r.Warm {
+			p("loopsched_watchdog_rule_baseline{rule=%q} %s\n", r.Name, f(r.Baseline))
+		}
+	}
+
+	p("# HELP loopsched_watchdog_rule_armed 1 when the rule is warm and out of post-firing cooldown.\n")
+	p("# TYPE loopsched_watchdog_rule_armed gauge\n")
+	for _, r := range st.Rules {
+		armed := 0
+		if r.Warm && r.CooldownLeft == 0 {
+			armed = 1
+		}
+		p("loopsched_watchdog_rule_armed{rule=%q} %d\n", r.Name, armed)
+	}
+	return err
+}

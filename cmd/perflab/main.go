@@ -53,6 +53,8 @@ func main() {
 		err = cmdOverhead(os.Args[2:])
 	case "slo":
 		err = cmdSLO(os.Args[2:])
+	case "shed":
+		err = cmdShed(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "-h", "-help", "--help", "help":
@@ -84,6 +86,10 @@ func usage() {
            declarative service objectives (p99 ceiling, affinity-hit
            floor, steal-share ceiling); exit 1 if any objective's
            burn rate breaches in all of its windows
+  shed     deterministic two-tenant overload against the serving
+           layer: a tenant at quota must keep its full fair share
+           while a tenant at 4x quota has exactly its excess shed as
+           typed 429s; exit 1 on any violation
   serve    live HTML dashboard over the baseline history
 
 Run 'perflab <subcommand> -h' for flags.
@@ -426,6 +432,40 @@ func cmdSLO(args []string) error {
 	}
 	if res.Report.Breaching {
 		return fmt.Errorf("perflab slo: objective breaching — see report above")
+	}
+	return nil
+}
+
+// cmdShed is the overload-protection gate for the serving layer: a
+// deterministic two-tenant overload on an injected clock (see
+// perflab.RunShedGate). CI's obs-smoke job runs it so the acceptance
+// property of loop-scheduling-as-a-service — favored tenants keep
+// their fair share under a 4x-quota aggressor, excess sheds as 429 —
+// cannot regress silently.
+func cmdShed(args []string) error {
+	fs := flag.NewFlagSet("perflab shed", flag.ExitOnError)
+	procs := fs.Int("p", 2, "workers per executor shard")
+	rounds := fs.Int("rounds", 25, "quota periods to run")
+	overload := fs.Int("overload", 4, "aggressive-tenant submissions per period (multiples of quota)")
+	n := fs.Int("n", 256, "spin iterations per job")
+	fs.Parse(args)
+	if err := cli.FirstError(
+		cli.PositiveInt("-p", *procs),
+		cli.PositiveInt("-rounds", *rounds),
+		cli.PositiveInt("-overload", *overload),
+		cli.PositiveInt("-n", *n),
+	); err != nil {
+		return err
+	}
+	res, err := perflab.RunShedGate(perflab.ShedGateOptions{
+		Procs: *procs, Rounds: *rounds, Overload: *overload, N: *n,
+	})
+	fmt.Printf("perflab shed: %d rounds at %dx quota — steady %d/%d (%.0f%% of fair share), aggressive %d admitted / %d shed, control %d/%d, backlog peak %d/%d\n",
+		res.Rounds, res.Overload, res.SteadyGoodput, res.Rounds, 100*res.SteadyShare,
+		res.AggressiveAdmitted, res.AggressiveShed, res.ControlGoodput, res.Rounds,
+		res.MaxQueued, res.QueueLimit)
+	if err != nil {
+		return fmt.Errorf("perflab shed: %w", err)
 	}
 	return nil
 }

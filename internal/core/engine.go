@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -12,9 +11,18 @@ import (
 	"repro/internal/telemetry"
 )
 
+// ClosedError is the typed error behind ErrClosed: a submission was
+// admitted after Close. It carries a type (not just a sentinel string)
+// so layered consumers can classify it structurally — internal/serve
+// maps it to HTTP 503 with errors.As — while errors.Is(err, ErrClosed)
+// keeps working for existing callers.
+type ClosedError struct{}
+
+func (*ClosedError) Error() string { return "core: engine closed" }
+
 // ErrClosed is returned by Engine.Execute for submissions admitted
-// after Close.
-var ErrClosed = errors.New("core: engine closed")
+// after Close. Its dynamic type is *ClosedError.
+var ErrClosed error = &ClosedError{}
 
 // Engine is the long-lived execution substrate shared by both API
 // lifetimes: P persistent worker goroutines executing one loop

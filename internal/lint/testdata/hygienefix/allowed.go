@@ -1,8 +1,8 @@
 package hygienefix
 
 import (
-	"repro"
 	"repro/internal/cli"
+	"repro/internal/lint/testdata/hygienefix/oldapi"
 )
 
 // WorkersChecked validates through the shared helpers.
@@ -18,4 +18,4 @@ func ProcsChecked(v string) ([]int, error) {
 // OldAllowed keeps one annotated legacy reference.
 //
 //lint:allow hygiene fixture: legacy migration shim retained deliberately
-var OldAllowed = repro.SimulateOpts
+var OldAllowed = oldapi.OldSimulate

@@ -7,8 +7,8 @@ import (
 	"flag"
 	"strconv"
 
-	"repro"
 	"repro/internal/cli"
+	"repro/internal/lint/testdata/hygienefix/oldapi"
 )
 
 // Workers parses a flag value with bare strconv.
@@ -26,4 +26,4 @@ func Procs(v string) ([]int, error) {
 var Addr = flag.String("addr", "localhost:0", "listen address")
 
 // Old pins the deprecated simulate entry point.
-var Old = repro.SimulateOpts
+var Old = oldapi.OldSimulate

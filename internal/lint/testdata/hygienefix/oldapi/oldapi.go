@@ -1,0 +1,9 @@
+// Package oldapi is a fixture-local legacy shim: it exists so the
+// hygiene fixture can pin a use of deprecated API without the module
+// having to keep a real deprecated symbol around.
+package oldapi
+
+// OldSimulate is the legacy options-struct entry point.
+//
+// Deprecated: use the variadic options form instead.
+func OldSimulate() {}

@@ -18,6 +18,7 @@
 package livemetrics
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -81,6 +82,32 @@ const (
 	OutcomePanicked
 )
 
+// AdmitOutcome classifies one admission decision at the serving layer
+// (internal/serve): what happened to a job between arriving at the
+// front door and being handed to an executor shard.
+type AdmitOutcome int
+
+const (
+	// AdmitAdmitted is a job that passed quota + queue admission and
+	// was dispatched (or queued for dispatch).
+	AdmitAdmitted AdmitOutcome = iota
+	// AdmitShed is a job refused by overload protection — token-bucket
+	// quota exhausted or the bounded queue full (HTTP 429).
+	AdmitShed
+	// AdmitRejected is a job refused as invalid or unservable (bad
+	// spec, unknown kernel, server closing; HTTP 4xx/503).
+	AdmitRejected
+)
+
+// tenantState is one tenant's monotonic admission totals.
+type tenantState struct {
+	submitted atomic.Int64
+	admitted  atomic.Int64
+	shed      atomic.Int64
+	rejected  atomic.Int64
+	completed atomic.Int64
+}
+
 // Plane is one engine's live observability surface. Create with New,
 // bind to an engine via internal/pool (or repro.WithObservability),
 // scrape with Snapshot or the HTTP handler, and Close when done to
@@ -106,6 +133,17 @@ type Plane struct {
 	completed   atomic.Int64
 	cancelled   atomic.Int64
 	panicked    atomic.Int64
+
+	// Admission instruments (serving layer): windowed queue-wait
+	// latency plus global and per-tenant decision totals. Touched only
+	// when a serving frontend calls ObserveAdmission, so a plane bound
+	// to a bare executor snapshots exactly as before.
+	admitHist     *rollingHist
+	admitted      atomic.Int64
+	shed          atomic.Int64
+	admitRejected atomic.Int64
+	tenantMu      sync.Mutex
+	tenants       map[string]*tenantState
 
 	// bindMu guards the engine binding (queue-depth source + worker
 	// count), set once by the executor that owns the plane.
@@ -145,6 +183,8 @@ func New(opts Options) *Plane {
 	}
 	p.col = newCollector(p.nowNS, o)
 	p.subHist = newRollingHist(int64(o.Window), o.Slots, latencyBounds)
+	p.admitHist = newRollingHist(int64(o.Window), o.Slots, latencyBounds)
+	p.tenants = make(map[string]*tenantState)
 	p.exemplars = newExemplarStore(int64(o.Window), latencyBounds)
 	go p.sample()
 	return p
@@ -213,6 +253,52 @@ func (p *Plane) ObserveSubmission(d time.Duration, outcome Outcome, detail strin
 	default:
 		p.completed.Add(1)
 	}
+}
+
+// tenant fetches (or creates) a tenant's counter row. "" maps to the
+// default tenant so anonymous submissions still account somewhere.
+func (p *Plane) tenant(name string) *tenantState {
+	if name == "" {
+		name = "default"
+	}
+	p.tenantMu.Lock()
+	defer p.tenantMu.Unlock()
+	ts := p.tenants[name]
+	if ts == nil {
+		ts = &tenantState{}
+		p.tenants[name] = ts
+	}
+	return ts
+}
+
+// ObserveAdmission records one serving-layer admission decision for
+// tenant: the time the job spent queued at the front door and the
+// outcome. Only admitted jobs feed the wait histogram — a shed job is
+// refused instantly, and mixing its zero wait in would flatter the
+// very overload the p99 objective watches. Sustained shedding is the
+// watchdog's job (SignalShedRate), which captures a diagnostic bundle
+// rather than freezing the flight recorder on every refusal.
+func (p *Plane) ObserveAdmission(tenantName string, wait time.Duration, outcome AdmitOutcome) {
+	ts := p.tenant(tenantName)
+	ts.submitted.Add(1)
+	switch outcome {
+	case AdmitShed:
+		p.shed.Add(1)
+		ts.shed.Add(1)
+	case AdmitRejected:
+		p.admitRejected.Add(1)
+		ts.rejected.Add(1)
+	default:
+		p.admitted.Add(1)
+		ts.admitted.Add(1)
+		p.admitHist.observe(p.nowNS(), float64(wait))
+	}
+}
+
+// ObserveTenantCompletion credits tenant with one job that finished
+// executing (goodput, as opposed to merely being admitted).
+func (p *Plane) ObserveTenantCompletion(tenantName string) {
+	p.tenant(tenantName).completed.Add(1)
 }
 
 // Close stops the gauge sampler. Idempotent; the plane stays readable
@@ -315,6 +401,27 @@ type WorkerSnapshot struct {
 	QueueDepth       int     `json:"queue_depth"`
 }
 
+// TenantSnapshot is one tenant's monotonic admission totals.
+type TenantSnapshot struct {
+	Tenant    string `json:"tenant"`
+	Submitted int64  `json:"submitted"`
+	Admitted  int64  `json:"admitted"`
+	Shed      int64  `json:"shed"`
+	Rejected  int64  `json:"rejected"`
+	Completed int64  `json:"completed"`
+}
+
+// AdmissionSnapshot is the serving layer's admission view: global
+// decision totals, the windowed queue-wait quantiles of admitted jobs,
+// and the per-tenant breakdown (sorted by tenant name).
+type AdmissionSnapshot struct {
+	Admitted int64            `json:"admitted"`
+	Shed     int64            `json:"shed"`
+	Rejected int64            `json:"rejected"`
+	Wait     Quantiles        `json:"wait"`
+	Tenants  []TenantSnapshot `json:"tenants,omitempty"`
+}
+
 // Snapshot is one coherent scrape of the plane.
 type Snapshot struct {
 	UptimeSeconds float64          `json:"uptime_seconds"`
@@ -338,6 +445,11 @@ type Snapshot struct {
 	// SetRuntimeSource (a runtimeobs.Snapshot when engineview wires
 	// one), or nil.
 	Runtime any `json:"runtime,omitempty"`
+	// Admission is the serving layer's admission view, present only
+	// once a frontend has reported admission decisions — a plane bound
+	// to a bare executor scrapes exactly as it did before serving
+	// existed.
+	Admission *AdmissionSnapshot `json:"admission,omitempty"`
 }
 
 func (p *Plane) quantiles(h *rollingHist) Quantiles {
@@ -367,6 +479,7 @@ func (p *Plane) Snapshot() Snapshot {
 	}
 	s.FlightDroppedEvents, s.FlightDroppedProv = p.rec.Dropped()
 	s.SubmissionExemplars = p.exemplars.snapshot(p.nowNS())
+	s.Admission = p.admissionSnapshot()
 	if fn := p.runtimeFn.Load(); fn != nil {
 		s.Runtime = (*fn)()
 	}
@@ -410,6 +523,43 @@ func (p *Plane) Snapshot() Snapshot {
 		s.Workers[w] = ws
 	}
 	return s
+}
+
+// admissionSnapshot assembles the Admission block, or nil when no
+// admission decision has ever been reported.
+func (p *Plane) admissionSnapshot() *AdmissionSnapshot {
+	p.tenantMu.Lock()
+	names := make([]string, 0, len(p.tenants))
+	for name := range p.tenants {
+		names = append(names, name)
+	}
+	rows := make(map[string]*tenantState, len(p.tenants))
+	for name, ts := range p.tenants {
+		rows[name] = ts
+	}
+	p.tenantMu.Unlock()
+	if len(names) == 0 {
+		return nil
+	}
+	sort.Strings(names)
+	a := &AdmissionSnapshot{
+		Admitted: p.admitted.Load(),
+		Shed:     p.shed.Load(),
+		Rejected: p.admitRejected.Load(),
+		Wait:     p.quantiles(p.admitHist),
+	}
+	for _, name := range names {
+		ts := rows[name]
+		a.Tenants = append(a.Tenants, TenantSnapshot{
+			Tenant:    name,
+			Submitted: ts.submitted.Load(),
+			Admitted:  ts.admitted.Load(),
+			Shed:      ts.shed.Load(),
+			Rejected:  ts.rejected.Load(),
+			Completed: ts.completed.Load(),
+		})
+	}
+	return a
 }
 
 // Procs reports the bound engine's worker count (0 before Bind).

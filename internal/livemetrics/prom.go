@@ -73,6 +73,30 @@ func WriteProm(w io.Writer, s Snapshot) error {
 		p("loopsched_worker_queue_depth{worker=\"%d\"} %d\n", ws.Worker, ws.QueueDepth)
 	}
 
+	if a := s.Admission; a != nil {
+		counter("loopsched_admission_admitted_total", "Jobs admitted by the serving layer.", a.Admitted)
+		counter("loopsched_admission_shed_total", "Jobs shed by quota or queue overload (HTTP 429).", a.Shed)
+		counter("loopsched_admission_rejected_total", "Jobs rejected as invalid or unservable.", a.Rejected)
+		quant("loopsched_admission_wait_ns", "Rolling admission queue wait of admitted jobs (ns).", a.Wait)
+
+		tenantCounter := func(name, help string, v func(TenantSnapshot) int64) {
+			p("# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+			for _, ts := range a.Tenants {
+				p("%s{tenant=%q} %d\n", name, ts.Tenant, v(ts))
+			}
+		}
+		tenantCounter("loopsched_tenant_submitted_total", "Jobs submitted by the tenant.",
+			func(ts TenantSnapshot) int64 { return ts.Submitted })
+		tenantCounter("loopsched_tenant_admitted_total", "Tenant jobs admitted.",
+			func(ts TenantSnapshot) int64 { return ts.Admitted })
+		tenantCounter("loopsched_tenant_shed_total", "Tenant jobs shed by overload protection.",
+			func(ts TenantSnapshot) int64 { return ts.Shed })
+		tenantCounter("loopsched_tenant_rejected_total", "Tenant jobs rejected as invalid.",
+			func(ts TenantSnapshot) int64 { return ts.Rejected })
+		tenantCounter("loopsched_tenant_completed_total", "Tenant jobs that finished executing (goodput).",
+			func(ts TenantSnapshot) int64 { return ts.Completed })
+	}
+
 	if len(s.SubmissionExemplars) > 0 {
 		p("# HELP loopsched_submission_exemplar_latency_ns Retained traced submissions, slowest first; trace_id resolves via /trace?id= or loopdoctor trace.\n")
 		p("# TYPE loopsched_submission_exemplar_latency_ns gauge\n")

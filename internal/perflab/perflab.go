@@ -209,5 +209,21 @@ func DefaultRegistry(short bool) *Registry {
 		r.Add(Case{Substrate: SubstrateReal, Kernel: "steady-loops", Algo: a,
 			N: steadyN, Phases: steadyLoops, Procs: 4, Repeats: realRepeats, Warmup: 1})
 	}
+	// Serving-layer admission overhead: the same stream of spin jobs
+	// submitted directly to one persistent executor ("direct") vs
+	// through internal/serve's multi-tenant admission pipeline
+	// ("served" — token bucket, fair queue, dispatcher hand-off). Both
+	// arms build the job from the identical serializable Spec per
+	// submission, so the gap is pure service wrapper. `perflab
+	// overhead` gates the pair at 1.2x in CI's perf-smoke job; not
+	// baselined-gated (wall time).
+	serveJobs, serveN := 150, 1024
+	if short {
+		serveJobs = 60
+	}
+	for _, a := range []string{"direct", "served"} {
+		r.Add(Case{Substrate: SubstrateReal, Kernel: "serve-steady", Algo: a,
+			N: serveN, Phases: serveJobs, Procs: 4, Repeats: realRepeats, Warmup: 1})
+	}
 	return r
 }

@@ -235,6 +235,9 @@ func realKernel(c Case) (func(reg *telemetry.Registry, prov telemetry.ProvSink) 
 	if c.Kernel == "many-small-loops" || c.Kernel == "steady-loops" {
 		return manySmallLoops(c)
 	}
+	if c.Kernel == "serve-steady" {
+		return serveSteady(c)
+	}
 	opts := func(reg *telemetry.Registry, prov telemetry.ProvSink) core.Config {
 		spec, _ := sched.ByName(c.Algo)
 		return core.Config{Procs: c.Procs, Spec: spec, Metrics: reg, Prov: prov}

@@ -1,0 +1,49 @@
+package perflab
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunShedGate holds the PR's acceptance property at unit level:
+// the deterministic overload admits the steady tenant's full fair
+// share and sheds exactly the aggressor's excess.
+func TestRunShedGate(t *testing.T) {
+	res, err := RunShedGate(ShedGateOptions{Rounds: 10, Overload: 4, N: 64})
+	if err != nil {
+		t.Fatalf("shed gate: %v (result %+v)", err, res)
+	}
+	if res.SteadyGoodput != 10 || res.SteadyShare != 1 {
+		t.Fatalf("steady goodput = %d (share %.2f), want 10 (1.00)", res.SteadyGoodput, res.SteadyShare)
+	}
+	if res.AggressiveAdmitted != 10 || res.AggressiveShed != 30 {
+		t.Fatalf("aggressive = %d admitted / %d shed, want 10 / 30", res.AggressiveAdmitted, res.AggressiveShed)
+	}
+	if res.ControlGoodput != 10 {
+		t.Fatalf("control goodput = %d, want 10", res.ControlGoodput)
+	}
+}
+
+// TestServeSteadyCases runs a tiny sample of both serve-steady arms
+// through the real runner so the registered cases stay executable.
+func TestServeSteadyCases(t *testing.T) {
+	reg := DefaultRegistry(true)
+	for _, id := range []string{"real/serve-steady/direct/p4", "real/serve-steady/served/p4"} {
+		c, ok := reg.Get(id)
+		if !ok {
+			t.Fatalf("case %s not registered", id)
+		}
+		c.N, c.Phases, c.Procs, c.Repeats, c.Warmup = 64, 4, 2, 1, 0
+		r := &Runner{BaseSeed: 1}
+		results, err := r.Run([]Case{c})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if results[0].Summary.Median <= 0 {
+			t.Fatalf("%s: non-positive median %v", id, results[0].Summary.Median)
+		}
+	}
+	if _, err := serveSteady(Case{Kernel: "serve-steady", Algo: "bogus"}); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("bad algo error = %v", err)
+	}
+}

@@ -1,0 +1,71 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// TestCloseRacingSubmitReturnsTypedErrClosed races a concurrent Close
+// against a stream of in-flight Submits (run under -race in CI): every
+// submission must either succeed or fail with the typed ErrClosed —
+// never a generic error string — so upper layers can map the condition
+// structurally (serve returns 503 from it). Regression test for the
+// serving path's dependence on errors.As(*core.ClosedError).
+func TestCloseRacingSubmitReturnsTypedErrClosed(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		x, err := New(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.Config{Spec: sched.SpecAFS()}
+		var wg sync.WaitGroup
+		var closedErrs, okRuns atomic.Int64
+		start := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 50; i++ {
+					_, err := x.Submit(context.Background(), cfg, 64, func(int) {})
+					if err == nil {
+						okRuns.Add(1)
+						continue
+					}
+					if !errors.Is(err, ErrClosed) {
+						t.Errorf("submit error is not ErrClosed: %v", err)
+						return
+					}
+					var ce *core.ClosedError
+					if !errors.As(err, &ce) {
+						t.Errorf("ErrClosed is not typed *core.ClosedError: %#v", err)
+						return
+					}
+					closedErrs.Add(1)
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			x.Close()
+		}()
+		close(start)
+		wg.Wait()
+		// Whatever the interleaving, the submissions that lost the race
+		// must all have been classified; after Close every further
+		// Submit fails typed too.
+		if _, err := x.Submit(context.Background(), cfg, 8, func(int) {}); !errors.Is(err, ErrClosed) {
+			t.Fatalf("post-Close submit: got %v, want ErrClosed", err)
+		}
+		_ = okRuns.Load()
+		_ = closedErrs.Load()
+	}
+}

@@ -28,7 +28,11 @@ import (
 	"repro/internal/telemetry"
 )
 
-// ErrClosed is returned by submissions admitted after Close.
+// ErrClosed is returned by submissions admitted after Close —
+// including a Submit already in flight when a concurrent Close wins
+// admission. Its dynamic type is *core.ClosedError, so consumers that
+// must classify the condition structurally (internal/serve maps it to
+// HTTP 503) can use errors.As as well as errors.Is.
 var ErrClosed = core.ErrClosed
 
 // PanicError wraps a loop body's panic value. Unlike the one-shot

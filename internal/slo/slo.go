@@ -42,6 +42,15 @@ const (
 	// sample; the threshold is a ceiling. Skipped when no new chunks
 	// ran.
 	MetricStealShare Metric = "steal_share"
+	// MetricAdmissionP99NS is the serving layer's rolling p99 admission
+	// queue wait in nanoseconds (admitted jobs only); the threshold is
+	// a ceiling. Skipped while no admitted job is in the rolling window
+	// (including on planes with no serving frontend at all).
+	MetricAdmissionP99NS Metric = "admission_p99_wait_ns"
+	// MetricShedRate is the fraction of admission decisions since the
+	// previous sample that shed the job (429); the threshold is a
+	// ceiling. Skipped when the interval saw no decisions.
+	MetricShedRate Metric = "shed_rate"
 )
 
 // floor reports whether the metric's threshold is a floor (bad when
@@ -50,7 +59,8 @@ func (m Metric) floor() bool { return m == MetricAffinityHitRatio }
 
 func (m Metric) valid() bool {
 	switch m {
-	case MetricP99SubmissionNS, MetricAffinityHitRatio, MetricStealShare:
+	case MetricP99SubmissionNS, MetricAffinityHitRatio, MetricStealShare,
+		MetricAdmissionP99NS, MetricShedRate:
 		return true
 	}
 	return false
@@ -122,6 +132,22 @@ func DefaultObjectives() []Objective {
 	}
 }
 
+// ServingObjectives returns the stock serving-layer objectives layered
+// on top of DefaultObjectives by cmd/loopserved: admission p99 wait
+// under 25ms and shed rate under 20%. The shed budget is deliberately
+// loose — shedding is the *designed* overload response, so the
+// objective pages only when refusals stop being the exception.
+func ServingObjectives() []Objective {
+	windows := []Window{
+		{Duration: time.Minute, MaxBurn: 4},
+		{Duration: 5 * time.Minute, MaxBurn: 1},
+	}
+	return []Objective{
+		{Name: "admission-p99", Metric: MetricAdmissionP99NS, Threshold: 25e6, Budget: 0.05, Windows: windows},
+		{Name: "shed-rate-ceiling", Metric: MetricShedRate, Threshold: 0.2, Budget: 0.10, Windows: windows},
+	}
+}
+
 // Options tunes an Engine.
 type Options struct {
 	// Now overrides the engine's clock (tests); default time.Now.
@@ -149,12 +175,14 @@ type Engine struct {
 	lastObs []bool     // whether the objective has ever been observed
 	ticks   int64
 	// previous cumulative counters, for inter-sample deltas
-	primed     bool
-	prevChunks int64
-	prevSteals int64
-	prevHits   int64
-	stop       chan struct{}
-	stopped    chan struct{}
+	primed       bool
+	prevChunks   int64
+	prevSteals   int64
+	prevHits     int64
+	prevAdmitted int64
+	prevShed     int64
+	stop         chan struct{}
+	stopped      chan struct{}
 }
 
 // New creates an engine over a snapshot source.
@@ -207,6 +235,10 @@ func (e *Engine) Tick() {
 		chunks += w.Chunks
 	}
 	steals := snap.Counters.Steals
+	var admitted, shed int64
+	if snap.Admission != nil {
+		admitted, shed = snap.Admission.Admitted, snap.Admission.Shed
+	}
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -214,8 +246,11 @@ func (e *Engine) Tick() {
 	dChunks := chunks - e.prevChunks
 	dSteals := steals - e.prevSteals
 	dHits := hits - e.prevHits
+	dAdmitted := admitted - e.prevAdmitted
+	dShed := shed - e.prevShed
 	primed := e.primed
 	e.prevChunks, e.prevSteals, e.prevHits = chunks, steals, hits
+	e.prevAdmitted, e.prevShed = admitted, shed
 	e.primed = true
 
 	for i, o := range e.objectives {
@@ -235,6 +270,16 @@ func (e *Engine) Tick() {
 		case MetricStealShare:
 			if primed && dChunks > 0 {
 				value = float64(dSteals) / float64(dChunks)
+				observed = true
+			}
+		case MetricAdmissionP99NS:
+			if snap.Admission != nil && snap.Admission.Wait.Count > 0 {
+				value = snap.Admission.Wait.P99
+				observed = true
+			}
+		case MetricShedRate:
+			if primed && dAdmitted+dShed > 0 {
+				value = float64(dShed) / float64(dAdmitted+dShed)
 				observed = true
 			}
 		}

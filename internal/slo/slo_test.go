@@ -244,3 +244,77 @@ func TestHandler(t *testing.T) {
 		t.Fatalf("bad format status = %d, want 400", rec.Code)
 	}
 }
+
+func TestServingMetrics(t *testing.T) {
+	clock := newFakeClock()
+	var snap livemetrics.Snapshot
+	objs := []Objective{
+		{Name: "wait", Metric: MetricAdmissionP99NS, Threshold: 1e6, Budget: 0.5,
+			Windows: []Window{{Duration: time.Minute, MaxBurn: 1}}},
+		{Name: "shed", Metric: MetricShedRate, Threshold: 0.2, Budget: 0.5,
+			Windows: []Window{{Duration: time.Minute, MaxBurn: 1}}},
+	}
+	e, err := New(func() livemetrics.Snapshot { return snap }, objs, Options{Now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A plane with no serving frontend (nil Admission) observes neither
+	// metric — bare-executor deployments keep clean reports.
+	e.Tick()
+	rep := e.Report()
+	if rep.Objectives[0].Observed || rep.Objectives[1].Observed {
+		t.Fatalf("serving metrics observed without an Admission block: %+v", rep.Objectives)
+	}
+
+	// Healthy serving traffic: the p99 reads the rolling window
+	// directly; the shed rate measures the interval's decisions (the
+	// nil-Admission tick primed the counter baseline at zero).
+	clock.advance(time.Second)
+	snap.Admission = &livemetrics.AdmissionSnapshot{
+		Admitted: 9, Shed: 1,
+		Wait: livemetrics.Quantiles{Count: 9, P99: 5e5},
+	}
+	e.Tick()
+	rep = e.Report()
+	if !rep.Objectives[0].Observed || rep.Objectives[0].Value != 5e5 {
+		t.Fatalf("admission p99 = %+v", rep.Objectives[0])
+	}
+	if got := rep.Objectives[1].Value; !rep.Objectives[1].Observed || got != 0.1 {
+		t.Fatalf("shed rate = %v (observed=%v), want 0.1", got, rep.Objectives[1].Observed)
+	}
+	if rep.Breaching {
+		t.Fatalf("healthy serving traffic breaches: %+v", rep)
+	}
+
+	// Overload: 30 of the next 31 decisions shed. The rate reflects the
+	// interval, not the flattering cumulative ratio (31/41).
+	clock.advance(time.Second)
+	snap.Admission = &livemetrics.AdmissionSnapshot{
+		Admitted: 10, Shed: 31,
+		Wait: livemetrics.Quantiles{Count: 10, P99: 5e5},
+	}
+	e.Tick()
+	rep = e.Report()
+	if got := rep.Objectives[1].Value; got < 0.9 {
+		t.Fatalf("surge shed rate = %v, want ~30/31", got)
+	}
+
+	// An idle interval (no new decisions) is skipped, not scored.
+	clock.advance(time.Second)
+	e.Tick()
+	rep = e.Report()
+	if got := rep.Objectives[1].Windows[0].Samples; got != 2 {
+		t.Fatalf("idle interval scored: %d samples, want 2", got)
+	}
+}
+
+func TestServingObjectivesValid(t *testing.T) {
+	src := func() livemetrics.Snapshot { return livemetrics.Snapshot{} }
+	if _, err := New(src, ServingObjectives(), Options{}); err != nil {
+		t.Fatalf("stock serving objectives rejected: %v", err)
+	}
+	if _, err := New(src, append(DefaultObjectives(), ServingObjectives()...), Options{}); err != nil {
+		t.Fatalf("combined stock objectives rejected: %v", err)
+	}
+}

@@ -48,6 +48,14 @@ const (
 	// SignalSubmissionP99 is the plane's rolling p99 submission latency
 	// in nanoseconds; a rise is anomalous (a tail-latency spike).
 	SignalSubmissionP99 Signal = "submission_p99_ns"
+	// SignalShedRate is shed admissions over all admission decisions
+	// since the previous tick (serving layer); a rise is anomalous — a
+	// shed surge means the admission queue is collapsing under load.
+	SignalShedRate Signal = "shed_rate"
+	// SignalAdmissionP99 is the serving layer's rolling p99 admission
+	// queue wait in nanoseconds; a rise is anomalous (jobs stacking up
+	// at the front door faster than shards drain them).
+	SignalAdmissionP99 Signal = "admission_p99_ns"
 )
 
 // dropIsBad reports whether the signal alarms on a fall (floor-like)
@@ -56,7 +64,8 @@ func (s Signal) dropIsBad() bool { return s == SignalAffinityHitRatio }
 
 func (s Signal) valid() bool {
 	switch s {
-	case SignalAffinityHitRatio, SignalStealShare, SignalSubmissionP99:
+	case SignalAffinityHitRatio, SignalStealShare, SignalSubmissionP99,
+		SignalShedRate, SignalAdmissionP99:
 		return true
 	}
 	return false
@@ -129,6 +138,19 @@ func DefaultRules() []Rule {
 		{Name: "affinity-collapse", Signal: SignalAffinityHitRatio, MinDev: 0.05},
 		{Name: "steal-storm", Signal: SignalStealShare, MinDev: 0.05},
 		{Name: "latency-spike", Signal: SignalSubmissionP99, MinDev: 2e6},
+	}
+}
+
+// ServingRules returns the serving-layer detector set layered on top
+// of DefaultRules by cmd/loopserved: a shed surge (queue collapse —
+// refusals jumping well past their recent baseline) and an
+// admission-wait stall. Both fire diagnostic bundles through the
+// stock internal/bundle consumer, so the moments before an admission
+// collapse stay recoverable.
+func ServingRules() []Rule {
+	return []Rule{
+		{Name: "shed-surge", Signal: SignalShedRate, MinDev: 0.05},
+		{Name: "admission-stall", Signal: SignalAdmissionP99, MinDev: 2e6},
 	}
 }
 
@@ -222,10 +244,12 @@ type Watchdog struct {
 	ticks int64
 	fired int64
 	// previous cumulative counters, for inter-tick deltas
-	primed     bool
-	prevChunks int64
-	prevSteals int64
-	prevHits   int64
+	primed       bool
+	prevChunks   int64
+	prevSteals   int64
+	prevHits     int64
+	prevAdmitted int64
+	prevShed     int64
 	// edge-trigger state for the synthetic sources
 	prevBreach map[string]bool
 	prevAnom   int64
@@ -287,21 +311,30 @@ func (w *Watchdog) Tick() {
 		chunks += ws.Chunks
 	}
 	steals := snap.Counters.Steals
+	var admitted, shedTotal int64
+	if snap.Admission != nil {
+		admitted, shedTotal = snap.Admission.Admitted, snap.Admission.Shed
+	}
 	at := w.now()
 
 	w.mu.Lock()
 	w.ticks++
 	tick := w.ticks
-	dChunks := chunks - w.prevChunks
-	dSteals := steals - w.prevSteals
-	dHits := hits - w.prevHits
+	d := deltas{
+		chunks:   chunks - w.prevChunks,
+		steals:   steals - w.prevSteals,
+		hits:     hits - w.prevHits,
+		admitted: admitted - w.prevAdmitted,
+		shed:     shedTotal - w.prevShed,
+	}
 	primed := w.primed
 	w.prevChunks, w.prevSteals, w.prevHits = chunks, steals, hits
+	w.prevAdmitted, w.prevShed = admitted, shedTotal
 	w.primed = true
 
 	var fired []Trigger
 	for _, rs := range w.rules {
-		value, observed := observe(rs.rule.Signal, snap, primed, dChunks, dSteals, dHits)
+		value, observed := observe(rs.rule.Signal, snap, primed, d)
 		if rs.cooldown > 0 {
 			rs.cooldown--
 		}
@@ -320,22 +353,36 @@ func (w *Watchdog) Tick() {
 	w.deliver(fired)
 }
 
+// deltas carries the inter-tick counter differences observe consumes.
+type deltas struct {
+	chunks, steals, hits int64
+	admitted, shed       int64
+}
+
 // observe extracts one signal from the snapshot, mirroring the SLO
 // engine's delta semantics: ratio signals skip the priming tick and
-// any interval without new chunks, the p99 skips an empty window.
-func observe(s Signal, snap livemetrics.Snapshot, primed bool, dChunks, dSteals, dHits int64) (float64, bool) {
+// any interval without new activity, the p99s skip an empty window.
+func observe(s Signal, snap livemetrics.Snapshot, primed bool, d deltas) (float64, bool) {
 	switch s {
 	case SignalSubmissionP99:
 		if snap.Submission.Count > 0 {
 			return snap.Submission.P99, true
 		}
 	case SignalAffinityHitRatio:
-		if primed && dChunks > 0 {
-			return float64(dHits) / float64(dChunks), true
+		if primed && d.chunks > 0 {
+			return float64(d.hits) / float64(d.chunks), true
 		}
 	case SignalStealShare:
-		if primed && dChunks > 0 {
-			return float64(dSteals) / float64(dChunks), true
+		if primed && d.chunks > 0 {
+			return float64(d.steals) / float64(d.chunks), true
+		}
+	case SignalShedRate:
+		if primed && d.admitted+d.shed > 0 {
+			return float64(d.shed) / float64(d.admitted+d.shed), true
+		}
+	case SignalAdmissionP99:
+		if snap.Admission != nil && snap.Admission.Wait.Count > 0 {
+			return snap.Admission.Wait.P99, true
 		}
 	}
 	return 0, false

@@ -294,3 +294,71 @@ func TestRuleValidation(t *testing.T) {
 		t.Error("New accepted a nil source")
 	}
 }
+
+// TestServingRulesFireOnShedSurge pins the serving-layer detectors:
+// over a stationary serving workload (~2% shed, ~1ms admission p99,
+// jittered) the ServingRules stay silent, and an injected queue
+// collapse (majority shed, 30ms waits) fires shed-surge and
+// admission-stall exactly once each within the detection budget.
+func TestServingRulesFireOnShedSurge(t *testing.T) {
+	src := &synthSource{rng: 3}
+	var admitted, shed int64
+	surge := false
+	snapshot := func() livemetrics.Snapshot {
+		snap := src.snapshot()
+		n := int64(95 + src.next()%10)
+		shedFrac := 0.01 + 0.02*src.unit()
+		wait := 0.9e6 + 0.2e6*src.unit()
+		if surge {
+			shedFrac = 0.6 + 0.1*src.unit()
+			wait = 30e6 + 5e6*src.unit()
+		}
+		s := int64(shedFrac * float64(n))
+		admitted += n - s
+		shed += s
+		snap.Admission = &livemetrics.AdmissionSnapshot{
+			Admitted: admitted, Shed: shed,
+			Wait: livemetrics.Quantiles{Count: 100, P99: wait},
+		}
+		return snap
+	}
+	base := time.Unix(1700000000, 0)
+	ticks := 0
+	w, err := New(snapshot, append(DefaultRules(), ServingRules()...), Options{
+		Now: func() time.Time { ticks++; return base.Add(time.Duration(ticks) * time.Second) },
+	})
+	if err != nil {
+		t.Fatalf("New with serving rules: %v", err)
+	}
+	var fired []Trigger
+	w.OnTrigger(func(tr Trigger) { fired = append(fired, tr) })
+
+	const warm = 200
+	for i := 0; i < warm; i++ {
+		w.Tick()
+	}
+	if len(fired) != 0 {
+		t.Fatalf("fired during stationary serving phase: %+v", fired)
+	}
+	surge = true
+	for i := 0; i < 100; i++ {
+		w.Tick()
+	}
+	const budget = 4
+	got := map[string]int{}
+	for _, tr := range fired {
+		got[tr.Rule]++
+		if tr.Rule != "shed-surge" && tr.Rule != "admission-stall" {
+			t.Errorf("non-serving rule fired on a serving collapse: %+v", tr)
+			continue
+		}
+		if lag := tr.Tick - warm; lag < 1 || lag > budget {
+			t.Errorf("rule %s fired %d ticks after the surge (budget %d)", tr.Rule, lag, budget)
+		}
+	}
+	for _, name := range []string{"shed-surge", "admission-stall"} {
+		if got[name] != 1 {
+			t.Errorf("rule %s fired %d time(s), want exactly 1", name, got[name])
+		}
+	}
+}

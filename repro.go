@@ -24,16 +24,19 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"net/http"
 	"runtime"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/job"
 	"repro/internal/livemetrics"
 	"repro/internal/machine"
 	"repro/internal/pool"
 	"repro/internal/sched"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/spantrace"
 	"repro/internal/telemetry"
@@ -95,51 +98,162 @@ func Schedulers() []Scheduler { return sched.AllSpecs() }
 // RunStats reports a real execution's scheduling activity.
 type RunStats = core.Stats
 
-// Option configures ParallelFor / ForPhases.
+// JobSpec is the canonical, serializable description of one loop job:
+// scheduler, worker count, grain, kernel name + params, tenant,
+// priority and deadline — everything a submission needs except the
+// loop body itself. The variadic options below lower onto a JobSpec,
+// internal/serve accepts one as the HTTP request body, and the
+// serveclient package marshals the same struct on the client side, so
+// local and remote submission share one request shape.
+type JobSpec = job.Spec
+
+// JobParams sizes a JobSpec's named kernel (zero fields take the
+// kernel's defaults).
+type JobParams = job.Params
+
+// KernelNames lists the registered loop kernels a JobSpec may name,
+// sorted (see Executor.SubmitJob and cmd/loopserved).
+func KernelNames() []string { return job.Names() }
+
+// Option configures ParallelFor / ForPhases / Executor submissions.
+// The serializable settings (scheduler, procs, grain, tenant, ...)
+// lower onto the config's JobSpec; the remaining options attach the
+// process-local machinery a wire format cannot carry (sinks, hooks,
+// context, cost models).
 type Option func(*config)
 
 type config struct {
-	core.Config
-	obs    *livemetrics.Plane
-	tracer *spantrace.Tracer
-	err    error
+	// job is the serializable half of the submission; WithProcs,
+	// WithScheduler, WithGrain, WithTenant and WithJobSpec write here.
+	job JobSpec
+	// spec, when set, is WithSpec's fully-parameterised Scheduler value
+	// — the non-serializable escape hatch (e.g. Tapering with a custom
+	// CV has no ByName spelling). It overrides job.Scheduler at
+	// lowering.
+	spec *Scheduler
+	// Process-local attachments, applied on top of the lowered config.
+	ctx             context.Context
+	costHint        func(ph, i int) float64
+	startDelay      []time.Duration
+	events          EventSink
+	metrics         *MetricsRegistry
+	prov            ProvenanceSink
+	queueDepthEvery time.Duration
+	obs             *livemetrics.Plane
+	tracer          *spantrace.Tracer
+
+	// cc is the lowered core config, resolved once by buildConfig.
+	cc  core.Config
+	err error
 }
 
-// WithProcs sets the number of worker goroutines.
-func WithProcs(p int) Option { return func(c *config) { c.Procs = p } }
+// fail records the first option error (cli.FirstError semantics: one
+// submission, one diagnostic, naming the offending option).
+func (c *config) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
 
-// WithSpec selects the scheduling algorithm.
-func WithSpec(s Scheduler) Option { return func(c *config) { c.Spec = s } }
+// optionErr names the offending option the way internal/cli names a
+// flag: "WithProcs: procs must be ≥ 1, got 0".
+func optionErr(opt, format string, args ...any) error {
+	return fmt.Errorf("%s: %s", opt, fmt.Sprintf(format, args...))
+}
 
-// WithScheduler selects the scheduling algorithm by name; unknown names
-// surface as an error from ParallelFor/ForPhases.
-func WithScheduler(name string) Option {
+// WithProcs sets the number of worker goroutines (p ≥ 1).
+func WithProcs(p int) Option {
 	return func(c *config) {
-		s, err := sched.ByName(name)
-		if err != nil {
-			c.err = err
+		if p < 1 {
+			c.fail(optionErr("WithProcs", "procs must be ≥ 1, got %d", p))
 			return
 		}
-		c.Spec = s
+		c.job.Procs = p
+	}
+}
+
+// WithSpec selects the scheduling algorithm from a Scheduler value.
+// For algorithms with a ByName spelling prefer WithScheduler — it
+// keeps the submission fully serializable; WithSpec also accepts
+// parameterisations that have no name (a custom Tapering CV).
+func WithSpec(s Scheduler) Option {
+	return func(c *config) {
+		c.spec = &s
+		if _, err := sched.ByName(s.Name); err == nil {
+			c.job.Scheduler = s.Name
+		}
+	}
+}
+
+// WithScheduler selects the scheduling algorithm by name ("afs",
+// "gss", "chunk(8)", ...); unknown names surface as an error naming
+// this option from ParallelFor/ForPhases/Submit.
+func WithScheduler(name string) Option {
+	return func(c *config) {
+		if _, err := sched.ByName(name); err != nil {
+			c.fail(optionErr("WithScheduler", "%v", err))
+			return
+		}
+		c.job.Scheduler = name
+		c.spec = nil
+	}
+}
+
+// WithTenant names the submitting principal for fair queuing and
+// quota accounting — a pass-through for local executors, the admission
+// identity when the JobSpec is submitted to a loopserved instance.
+func WithTenant(name string) Option {
+	return func(c *config) { c.job.Tenant = name }
+}
+
+// WithJobSpec replaces the whole serializable half of the submission
+// with s — the bridge from wire jobs to local execution (serve uses it
+// after decoding a request; see also Executor.SubmitJob). Options
+// applied after it override individual fields; options applied before
+// it (including NewExecutor defaults) are superseded. Validation
+// errors name the offending JobSpec field.
+func WithJobSpec(s JobSpec) Option {
+	return func(c *config) {
+		if err := s.Validate(); err != nil {
+			c.fail(optionErr("WithJobSpec", "%v", err))
+			return
+		}
+		c.job = s
+		c.spec = nil
 	}
 }
 
 // WithCostHint supplies per-iteration cost estimates (phase, index) for
 // the BEST-STATIC oracle partitioner.
 func WithCostHint(hint func(ph, i int) float64) Option {
-	return func(c *config) { c.CostHint = hint }
+	return func(c *config) { c.costHint = hint }
 }
 
 // WithStartDelay delays each worker's start by the given amount,
 // reproducing the §4.5 non-uniform processor arrival experiments.
 func WithStartDelay(delays ...time.Duration) Option {
-	return func(c *config) { c.StartDelay = delays }
+	return func(c *config) {
+		for _, d := range delays {
+			if d < 0 {
+				c.fail(optionErr("WithStartDelay", "delays must be ≥ 0, got %v", d))
+				return
+			}
+		}
+		c.startDelay = delays
+	}
 }
 
-// WithGrain sets the minimum iterations handed out per queue operation,
-// for loops whose bodies are too cheap to justify per-chunk dispatch.
+// WithGrain sets the minimum iterations handed out per queue operation
+// (min ≥ 0; 0 or 1 means no coarsening), for loops whose bodies are
+// too cheap to justify per-chunk dispatch.
 func WithGrain(min int) Option {
-	return func(c *config) { c.MinChunk = min }
+	return func(c *config) {
+		if min < 0 {
+			c.fail(optionErr("WithGrain", "grain must be ≥ 0, got %d", min))
+			return
+		}
+		c.job.Grain = min
+	}
 }
 
 // WithEvents attaches a telemetry sink receiving the structured event
@@ -148,14 +262,14 @@ func WithGrain(min int) Option {
 // NewEventStream returns a suitable one. With no sink the hot path
 // pays a single nil check.
 func WithEvents(s EventSink) Option {
-	return func(c *config) { c.Events = s }
+	return func(c *config) { c.events = s }
 }
 
 // WithMetrics attaches a metrics registry accumulating counters and
 // histograms (chunk sizes, steal latencies, queue waits) with a
 // time-series snapshot taken at every phase barrier.
 func WithMetrics(r *MetricsRegistry) Option {
-	return func(c *config) { c.Metrics = r }
+	return func(c *config) { c.metrics = r }
 }
 
 // WithProvenance attaches a provenance sink receiving one record per
@@ -163,14 +277,20 @@ func WithMetrics(r *MetricsRegistry) Option {
 // the raw material for internal/forensics slowdown attribution.
 // NewProvenanceStream returns a suitable concurrent-safe sink.
 func WithProvenance(s ProvenanceSink) Option {
-	return func(c *config) { c.Prov = s }
+	return func(c *config) { c.prov = s }
 }
 
 // WithQueueDepthSampling samples every work queue's backlog at the
 // given interval into RunStats.QueueDepthSamples — the real runtime's
 // version of the simulator's per-queue imbalance signal.
 func WithQueueDepthSampling(every time.Duration) Option {
-	return func(c *config) { c.QueueDepthEvery = every }
+	return func(c *config) {
+		if every < 0 {
+			c.fail(optionErr("WithQueueDepthSampling", "interval must be ≥ 0, got %v", every))
+			return
+		}
+		c.queueDepthEvery = every
+	}
 }
 
 // Observability is a live observability plane: lock-cheap rolling
@@ -254,12 +374,67 @@ func WithTracing(t *Tracing) Option {
 // tracer attached.
 func TraceHandler(t *Tracing) http.Handler { return spantrace.Handler(t) }
 
+// Server is the multi-tenant loop-scheduling service: serializable
+// JobSpecs against named kernels, admitted through per-tenant
+// token-bucket quotas and a weighted fair queue with a bounded
+// backlog (excess sheds rather than queueing unboundedly), dispatched
+// onto a pool of Executor shards keyed scheduler×procs so affinity
+// state persists fleet-wide. Create with NewServer, serve over HTTP
+// with ServeHandler (see cmd/loopserved; Go client: repro/serveclient),
+// and Close when done.
+type Server = serve.Server
+
+// ServerOptions configures a Server: shard worker counts, queue bound,
+// per-tenant quotas and weights, and the observability attachments.
+type ServerOptions = serve.Options
+
+// ServerTenant is one tenant's admission policy (fair-queue weight,
+// token-bucket rate and burst).
+type ServerTenant = serve.TenantConfig
+
+// NewServer starts a loop-scheduling service.
+func NewServer(opts ServerOptions) (*Server, error) { return serve.New(opts) }
+
+// ServeHandler serves a Server over HTTP: an auto-refreshing HTML view
+// at /, POST /jobs (JobSpec JSON in, stats + checksum out; 429 with
+// Retry-After on shed, 400 on an invalid spec, 503 once closed),
+// /kernels, /status, /tenants, /shards, /healthz. Observability
+// endpoints are mounted separately via ObservabilityHandler, as in
+// cmd/loopserved. label names the service in the HTML view.
+func ServeHandler(s *Server, label string) http.Handler {
+	return serve.NewHandler(s, label)
+}
+
+// lower resolves the option list's JobSpec into the engine's
+// submission config — the same job.Spec.Config path a wire submission
+// takes — then layers the process-local attachments on top.
+func (c *config) lower() (core.Config, error) {
+	cc, err := c.job.Config()
+	if err != nil {
+		return core.Config{}, err
+	}
+	if c.spec != nil {
+		cc.Spec = *c.spec
+	}
+	cc.Ctx = c.ctx
+	cc.CostHint = c.costHint
+	cc.StartDelay = c.startDelay
+	cc.Events = c.events
+	cc.Metrics = c.metrics
+	cc.Prov = c.prov
+	cc.QueueDepthEvery = c.queueDepthEvery
+	return cc, nil
+}
+
 func buildConfig(opts []Option) (config, error) {
 	// One-shot paths run under context.Background(); the *Ctx variants
 	// and Executor submissions overwrite Ctx afterwards.
-	cfg := config{Config: core.Config{Spec: sched.SpecAFS(), Ctx: context.Background()}}
+	cfg := config{ctx: context.Background()}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.err == nil {
+		cfg.cc, cfg.err = cfg.lower()
 	}
 	return cfg, cfg.err
 }
@@ -268,7 +443,7 @@ func buildConfig(opts []Option) (config, error) {
 // hooks plus telemetry/provenance tees into the flight recorder (an
 // Executor's plane is instead wired by internal/pool per submission).
 func applyObs(cfg config) core.Config {
-	cc := cfg.Config
+	cc := cfg.cc
 	if cfg.obs != nil {
 		cc.Hooks = cfg.obs.Collector()
 		ev, pv := cfg.obs.Recorder().ForSubmission()
@@ -321,7 +496,7 @@ func runObserved(cfg config, phases int, f func(cc core.Config) (RunStats, error
 			cfg.obs.SetTracer(cfg.tracer)
 		}
 		at = cfg.tracer.StartSubmission(spantrace.SubmissionInfo{
-			Scheduler: cfg.Spec.Name, Procs: procsOf(cfg.Config), Phases: phases,
+			Scheduler: cfg.cc.Spec.Name, Procs: procsOf(cfg.cc), Phases: phases,
 		})
 		cc.Hooks = spanHooks{inner: cc.Hooks, Active: at}
 	}
@@ -369,7 +544,7 @@ func ParallelForCtx(ctx context.Context, n int, body func(i int), opts ...Option
 	if err != nil {
 		return RunStats{}, err
 	}
-	cfg.Ctx = ctx
+	cfg.cc.Ctx = ctx
 	return runObserved(cfg, 1, func(cc core.Config) (RunStats, error) {
 		return core.ParallelFor(cc, n, body)
 	})
@@ -399,7 +574,7 @@ func ForPhasesCtx(ctx context.Context, phases int, n func(ph int) int, body func
 	if err != nil {
 		return RunStats{}, err
 	}
-	cfg.Ctx = ctx
+	cfg.cc.Ctx = ctx
 	return runObserved(cfg, phases, func(cc core.Config) (RunStats, error) {
 		return core.Run(cc, phases, n, body)
 	})
@@ -449,7 +624,7 @@ func NewExecutor(opts ...Option) (*Executor, error) {
 	if err != nil {
 		return nil, err
 	}
-	px, err := pool.New(procsOf(cfg.Config))
+	px, err := pool.New(procsOf(cfg.cc))
 	if err != nil {
 		return nil, err
 	}
@@ -502,7 +677,7 @@ func (e *Executor) submitConfig(opts []Option) (core.Config, error) {
 	if cfg.obs != nil && cfg.obs != e.px.Observability() && e.px.Observability() == nil {
 		return applyObs(cfg), nil
 	}
-	return cfg.Config, nil
+	return cfg.cc, nil
 }
 
 // Submit executes body(i) for i in [0, n) on the pool and blocks until
@@ -525,6 +700,38 @@ func (e *Executor) SubmitPhases(ctx context.Context, phases int, n func(ph int) 
 		return RunStats{}, err
 	}
 	return e.px.SubmitPhases(ctx, cfg, phases, n, body)
+}
+
+// SubmitJob executes a serializable JobSpec on the pool: the spec's
+// kernel name is resolved against the registered kernel table (see
+// KernelNames), fresh per-job kernel state is built from its params,
+// and the phased loop runs under the spec's scheduler/procs/grain —
+// the exact execution path a loopserved instance takes for a wire
+// submission, available locally. A positive DeadlineMS bounds the run
+// via the context. Returns the run's stats and the kernel checksum.
+func (e *Executor) SubmitJob(ctx context.Context, spec JobSpec, opts ...Option) (RunStats, float64, error) {
+	if err := spec.RequireKernel(); err != nil {
+		return RunStats{}, 0, err
+	}
+	r, err := job.Build(spec)
+	if err != nil {
+		return RunStats{}, 0, err
+	}
+	merged := append([]Option{WithJobSpec(spec)}, opts...)
+	cfg, err := e.submitConfig(merged)
+	if err != nil {
+		return RunStats{}, 0, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if d := spec.Deadline(); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	st, err := e.px.SubmitPhases(ctx, cfg, r.Phases, r.N, r.Body)
+	return st, r.Checksum(), err
 }
 
 // Observability returns the executor's live plane (set with
@@ -708,13 +915,4 @@ func Simulate(m *Machine, p int, s Scheduler, prog SimProgram, opts ...SimOption
 		opt(&o)
 	}
 	return sim.RunOpts(m, p, s, prog, o)
-}
-
-// SimulateOpts is Simulate with an options struct.
-//
-// Deprecated: use Simulate with variadic SimOptions instead, e.g.
-// Simulate(m, p, s, prog, WithSimSeed(7), WithSimTrace(tr)); to apply
-// an existing SimOptions struct wholesale, pass WithSimOptions(opts).
-func SimulateOpts(m *Machine, p int, s Scheduler, prog SimProgram, opts SimOptions) (SimResult, error) {
-	return Simulate(m, p, s, prog, WithSimOptions(opts))
 }

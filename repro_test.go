@@ -2,7 +2,9 @@ package repro_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -115,9 +117,7 @@ func TestSimulatePublicAPI(t *testing.T) {
 	if res.Seconds <= 0 || res.Procs != 4 || res.Machine != "Iris" {
 		t.Errorf("result %+v", res)
 	}
-	res2, err := repro.SimulateOpts(m, 4, repro.GSS(), prog, repro.SimOptions{
-		StartDelay: []float64{1e6},
-	})
+	res2, err := repro.Simulate(m, 4, repro.GSS(), prog, repro.WithSimStartDelay(1e6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +296,9 @@ func TestParallelForCtx(t *testing.T) {
 }
 
 // TestSimulateVariadicOptions: the redesigned Simulate takes options
-// directly; the deprecated SimulateOpts path must agree bit-for-bit.
+// directly; applying a whole SimOptions struct via WithSimOptions
+// (the migration path from the removed SimulateOpts) must agree
+// bit-for-bit.
 func TestSimulateVariadicOptions(t *testing.T) {
 	m := repro.Iris()
 	build := func() repro.SimProgram {
@@ -319,14 +321,14 @@ func TestSimulateVariadicOptions(t *testing.T) {
 	if res.Cycles <= 0 {
 		t.Fatal("no cycles simulated")
 	}
-	old, err := repro.SimulateOpts(m, 4, repro.AFS(), build(), repro.SimOptions{
+	old, err := repro.Simulate(m, 4, repro.AFS(), build(), repro.WithSimOptions(repro.SimOptions{
 		Seed: 7, StartDelay: []float64{1000},
-	})
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if old.Cycles != res.Cycles {
-		t.Errorf("deprecated SimulateOpts diverged: %f vs %f cycles", old.Cycles, res.Cycles)
+		t.Errorf("WithSimOptions diverged from per-field options: %f vs %f cycles", old.Cycles, res.Cycles)
 	}
 	if len(reg.Series()) == 0 {
 		t.Error("WithSimMetrics recorded no series")
@@ -352,5 +354,87 @@ func TestRandomizedStealPolicies(t *testing.T) {
 				t.Fatalf("%s: iteration %d ran %d times", name, i, c)
 			}
 		}
+	}
+}
+
+// TestOptionErrorsNameOption: invalid option values surface as errors
+// naming the offending option, internal/cli.FirstError style.
+func TestOptionErrorsNameOption(t *testing.T) {
+	cases := []struct {
+		opt  repro.Option
+		want string
+	}{
+		{repro.WithProcs(0), "WithProcs"},
+		{repro.WithProcs(-3), "WithProcs"},
+		{repro.WithScheduler("not-a-scheduler"), "WithScheduler"},
+		{repro.WithGrain(-1), "WithGrain"},
+		{repro.WithStartDelay(-time.Second), "WithStartDelay"},
+		{repro.WithQueueDepthSampling(-time.Millisecond), "WithQueueDepthSampling"},
+		{repro.WithJobSpec(repro.JobSpec{Kernel: "not-a-kernel"}), "WithJobSpec"},
+		{repro.WithJobSpec(repro.JobSpec{Procs: -1}), "jobspec.procs"},
+	}
+	for _, c := range cases {
+		_, err := repro.ParallelFor(8, func(int) {}, c.opt)
+		if err == nil {
+			t.Errorf("want error naming %q, got nil", c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("error %q does not name %q", err, c.want)
+		}
+	}
+	// The first offending option wins when several fail.
+	_, err := repro.ParallelFor(8, func(int) {}, repro.WithGrain(-1), repro.WithProcs(0))
+	if err == nil || !strings.Contains(err.Error(), "WithGrain") {
+		t.Errorf("first-error semantics: got %v, want WithGrain error", err)
+	}
+}
+
+// TestSubmitJob: a serializable JobSpec executes a registered kernel
+// on the pool — the wire-submission path, run locally — and produces
+// the kernel's serial checksum.
+func TestSubmitJob(t *testing.T) {
+	ex, err := repro.NewExecutor(repro.WithProcs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+	spec := repro.JobSpec{
+		Kernel:    "gauss",
+		Params:    repro.JobParams{N: 48},
+		Scheduler: "afs",
+		Tenant:    "local",
+	}
+	st, sum, err := ex.SubmitJob(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Phases != 47 || st.Iterations == 0 {
+		t.Fatalf("stats %+v, want 47 phases", st)
+	}
+	if sum == 0 {
+		t.Fatal("gauss checksum is zero")
+	}
+	// Same spec over a JSON round-trip: identical work, identical sum.
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back repro.JobSpec
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	_, sum2, err := ex.SubmitJob(context.Background(), back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum2 != sum {
+		t.Fatalf("checksum drifted over the wire: %v vs %v", sum, sum2)
+	}
+	if _, _, err := ex.SubmitJob(context.Background(), repro.JobSpec{}); err == nil {
+		t.Fatal("SubmitJob without a kernel must fail")
+	}
+	if len(repro.KernelNames()) == 0 {
+		t.Fatal("no kernels registered")
 	}
 }

@@ -283,7 +283,7 @@ func realKernel(name string, n, phases int) (runFunc, string, error) {
 				if err != nil {
 					return total, err
 				}
-				accumulate(&total, st)
+				total = accumulate(total, st)
 				topt.advance(1, st.Elapsed)
 				g.Swap()
 			}
@@ -310,7 +310,7 @@ func realKernel(name string, n, phases int) (runFunc, string, error) {
 				if err != nil {
 					return total, err
 				}
-				accumulate(&total, st)
+				total = accumulate(total, st)
 				topt.advance(1, st.Elapsed)
 			}
 			return total, nil
@@ -340,7 +340,7 @@ func realKernel(name string, n, phases int) (runFunc, string, error) {
 				if err != nil {
 					return total, err
 				}
-				accumulate(&total, st)
+				total = accumulate(total, st)
 				topt.advance(1, st.Elapsed)
 			}
 			return total, nil
@@ -367,7 +367,10 @@ func validateArgs(n, phases, repeats int) error {
 	)
 }
 
-func accumulate(total *repro.RunStats, st repro.RunStats) {
+// accumulate folds one run's stats into the total, value-in/value-out:
+// both sides are private snapshots, so the counter arithmetic stays
+// off the atomic fields' shared instances.
+func accumulate(total, st repro.RunStats) repro.RunStats {
 	total.Elapsed += st.Elapsed
 	total.CentralOps += st.CentralOps
 	total.Steals += st.Steals
@@ -377,6 +380,7 @@ func accumulate(total *repro.RunStats, st repro.RunStats) {
 	for i := range st.LocalOps {
 		total.CentralOps += st.LocalOps[i] + st.RemoteOps[i]
 	}
+	return total
 }
 
 func median(d []time.Duration) time.Duration {

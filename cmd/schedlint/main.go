@@ -9,9 +9,17 @@
 // Packages are module-relative directories ("./internal/sim") or
 // recursive patterns ("./...", the default). Flags:
 //
-//	-format text|json|markdown   output format (default text)
-//	-checks a,b                  run a subset of checks
-//	-list                        print the check catalog and exit
+//	-format text|json|markdown|sarif   output format (default text)
+//	-checks a,b                        run a subset of checks
+//	-unused-allows                     also report stale //lint:allow directives
+//	-list                              print the check catalog and exit
+//
+// The sarif format emits a SARIF 2.1.0 document suitable for GitHub
+// code scanning upload; suppressed findings carry inSource
+// suppressions with the directive's reason as justification.
+// -unused-allows audits the suppression inventory: any well-formed
+// directive that matched no finding in the run is itself reported (as
+// check "unused-allow") and fails the run like any other finding.
 //
 // Exit codes: 0 — no unsuppressed findings; 1 — at least one
 // unsuppressed finding; 2 — usage or load error. Findings are
@@ -41,6 +49,7 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	format := fs.String("format", "text", "output format: text, json or markdown")
 	checks := fs.String("checks", "", "comma-separated subset of checks to run (default all)")
+	unusedAllows := fs.Bool("unused-allows", false, "also report //lint:allow directives that suppress nothing")
 	list := fs.Bool("list", false, "print the check catalog and exit")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: schedlint [flags] [packages]")
@@ -80,6 +89,11 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	cfg := lint.DefaultConfig(mod.Path)
 	cfg.Checks = selected
 	diags := lint.Run(mod, pkgs, cfg)
+	if *unusedAllows {
+		// Merged into the ordinary stream: stale allows render in every
+		// format and gate the exit code like any other finding.
+		diags = lint.Merge(diags, lint.UnusedAllows(pkgs, diags, cfg))
+	}
 	if err := lint.WriteReport(stdout, *format, diags, mod.Root); err != nil {
 		fmt.Fprintln(stderr, "schedlint:", err)
 		return 2

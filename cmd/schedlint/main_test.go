@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -30,7 +31,7 @@ func TestList(t *testing.T) {
 	if code := run([]string{"-list"}, ".", &out, &errb); code != 0 {
 		t.Fatalf("run(-list) = %d, stderr: %s", code, errb.String())
 	}
-	for _, want := range []string{"determinism", "locking", "telemetry", "hygiene"} {
+	for _, want := range []string{"determinism", "locking", "atomics", "ctxflow", "leaks", "telemetry", "hygiene"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("catalog output lacks %q:\n%s", want, out.String())
 		}
@@ -49,6 +50,71 @@ func TestLintOwnPackage(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "schedlint: 0 finding(s)") {
 		t.Errorf("unexpected summary:\n%s", out.String())
+	}
+}
+
+// TestSARIFFormat renders the module's own lint run as SARIF and
+// checks the document shape the code-scanning upload depends on.
+func TestSARIFFormat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks dependencies; skipped in -short runs")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-format", "sarif", "./cmd/schedlint"}, ".", &out, &errb); code != 0 {
+		t.Fatalf("run = %d, want 0\nstderr: %s", code, errb.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct{ Name string } `json:"driver"`
+			} `json:"tool"`
+			Results []any `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
+		t.Fatalf("sarif output does not parse: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "schedlint" {
+		t.Errorf("unexpected sarif header: version %q, %d run(s)", log.Version, len(log.Runs))
+	}
+	if log.Runs[0].Results == nil {
+		t.Error("sarif results array missing (must be present even when empty)")
+	}
+}
+
+// TestUnusedAllowsFlag pins the audit's exit-code contract: the
+// deliberately stale directive in directivefix passes an ordinary run
+// and fails an -unused-allows run.
+func TestUnusedAllowsFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks dependencies; skipped in -short runs")
+	}
+	target := "./internal/lint/testdata/directivefix"
+	// Narrow to a check the package cannot trip, so the only moving part
+	// between the two runs is the audit (the fixture's three malformed
+	// directives are reported unconditionally either way).
+	base := []string{"-checks", "locking"}
+	var out, errb bytes.Buffer
+	if code := run(append(base, target), ".", &out, &errb); code != 1 {
+		t.Fatalf("ordinary run = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if strings.Contains(out.String(), "[unused-allow]") {
+		t.Fatalf("ordinary run reported the audit without the flag:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "schedlint: 3 finding(s)") {
+		t.Fatalf("unexpected baseline summary:\n%s", out.String())
+	}
+	out.Reset()
+	code := run(append(base, "-unused-allows", target), ".", &out, &errb)
+	if code != 1 {
+		t.Fatalf("audit run = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "[unused-allow]") || !strings.Contains(out.String(), "lint:allow locking") {
+		t.Errorf("audit output lacks the stale-directive finding:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "schedlint: 4 finding(s)") {
+		t.Errorf("stale directive did not gate the audit run:\n%s", out.String())
 	}
 }
 

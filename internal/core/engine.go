@@ -168,7 +168,14 @@ func (e *Engine) Execute(cfg Config, phases int, n func(ph int) int, body func(p
 		ctx = context.Background()
 	}
 
-	<-e.turn // FIFO admission
+	select {
+	case <-e.turn: // FIFO admission
+	case <-ctx.Done():
+		// Cancelled while queued: the baton was never taken, so there
+		// is nothing to hand back and the submitter stops waiting
+		// behind an arbitrarily long queue.
+		return Result{}, ctx.Err()
+	}
 	defer func() { e.turn <- struct{}{} }()
 	if e.closed {
 		return Result{}, ErrClosed
@@ -231,9 +238,9 @@ func (e *Engine) Execute(cfg Config, phases int, n func(ph int) int, body func(p
 		}
 		r.phaseWG.Add(p)
 		for w := 0; w < p; w++ {
-			e.starts[w] <- phaseTask{r, ph}
+			e.starts[w] <- phaseTask{r, ph} //lint:allow ctxflow workers drain starts until Close, so the send is bounded by the phase protocol; bailing mid-loop would desync the barrier
 		}
-		r.phaseWG.Wait()
+		r.phaseWG.Wait() //lint:allow ctxflow cancellation aborts dispatch at chunk granularity and every worker calls Done, so the barrier always drains
 		if r.sink != nil || r.spans != nil {
 			t := r.nowNS()
 			if r.sink != nil {

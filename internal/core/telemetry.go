@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/telemetry"
+import (
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
 
 // coreHandles caches the metric objects the real runtime updates so
 // instrumented hot paths never do a registry map lookup.
@@ -38,8 +42,10 @@ func newCoreHandles(r *telemetry.Registry) *coreHandles {
 
 // snapshotPhase reconciles the registry counters with the run's stats
 // and records one time-series sample at phase ph. Called between
-// phases (workers are at the barrier), so the plain stats reads are
-// race-free.
+// phases (workers are at the barrier), so the reads are race-free; the
+// scalar counters go through atomic loads anyway to keep one access
+// discipline per field (the per-element LocalOps/RemoteOps reads stay
+// plain — the barrier is their correctness argument).
 func (r *runner) snapshotPhase(ph int) {
 	rh := r.rh
 	syncCounter := func(c *telemetry.Counter, want int64) {
@@ -52,11 +58,11 @@ func (r *runner) snapshotPhase(ph int) {
 		local += r.stats.LocalOps[i]
 		remote += r.stats.RemoteOps[i]
 	}
-	syncCounter(rh.centralOps, r.stats.CentralOps)
+	syncCounter(rh.centralOps, atomic.LoadInt64(&r.stats.CentralOps))
 	syncCounter(rh.localOps, local)
 	syncCounter(rh.remoteOps, remote)
-	syncCounter(rh.steals, r.stats.Steals)
-	syncCounter(rh.migratedIters, r.stats.MigratedIters)
-	syncCounter(rh.iterations, r.stats.Iterations)
+	syncCounter(rh.steals, atomic.LoadInt64(&r.stats.Steals))
+	syncCounter(rh.migratedIters, atomic.LoadInt64(&r.stats.MigratedIters))
+	syncCounter(rh.iterations, atomic.LoadInt64(&r.stats.Iterations))
 	rh.reg.Snapshot(ph)
 }

@@ -1,0 +1,342 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// atomicsCheck enforces a single access discipline per field: once any
+// code in the module updates a struct field (or package-level
+// variable) through sync/atomic, every other access must go through
+// sync/atomic too. Mixed atomic/plain access is a data race the race
+// detector only catches when the interleaving happens to occur — and
+// it is exactly the bug class the planned lock-free rewrite of the hot
+// paths (ROADMAP item 4, Chase–Lev deques) would mass-produce.
+//
+// The index of atomically-accessed variables is module-wide: a field
+// updated atomically in internal/core is protected against plain
+// writes from any package. Two deliberate refinements keep the signal
+// clean:
+//
+//   - plain WRITES and address escapes are flagged everywhere, but
+//     plain READS only in packages that themselves perform atomic
+//     accesses of the field — a read elsewhere is presumed to see a
+//     post-barrier by-value snapshot (core.Stats results copied out
+//     after a run), which a reasoned //lint:allow documents when the
+//     presumption is load-bearing;
+//   - element accesses through an index expression
+//     (atomic.AddInt64(&stats.LocalOps[w], 1)) are not indexed: the
+//     discipline there is per-element, beyond a whole-variable check.
+//
+// Accesses whose selector-chain base is a local variable of non-
+// pointer type — a value receiver, a value parameter, a local struct
+// accumulator — are exempt: the struct there is a private copy, and a
+// copy cannot race with the shared instance (the copying assignment
+// itself is the reader's responsibility; the module copies Stats out
+// only after the run's barrier). Shared state in this module is always
+// reached through a pointer, so the hot paths stay fully covered.
+//
+// Constructor paths are exempt: functions named init or New*/new* own
+// their value exclusively before it is published, as do composite
+// literal keys.
+var atomicsCheck = &Check{
+	Name: "atomics",
+	Doc:  "forbid plain access to fields that are elsewhere accessed via sync/atomic (mixed access races)",
+	Run:  runAtomics,
+}
+
+func runAtomics(p *Pass) {
+	if !matchesAny(p.Pkg.Path, p.Cfg.Atomics) {
+		return
+	}
+	idx := p.Mod.atomicVarIndex()
+	if len(idx) == 0 {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		sanctioned := atomicOperands(p.Pkg.Info, f)
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			e, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			v := plainVarOf(p.Pkg.Info, e)
+			if v == nil {
+				return true
+			}
+			use, tracked := idx[v]
+			if !tracked || sanctioned[n] {
+				return true
+			}
+			if skipAtomicAccess(e, stack) || throughLocalCopy(p.Pkg.Info, e) {
+				return true
+			}
+			site := fmt.Sprintf("%s:%d", filepath.Base(use.pos.Filename), use.pos.Line)
+			switch classifyAccess(n, stack) {
+			case accessWrite:
+				p.Reportf(n.Pos(), "%s is accessed via sync/atomic (e.g. %s) but written plainly here (use the atomic API on every access outside init paths)", v.Name(), site)
+			case accessAddr:
+				p.Reportf(n.Pos(), "%s is accessed via sync/atomic (e.g. %s) but its address escapes outside sync/atomic here", v.Name(), site)
+			case accessRead:
+				if use.pkgs[p.Pkg.Path] {
+					p.Reportf(n.Pos(), "%s is accessed via sync/atomic (e.g. %s) but read plainly here (use an atomic load, or annotate the post-barrier snapshot)", v.Name(), site)
+				}
+			}
+			return true
+		})
+	}
+}
+
+type accessKind int
+
+const (
+	accessRead accessKind = iota
+	accessWrite
+	accessAddr
+)
+
+// classifyAccess decides what the enclosing context does with the
+// variable: assignment target, increment, address-taken, or read.
+func classifyAccess(n ast.Node, stack []ast.Node) accessKind {
+	if len(stack) == 0 {
+		return accessRead
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range parent.Lhs {
+			if lhs == n {
+				return accessWrite
+			}
+		}
+	case *ast.IncDecStmt:
+		if parent.X == n {
+			return accessWrite
+		}
+	case *ast.UnaryExpr:
+		if parent.Op == token.AND && parent.X == n {
+			return accessAddr
+		}
+	}
+	return accessRead
+}
+
+// skipAtomicAccess filters node shapes that are not accesses at all:
+// the Sel half of a parent selector (the parent carries the access),
+// composite-literal keys (naming the field, owned pre-publication),
+// and anything inside an init-path function.
+func skipAtomicAccess(e ast.Expr, stack []ast.Node) bool {
+	if len(stack) > 0 {
+		switch parent := stack[len(stack)-1].(type) {
+		case *ast.SelectorExpr:
+			if parent.Sel == e {
+				return true
+			}
+		case *ast.KeyValueExpr:
+			if parent.Key == e {
+				return true
+			}
+		}
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			name := fd.Name.Name
+			if name == "init" || strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") {
+				return true
+			}
+			break
+		}
+	}
+	return false
+}
+
+// throughLocalCopy reports whether a selector access bottoms out in a
+// local variable through value hops only: the struct is then a private
+// by-value copy, which cannot race with the shared instance. Any
+// reference hop on the way — a pointer, slice, map, or interface —
+// reaches shared memory and voids the exemption.
+func throughLocalCopy(info *types.Info, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	base := ast.Unparen(sel.X)
+	for {
+		if !isValueHop(info, base) {
+			return false
+		}
+		switch b := base.(type) {
+		case *ast.SelectorExpr:
+			base = ast.Unparen(b.X)
+			continue
+		case *ast.IndexExpr:
+			base = ast.Unparen(b.X)
+			continue
+		}
+		break
+	}
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil || v.Parent() == v.Pkg().Scope() {
+		return false
+	}
+	return true
+}
+
+// isValueHop reports whether an expression in a selector chain has a
+// value type (struct or array), so traversing it stays inside the
+// copy.
+func isValueHop(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Struct, *types.Array:
+		return true
+	}
+	return false
+}
+
+// plainVarOf resolves a selector or identifier to the struct field or
+// package-level variable it denotes, or nil.
+func plainVarOf(info *types.Info, e ast.Expr) *types.Var {
+	var obj types.Object
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[e.Sel]
+		}
+	case *ast.Ident:
+		// Uses only: a Defs hit would be the declaration itself (a
+		// struct field's name, a var spec), which is not an access.
+		obj = info.Uses[e]
+	default:
+		return nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return nil
+	}
+	if v.IsField() {
+		return v
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return v // package-level variable
+	}
+	return nil
+}
+
+// atomicOperands collects the operand nodes of sync/atomic calls in
+// one file: the `x.f` inside atomic.AddInt64(&x.f, 1). These are the
+// sanctioned accesses the plain-access scan must not flag.
+func atomicOperands(info *types.Info, f *ast.File) map[ast.Node]bool {
+	out := map[ast.Node]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if target := atomicCallOperand(info, n); target != nil {
+			out[target] = true
+		}
+		return true
+	})
+	return out
+}
+
+// atomicCallOperand returns the &-operand expression of a sync/atomic
+// function call, or nil. Method calls (atomic.Int64 etc.) are excluded
+// — the typed atomics make mixed access impossible by construction.
+// Index-expression operands are excluded per the package comment.
+func atomicCallOperand(info *types.Info, n ast.Node) ast.Expr {
+	call, ok := n.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil
+	}
+	addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || addr.Op != token.AND {
+		return nil
+	}
+	target := ast.Unparen(addr.X)
+	if _, isIndex := target.(*ast.IndexExpr); isIndex {
+		return nil
+	}
+	return target
+}
+
+// inspectStack is ast.Inspect with an ancestor stack: fn receives each
+// node together with the path from the root (nearest ancestor last).
+func inspectStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// atomicUse records where a variable's atomic discipline was
+// established: the first atomic call site (for the diagnostic) and the
+// set of packages performing atomic accesses (the read-locality rule).
+type atomicUse struct {
+	pos  token.Position
+	pkgs map[string]bool
+}
+
+// atomicVarIndex returns the module-wide map of variables accessed
+// through sync/atomic, rebuilding lazily when more packages have been
+// loaded since the last build (the same pattern as the deprecated-API
+// index). Iteration over sorted Packages keeps the recorded first-site
+// deterministic.
+func (m *Module) atomicVarIndex() map[*types.Var]*atomicUse {
+	if m.atomicIdx != nil && m.atomicIdxAt == len(m.pkgs) {
+		return m.atomicIdx
+	}
+	idx := map[*types.Var]*atomicUse{}
+	for _, pkg := range m.Packages() {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				target := atomicCallOperand(pkg.Info, n)
+				if target == nil {
+					return true
+				}
+				v := plainVarOf(pkg.Info, target)
+				if v == nil {
+					return true
+				}
+				use := idx[v]
+				if use == nil {
+					use = &atomicUse{pos: m.Fset.Position(target.Pos()), pkgs: map[string]bool{}}
+					idx[v] = use
+				}
+				use.pkgs[pkg.Path] = true
+				return true
+			})
+		}
+	}
+	m.atomicIdx = idx
+	m.atomicIdxAt = len(m.pkgs)
+	return idx
+}

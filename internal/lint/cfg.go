@@ -1,0 +1,527 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// cfg.go builds per-function control-flow graphs over go/ast. The CFG
+// is the substrate for the flow-sensitive checks (locking, ctxflow,
+// leaks): instead of a linear source-order scan, facts are propagated
+// along edges, so early returns, gotos, labeled breaks, and
+// branch-dependent unlocks are all visible to the analysis.
+//
+// The builder is purely syntactic — it needs no type information — so
+// it can be unit-tested on parsed snippets and reused by any check.
+// Compound statements never appear inside a block: their pieces
+// (condition expressions, init statements, communication clauses) are
+// distributed across blocks and wired with edges, so a transfer
+// function may treat every node in Block.Nodes as executing
+// unconditionally, in order, whenever the block runs.
+
+// A Block is one straight-line run of simple statements and
+// control-header expressions.
+type Block struct {
+	Index int
+	// Kind is a human-readable label ("entry", "if.then", "for.head",
+	// "select.case", ...) used by the structural dump and tests.
+	Kind  string
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// SelectContext records, for a communication statement placed at the
+// head of its clause block, the select it belongs to. Checks use it to
+// distinguish select-guarded channel operations (which may have a
+// cancellation arm or a default) from bare sends and receives.
+type SelectContext struct {
+	Select *ast.SelectStmt
+	// HasDefault marks a non-blocking select: the statement as a whole
+	// cannot wedge even if every communication is unready.
+	HasDefault bool
+}
+
+// CFG is one function body's control-flow graph. Entry has no
+// predecessors; every return, panic, and fall-off-the-end path edges
+// into Exit. Blocks that cannot be reached from Entry (code after an
+// unconditional return, bodies of for{} loops nobody enters) are still
+// present but receive no dataflow facts.
+type CFG struct {
+	Entry *Block
+	Exit  *Block
+	// Blocks lists every block in creation order (deterministic for a
+	// given AST), Entry first and Exit last.
+	Blocks []*Block
+	// SelectComm maps a select clause's communication statement — the
+	// first node of the clause's block — to its select context.
+	SelectComm map[ast.Node]*SelectContext
+	// RangeX maps a range statement's X expression, which the builder
+	// places in the loop-head block where it is re-observed each
+	// iteration, to its statement. Checks recognise the per-iteration
+	// receive of a range-over-channel loop through this table.
+	RangeX map[ast.Node]*ast.RangeStmt
+}
+
+// BuildCFG constructs the control-flow graph of one function body
+// (either a FuncDecl's or a FuncLit's). The body may be nil for
+// declarations without bodies; the result is then a bare entry→exit
+// graph.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg: &CFG{
+			SelectComm: make(map[ast.Node]*SelectContext),
+			RangeX:     make(map[ast.Node]*ast.RangeStmt),
+		},
+		labelBlocks:  make(map[string]*Block),
+		pendingGotos: make(map[string][]*Block),
+	}
+	b.cfg.Entry = b.newBlock("entry")
+	exit := &Block{Kind: "exit"}
+	b.current = b.cfg.Entry
+	if body != nil {
+		for _, st := range body.List {
+			b.stmt(st)
+		}
+	}
+	b.edge(b.current, exit)
+	for _, from := range b.exitSources {
+		b.edge(from, exit)
+	}
+	// Unresolved gotos (malformed input) dangle harmlessly: their
+	// source blocks simply have no successor besides what they had.
+	exit.Index = len(b.cfg.Blocks)
+	b.cfg.Blocks = append(b.cfg.Blocks, exit)
+	b.cfg.Exit = exit
+	return b.cfg
+}
+
+// branchTarget is one open break or continue destination; label is ""
+// for the implicit innermost target.
+type branchTarget struct {
+	label string
+	block *Block
+}
+
+type cfgBuilder struct {
+	cfg     *CFG
+	current *Block // nil after a terminator: following code is unreachable
+
+	breaks    []branchTarget
+	continues []branchTarget
+
+	// pendingLabel carries a label down to the loop/switch/select it
+	// names, so `break L` and `continue L` resolve to that construct.
+	pendingLabel string
+
+	labelBlocks  map[string]*Block   // goto targets seen so far
+	pendingGotos map[string][]*Block // forward gotos awaiting their label
+
+	// exitSources are blocks that flow into Exit (returns, panics);
+	// Exit does not exist until the walk finishes, so they are wired
+	// in BuildCFG.
+	exitSources []*Block
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add appends a node to the current block, opening an unreachable
+// block if control cannot flow here.
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.current == nil {
+		b.current = b.newBlock("unreachable")
+	}
+	b.current.Nodes = append(b.current.Nodes, n)
+}
+
+// takeLabel consumes the label pending for the construct being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, branchTarget{label: label, block: brk})
+	b.continues = append(b.continues, branchTarget{label: label, block: cont})
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+func (b *cfgBuilder) pushBreak(label string, brk *Block) {
+	b.breaks = append(b.breaks, branchTarget{label: label, block: brk})
+}
+
+func (b *cfgBuilder) popBreak() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+}
+
+func findTarget(stack []branchTarget, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+
+	case *ast.LabeledStmt:
+		// The label starts a fresh block so gotos have a join point.
+		lb := b.newBlock("label." + s.Label.Name)
+		b.edge(b.current, lb)
+		for _, from := range b.pendingGotos[s.Label.Name] {
+			b.edge(from, lb)
+		}
+		delete(b.pendingGotos, s.Label.Name)
+		b.labelBlocks[s.Label.Name] = lb
+		b.current = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.current
+		then := b.newBlock("if.then")
+		b.edge(cond, then)
+		b.current = then
+		b.stmt(s.Body)
+		thenEnd := b.current
+		var elseEnd *Block
+		hasElse := s.Else != nil
+		if hasElse {
+			els := b.newBlock("if.else")
+			b.edge(cond, els)
+			b.current = els
+			b.stmt(s.Else)
+			elseEnd = b.current
+		}
+		done := b.newBlock("if.done")
+		if !hasElse {
+			b.edge(cond, done)
+		}
+		b.edge(thenEnd, done)
+		b.edge(elseEnd, done)
+		b.current = done
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock("for.head")
+		b.edge(b.current, head)
+		b.current = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		done := b.newBlock("for.done")
+		if s.Cond != nil {
+			// A for{} loop with no condition only exits via break,
+			// return, or goto — no head→done edge.
+			b.edge(head, done)
+		}
+		// The continue target is the post statement's block when one
+		// exists, otherwise the head itself.
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+			cont = post
+		}
+		body := b.newBlock("for.body")
+		b.edge(head, body)
+		b.pushLoop(label, done, cont)
+		b.current = body
+		b.stmt(s.Body)
+		b.popLoop()
+		if post != nil {
+			b.edge(b.current, post)
+			b.current = post
+			b.stmt(s.Post)
+			b.edge(b.current, head)
+		} else {
+			b.edge(b.current, head)
+		}
+		b.current = done
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock("range.head")
+		b.edge(b.current, head)
+		b.current = head
+		// X is placed in the head so facts see it on every iteration;
+		// for a range over a channel this is the per-iteration receive.
+		b.add(s.X)
+		b.cfg.RangeX[s.X] = s
+		done := b.newBlock("range.done")
+		b.edge(head, done)
+		body := b.newBlock("range.body")
+		b.edge(head, body)
+		b.pushLoop(label, done, head)
+		b.current = body
+		b.stmt(s.Body)
+		b.popLoop()
+		b.edge(b.current, head)
+		b.current = done
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchClauses(label, s.Body, func(c ast.Stmt) ([]ast.Node, []ast.Stmt, bool) {
+			cc := c.(*ast.CaseClause)
+			exprs := make([]ast.Node, len(cc.List))
+			for i, e := range cc.List {
+				exprs[i] = e
+			}
+			return exprs, cc.Body, cc.List == nil
+		})
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchClauses(label, s.Body, func(c ast.Stmt) ([]ast.Node, []ast.Stmt, bool) {
+			cc := c.(*ast.CaseClause)
+			return nil, cc.Body, cc.List == nil
+		})
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.current
+		if head == nil {
+			head = b.newBlock("unreachable")
+			b.current = head
+		}
+		done := b.newBlock("select.done")
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if c.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		ctx := &SelectContext{Select: s, HasDefault: hasDefault}
+		b.pushBreak(label, done)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			clause := b.newBlock("select.case")
+			b.edge(head, clause)
+			b.current = clause
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+				b.cfg.SelectComm[cc.Comm] = ctx
+			}
+			for _, st := range cc.Body {
+				b.stmt(st)
+			}
+			b.edge(b.current, done)
+		}
+		b.popBreak()
+		// A select{} with no clauses blocks forever: done has no
+		// predecessors and stays unreachable, which is exactly right.
+		b.current = done
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			b.edge(b.current, findTarget(b.breaks, label))
+			b.current = nil
+		case token.CONTINUE:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			b.edge(b.current, findTarget(b.continues, label))
+			b.current = nil
+		case token.GOTO:
+			name := s.Label.Name
+			if target, ok := b.labelBlocks[name]; ok {
+				b.edge(b.current, target)
+			} else if b.current != nil {
+				b.pendingGotos[name] = append(b.pendingGotos[name], b.current)
+			}
+			b.current = nil
+		case token.FALLTHROUGH:
+			// Handled structurally by switchClauses; a stray
+			// fallthrough would not compile anyway.
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.exitFrom(b.current)
+		b.current = nil
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if terminatesFlow(s.X) {
+			b.exitFrom(b.current)
+			b.current = nil
+		}
+
+	default:
+		// Simple statements: assignments, declarations, sends,
+		// inc/dec, defer, go, empty. All are single nodes to the
+		// analysis; defer and go semantics are the checks' concern.
+		b.add(s)
+	}
+}
+
+// switchClauses wires the clause blocks of a switch or type switch,
+// including fallthrough edges. decompose returns the clause's guard
+// expressions, body, and whether it is the default clause.
+func (b *cfgBuilder) switchClauses(label string, body *ast.BlockStmt, decompose func(ast.Stmt) ([]ast.Node, []ast.Stmt, bool)) {
+	head := b.current
+	if head == nil {
+		head = b.newBlock("unreachable")
+		b.current = head
+	}
+	done := b.newBlock("switch.done")
+	b.pushBreak(label, done)
+	hasDefault := false
+	var fellFrom *Block
+	for _, c := range body.List {
+		exprs, stmts, isDefault := decompose(c)
+		if isDefault {
+			hasDefault = true
+		}
+		clause := b.newBlock("switch.case")
+		b.edge(head, clause)
+		b.edge(fellFrom, clause)
+		fellFrom = nil
+		b.current = clause
+		for _, e := range exprs {
+			b.add(e)
+		}
+		n := len(stmts)
+		fallsThrough := n > 0 && isFallthrough(stmts[n-1])
+		if fallsThrough {
+			n--
+		}
+		for _, st := range stmts[:n] {
+			b.stmt(st)
+		}
+		if fallsThrough {
+			fellFrom = b.current
+		} else {
+			b.edge(b.current, done)
+		}
+	}
+	b.popBreak()
+	if !hasDefault {
+		b.edge(head, done)
+	}
+	b.current = done
+}
+
+func isFallthrough(s ast.Stmt) bool {
+	br, ok := s.(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// exitFrom records that a block flows into Exit (return, panic). The
+// exit block is appended last, so the edges are wired in BuildCFG.
+func (b *cfgBuilder) exitFrom(from *Block) {
+	if from == nil {
+		return
+	}
+	b.exitSources = append(b.exitSources, from)
+}
+
+// terminatesFlow reports whether a call expression statement never
+// returns: the builtin panic, os.Exit, runtime.Goexit, and the
+// log.Fatal family. Purely syntactic — a shadowed `panic` would be
+// misclassified, which the repo's style makes a non-concern.
+func terminatesFlow(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fn.Sel.Name {
+		case "Exit", "Goexit", "Fatal", "Fatalf", "Fatalln":
+			return true
+		}
+	}
+	return false
+}
+
+// reachable returns the set of blocks reachable from Entry.
+func (c *CFG) reachable() map[*Block]bool {
+	seen := make(map[*Block]bool, len(c.Blocks))
+	stack := []*Block{c.Entry}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[blk] {
+			continue
+		}
+		seen[blk] = true
+		stack = append(stack, blk.Succs...)
+	}
+	return seen
+}
+
+// dump renders the graph structurally for tests: one line per block
+// with kind, node count, and successor indices.
+func (c *CFG) dump() string {
+	var sb strings.Builder
+	for _, blk := range c.Blocks {
+		fmt.Fprintf(&sb, "%d %s", blk.Index, blk.Kind)
+		if len(blk.Nodes) > 0 {
+			fmt.Fprintf(&sb, " [%d]", len(blk.Nodes))
+		}
+		if len(blk.Succs) > 0 {
+			parts := make([]string, len(blk.Succs))
+			for i, s := range blk.Succs {
+				parts[i] = fmt.Sprint(s.Index)
+			}
+			fmt.Fprintf(&sb, " -> %s", strings.Join(parts, ","))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,430 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseFuncBody parses a function body snippet and returns its CFG.
+func parseFuncBody(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "snippet.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\nsource:\n%s", err, src)
+	}
+	fn := file.Decls[len(file.Decls)-1].(*ast.FuncDecl)
+	return BuildCFG(fn.Body)
+}
+
+// blockByKind returns the first block whose kind matches.
+func blockByKind(t *testing.T, c *CFG, kind string) *Block {
+	t.Helper()
+	for _, b := range c.Blocks {
+		if b.Kind == kind {
+			return b
+		}
+	}
+	t.Fatalf("no block of kind %q in:\n%s", kind, c.dump())
+	return nil
+}
+
+func hasEdge(from, to *Block) bool {
+	for _, s := range from.Succs {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	c := parseFuncBody(t, "x := 1\nx++\n_ = x")
+	if len(c.Entry.Nodes) != 3 {
+		t.Fatalf("entry should hold all 3 statements, got %d:\n%s", len(c.Entry.Nodes), c.dump())
+	}
+	if !hasEdge(c.Entry, c.Exit) {
+		t.Fatalf("entry must fall through to exit:\n%s", c.dump())
+	}
+}
+
+func TestCFGIfJoin(t *testing.T) {
+	c := parseFuncBody(t, "x := 1\nif x > 0 {\n\tx = 2\n}\n_ = x")
+	then := blockByKind(t, c, "if.then")
+	done := blockByKind(t, c, "if.done")
+	if !hasEdge(c.Entry, then) || !hasEdge(c.Entry, done) {
+		t.Fatalf("cond block must branch to both then and done:\n%s", c.dump())
+	}
+	if !hasEdge(then, done) {
+		t.Fatalf("then must rejoin at done:\n%s", c.dump())
+	}
+}
+
+func TestCFGReturnEdgesToExit(t *testing.T) {
+	c := parseFuncBody(t, "if true {\n\treturn\n}\n_ = 1")
+	then := blockByKind(t, c, "if.then")
+	if !hasEdge(then, c.Exit) {
+		t.Fatalf("return inside then must edge to exit:\n%s", c.dump())
+	}
+	done := blockByKind(t, c, "if.done")
+	if hasEdge(then, done) {
+		t.Fatalf("a returning branch must not fall through to the join:\n%s", c.dump())
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	c := parseFuncBody(t, "if true {\n\tpanic(\"boom\")\n}\n_ = 1")
+	then := blockByKind(t, c, "if.then")
+	if !hasEdge(then, c.Exit) {
+		t.Fatalf("panic must edge to exit:\n%s", c.dump())
+	}
+	if hasEdge(then, blockByKind(t, c, "if.done")) {
+		t.Fatalf("panic must not fall through:\n%s", c.dump())
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	c := parseFuncBody(t, "for i := 0; i < 10; i++ {\n\t_ = i\n}")
+	head := blockByKind(t, c, "for.head")
+	body := blockByKind(t, c, "for.body")
+	post := blockByKind(t, c, "for.post")
+	done := blockByKind(t, c, "for.done")
+	if !hasEdge(head, body) || !hasEdge(head, done) {
+		t.Fatalf("head must branch to body and done:\n%s", c.dump())
+	}
+	if !hasEdge(body, post) || !hasEdge(post, head) {
+		t.Fatalf("body must run post, post must loop back to head:\n%s", c.dump())
+	}
+}
+
+func TestCFGInfiniteLoopUnreachableExit(t *testing.T) {
+	c := parseFuncBody(t, "for {\n\t_ = 1\n}")
+	if c.reachable()[c.Exit] {
+		t.Fatalf("for{} without break must leave exit unreachable:\n%s", c.dump())
+	}
+}
+
+func TestCFGBreakReachesExit(t *testing.T) {
+	c := parseFuncBody(t, "for {\n\tbreak\n}")
+	if !c.reachable()[c.Exit] {
+		t.Fatalf("break must make exit reachable:\n%s", c.dump())
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	// break outer must jump past BOTH loops, skipping the statement
+	// after the inner loop.
+	c := parseFuncBody(t, `
+outer:
+	for {
+		for {
+			break outer
+		}
+		_ = 1
+	}
+	_ = 2`)
+	// The inner break's block must edge to the OUTER loop's done
+	// block, not the inner one's.
+	var outerDone, innerDone *Block
+	for _, b := range c.Blocks {
+		if b.Kind == "for.done" {
+			if outerDone == nil {
+				outerDone = b
+			} else {
+				innerDone = b
+			}
+		}
+	}
+	if outerDone == nil || innerDone == nil {
+		t.Fatalf("expected two for.done blocks:\n%s", c.dump())
+	}
+	reach := c.reachable()
+	if !reach[outerDone] {
+		t.Fatalf("break outer must reach the outer done block:\n%s", c.dump())
+	}
+	if reach[innerDone] {
+		t.Fatalf("the inner loop's done block must stay unreachable (only exit is break outer):\n%s", c.dump())
+	}
+	if !reach[c.Exit] {
+		t.Fatalf("exit must be reachable via break outer:\n%s", c.dump())
+	}
+}
+
+func TestCFGGotoEdges(t *testing.T) {
+	// A forward goto jumps over the intervening statement.
+	c := parseFuncBody(t, `
+	x := 1
+	if x > 0 {
+		goto out
+	}
+	x = 2
+out:
+	_ = x`)
+	label := blockByKind(t, c, "label.out")
+	then := blockByKind(t, c, "if.then")
+	if !hasEdge(then, label) {
+		t.Fatalf("goto out must edge from the then block to the label block:\n%s", c.dump())
+	}
+	done := blockByKind(t, c, "if.done")
+	if hasEdge(then, done) {
+		t.Fatalf("the goto block must not fall through:\n%s", c.dump())
+	}
+}
+
+func TestCFGBackwardGoto(t *testing.T) {
+	c := parseFuncBody(t, `
+again:
+	if true {
+		goto again
+	}`)
+	label := blockByKind(t, c, "label.again")
+	then := blockByKind(t, c, "if.then")
+	if !hasEdge(then, label) {
+		t.Fatalf("backward goto must edge to the already-built label block:\n%s", c.dump())
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	c := parseFuncBody(t, `
+	var a, b chan int
+	select {
+	case <-a:
+		_ = 1
+	case b <- 1:
+		_ = 2
+	}`)
+	if len(c.SelectComm) != 2 {
+		t.Fatalf("both comm clauses must be registered, got %d:\n%s", len(c.SelectComm), c.dump())
+	}
+	done := blockByKind(t, c, "select.done")
+	clauses := 0
+	for _, b := range c.Blocks {
+		if b.Kind == "select.case" {
+			clauses++
+			if !hasEdge(b, done) {
+				t.Fatalf("clause must rejoin at select.done:\n%s", c.dump())
+			}
+			if len(b.Nodes) == 0 {
+				t.Fatalf("clause block must start with its comm statement:\n%s", c.dump())
+			}
+		}
+	}
+	if clauses != 2 {
+		t.Fatalf("expected 2 clause blocks, got %d:\n%s", clauses, c.dump())
+	}
+	for _, sc := range c.SelectComm {
+		if sc.HasDefault {
+			t.Fatal("select has no default clause")
+		}
+	}
+}
+
+func TestCFGSelectDefault(t *testing.T) {
+	c := parseFuncBody(t, `
+	var a chan int
+	select {
+	case <-a:
+	default:
+	}`)
+	if len(c.SelectComm) != 1 {
+		t.Fatalf("one comm clause expected, got %d", len(c.SelectComm))
+	}
+	for _, sc := range c.SelectComm {
+		if !sc.HasDefault {
+			t.Fatal("HasDefault must be set when a default clause exists")
+		}
+	}
+}
+
+func TestCFGRangeChannel(t *testing.T) {
+	c := parseFuncBody(t, "var ch chan int\nfor v := range ch {\n\t_ = v\n}")
+	if len(c.RangeX) != 1 {
+		t.Fatalf("range X must be registered, got %d entries", len(c.RangeX))
+	}
+	head := blockByKind(t, c, "range.head")
+	if len(head.Nodes) != 1 {
+		t.Fatalf("range head must hold the X expression:\n%s", c.dump())
+	}
+	body := blockByKind(t, c, "range.body")
+	if !hasEdge(body, head) {
+		t.Fatalf("range body must loop back to head:\n%s", c.dump())
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	c := parseFuncBody(t, `
+	switch x := 1; x {
+	case 1:
+		_ = 1
+		fallthrough
+	case 2:
+		_ = 2
+	default:
+		_ = 3
+	}`)
+	var cases []*Block
+	for _, b := range c.Blocks {
+		if b.Kind == "switch.case" {
+			cases = append(cases, b)
+		}
+	}
+	if len(cases) != 3 {
+		t.Fatalf("expected 3 case blocks, got %d:\n%s", len(cases), c.dump())
+	}
+	if !hasEdge(cases[0], cases[1]) {
+		t.Fatalf("fallthrough must edge case 1 into case 2:\n%s", c.dump())
+	}
+	done := blockByKind(t, c, "switch.done")
+	if hasEdge(cases[0], done) {
+		t.Fatalf("a falling-through case must not also edge to done:\n%s", c.dump())
+	}
+}
+
+func TestCFGDeferStaysInBlock(t *testing.T) {
+	// defer is a simple node to the CFG; its at-exit semantics are the
+	// checks' concern (locking treats defer mu.Unlock as a state
+	// transition).
+	c := parseFuncBody(t, "var x int\ndefer func() { x = 1 }()\n_ = x")
+	found := false
+	for _, n := range c.Entry.Nodes {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("defer must appear as a node in its block:\n%s", c.dump())
+	}
+}
+
+func TestCFGDumpDeterministic(t *testing.T) {
+	body := "x := 1\nif x > 0 {\n\tx = 2\n} else {\n\tx = 3\n}\n_ = x"
+	a := parseFuncBody(t, body).dump()
+	b := parseFuncBody(t, body).dump()
+	if a != b {
+		t.Fatalf("dump must be deterministic:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, "entry") || !strings.Contains(a, "exit") {
+		t.Fatalf("dump missing entry/exit:\n%s", a)
+	}
+}
+
+func TestForwardMayAnalysis(t *testing.T) {
+	// Gen/kill over string sets: x := assignments gen their LHS name,
+	// and we ask which names MAY be assigned at exit.
+	c := parseFuncBody(t, `
+	a := 1
+	if a > 0 {
+		b := 2
+		_ = b
+	}
+	_ = a`)
+	an := forwardAnalysis[map[string]bool]{
+		join: func(x, y map[string]bool) map[string]bool {
+			out := make(map[string]bool, len(x)+len(y))
+			for k := range x {
+				out[k] = true
+			}
+			for k := range y {
+				out[k] = true
+			}
+			return out
+		},
+		equal: func(x, y map[string]bool) bool {
+			if len(x) != len(y) {
+				return false
+			}
+			for k := range x {
+				if !y[k] {
+					return false
+				}
+			}
+			return true
+		},
+		transfer: func(b *Block, in map[string]bool) map[string]bool {
+			out := make(map[string]bool, len(in))
+			for k := range in {
+				out[k] = true
+			}
+			for _, n := range b.Nodes {
+				if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+					for _, lhs := range as.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							out[id.Name] = true
+						}
+					}
+				}
+			}
+			return out
+		},
+	}
+	in := an.run(c, map[string]bool{})
+	exitFact, ok := in[c.Exit]
+	if !ok {
+		t.Fatalf("exit must be reachable:\n%s", c.dump())
+	}
+	if !exitFact["a"] || !exitFact["b"] {
+		t.Fatalf("may-analysis at exit should include a and b, got %v", exitFact)
+	}
+}
+
+func TestForwardMustAnalysis(t *testing.T) {
+	// Same gen sets with intersection join: b is assigned on only one
+	// path, so it MUST NOT appear at the join.
+	c := parseFuncBody(t, `
+	a := 1
+	if a > 0 {
+		b := 2
+		_ = b
+	}
+	_ = a`)
+	an := forwardAnalysis[map[string]bool]{
+		join: func(x, y map[string]bool) map[string]bool {
+			out := make(map[string]bool)
+			for k := range x {
+				if y[k] {
+					out[k] = true
+				}
+			}
+			return out
+		},
+		equal: func(x, y map[string]bool) bool {
+			if len(x) != len(y) {
+				return false
+			}
+			for k := range x {
+				if !y[k] {
+					return false
+				}
+			}
+			return true
+		},
+		transfer: func(b *Block, in map[string]bool) map[string]bool {
+			out := make(map[string]bool, len(in))
+			for k := range in {
+				out[k] = true
+			}
+			for _, n := range b.Nodes {
+				if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+					for _, lhs := range as.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							out[id.Name] = true
+						}
+					}
+				}
+			}
+			return out
+		},
+	}
+	in := an.run(c, map[string]bool{})
+	exitFact := in[c.Exit]
+	if !exitFact["a"] {
+		t.Fatalf("a is assigned on every path, must survive the intersection: %v", exitFact)
+	}
+	if exitFact["b"] {
+		t.Fatalf("b is branch-dependent, must not survive the must-join: %v", exitFact)
+	}
+}

@@ -1,0 +1,278 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ctxflowCheck enforces the cancellation discipline of the runtime's
+// submission paths (internal/core, internal/pool, internal/serve):
+// once a context is in scope, a blocking channel send, channel
+// receive, or queue wait reachable from that point must sit under a
+// select with a ctx.Done() or stop-channel arm — otherwise cancelling
+// a submission can wedge the calling goroutine (and with it a
+// dispatcher or the admission baton) forever.
+//
+// "In scope" means a context.Context parameter of the analyzed
+// function, or a local context binding; the binding point is
+// propagated forward over the CFG, so operations on paths before a
+// mid-function binding are not flagged. Closures are analyzed
+// independently and only see their own parameters and bindings: a
+// captured context does not put the closure in scope, which keeps
+// deliberately-detached goroutines (the engine's baton hand-back)
+// quiet without annotations.
+//
+// Exemptions: selects with a default arm never block; receives from a
+// ctx.Done() call or from a channel whose name marks it as a shutdown
+// signal (stop/done/quit/close/exit) ARE the cancellation wait.
+// Everything else carries a reasoned //lint:allow ctxflow stating why
+// the operation is bounded.
+var ctxflowCheck = &Check{
+	Name: "ctxflow",
+	Doc:  "require blocking channel ops and queue waits reachable with a context in scope to carry a ctx.Done()/stop-channel arm",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(p *Pass) {
+	if !matchesAny(p.Pkg.Path, p.Cfg.Ctxflow) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					ctxflowFunc(p, n.Type, n.Body)
+				}
+			case *ast.FuncLit:
+				ctxflowFunc(p, n.Type, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// ctxflowFunc analyzes one function body: finds where a context enters
+// scope, propagates that fact forward over the CFG, and flags
+// unguarded blocking operations at in-scope points.
+func ctxflowFunc(p *Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+	entry := false
+	if ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			for _, name := range field.Names {
+				if obj := p.Pkg.Info.Defs[name]; obj != nil && isContextType(obj.Type()) {
+					entry = true
+				}
+			}
+		}
+	}
+	g := BuildCFG(body)
+
+	// Binding statements activate scope mid-function. They are simple
+	// statements, so they appear directly as block nodes.
+	bindings := map[ast.Node]bool{}
+	if !entry {
+		for _, b := range g.Blocks {
+			for _, n := range b.Nodes {
+				if bindsContext(p, n) {
+					bindings[n] = true
+				}
+			}
+		}
+		if len(bindings) == 0 {
+			return
+		}
+	}
+
+	an := forwardAnalysis[bool]{
+		join:  func(a, b bool) bool { return a || b },
+		equal: func(a, b bool) bool { return a == b },
+		transfer: func(b *Block, in bool) bool {
+			out := in
+			for _, n := range b.Nodes {
+				if bindings[n] {
+					out = true
+				}
+			}
+			return out
+		},
+	}
+	in := an.run(g, entry)
+
+	guarded := map[*ast.SelectStmt]bool{}
+	for _, b := range g.Blocks {
+		inScope, reachable := in[b]
+		if !reachable {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if inScope {
+				ctxflowNode(p, g, guarded, n)
+			}
+			if bindings[n] {
+				inScope = true
+			}
+		}
+	}
+}
+
+// bindsContext reports whether a block node introduces a local
+// context.Context binding (:=, =, or var declaration).
+func bindsContext(p *Pass, n ast.Node) bool {
+	check := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := p.objectOf(id)
+		return obj != nil && isContextType(obj.Type())
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if check(lhs) {
+				return true
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						if check(name) {
+							return true
+						}
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// ctxflowNode flags the unguarded blocking operations in one block
+// node at an in-scope program point.
+func ctxflowNode(p *Pass, g *CFG, guardedCache map[*ast.SelectStmt]bool, n ast.Node) {
+	if sc, ok := g.SelectComm[n]; ok {
+		// A select clause head. With a default arm the select cannot
+		// block; with a Done/stop arm somewhere the wait is guarded.
+		if sc.HasDefault {
+			return
+		}
+		guardArm, cached := guardedCache[sc.Select]
+		if !cached {
+			guardArm = selectHasGuardArm(p, sc.Select)
+			guardedCache[sc.Select] = guardArm
+		}
+		if !guardArm {
+			p.Reportf(n.Pos(), "blocking select communication with a context in scope and no ctx.Done()/stop arm (add a cancellation arm)")
+		}
+		return
+	}
+	if rs, ok := g.RangeX[n]; ok {
+		if tv, ok := p.Pkg.Info.Types[rs.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan && !isGuardChannel(p, rs.X) {
+				p.Reportf(rs.X.Pos(), "range over channel with a context in scope blocks every iteration with no cancellation arm (close the channel on shutdown, or restructure as a select loop)")
+			}
+		}
+		return
+	}
+	inspectShallow(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.SendStmt:
+			p.Reportf(c.Pos(), "blocking channel send with a context in scope and no ctx.Done()/stop arm (wrap in a select with a cancellation arm)")
+		case *ast.UnaryExpr:
+			if c.Op == token.ARROW && !isGuardChannel(p, c.X) {
+				p.Reportf(c.Pos(), "blocking channel receive with a context in scope and no ctx.Done()/stop arm (wrap in a select with a cancellation arm)")
+			}
+		case *ast.CallExpr:
+			if name := syncWaitCall(p, c); name != "" {
+				p.Reportf(c.Pos(), "blocking sync.%s.Wait with a context in scope (ensure the waited work observes cancellation, or annotate why the wait is bounded)", name)
+			}
+		}
+		return true
+	})
+}
+
+// selectHasGuardArm reports whether any clause of the select receives
+// from a cancellation channel.
+func selectHasGuardArm(p *Pass, s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		comm := c.(*ast.CommClause).Comm
+		var recv ast.Expr
+		switch comm := comm.(type) {
+		case *ast.ExprStmt:
+			if u, ok := ast.Unparen(comm.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				recv = u.X
+			}
+		case *ast.AssignStmt:
+			if len(comm.Rhs) == 1 {
+				if u, ok := ast.Unparen(comm.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					recv = u.X
+				}
+			}
+		}
+		if recv != nil && isGuardChannel(p, recv) {
+			return true
+		}
+	}
+	return false
+}
+
+// isGuardChannel reports whether a receive from e is itself the
+// cancellation wait: a ctx.Done() call, or a channel whose printed
+// name marks it as a shutdown signal.
+func isGuardChannel(p *Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			if tv, ok := p.Pkg.Info.Types[sel.X]; ok && isContextType(tv.Type) {
+				return true
+			}
+		}
+	}
+	name := strings.ToLower(types.ExprString(e))
+	for _, marker := range []string{"stop", "done", "quit", "close", "exit"} {
+		if strings.Contains(name, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// syncWaitCall returns "WaitGroup" or "Cond" when the call is a
+// sync.WaitGroup.Wait or sync.Cond.Wait queue wait, else "".
+func syncWaitCall(p *Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := p.objectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" || fn.Name() != "Wait" {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}

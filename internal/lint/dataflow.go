@@ -1,0 +1,78 @@
+package lint
+
+import "go/ast"
+
+// dataflow.go is a small forward dataflow framework over the CFG. A
+// check supplies a lattice (join + equality) and a transfer function;
+// the framework iterates a worklist to a fixpoint and hands back the
+// fact flowing into each reachable block.
+//
+// Join direction picks the lattice flavour:
+//   - may-analyses (union join) answer "can this hold on SOME path?"
+//     — e.g. locking's "may a mutex be held here?"
+//   - must-analyses (intersection join) answer "does this hold on
+//     EVERY path?"
+//
+// Unreachable blocks never enter the worklist and are absent from the
+// result map; checks skip them rather than reporting on dead code.
+
+// A forwardAnalysis describes one dataflow problem. transfer and join
+// must be pure: they return fresh facts and never mutate their inputs,
+// because in-facts are retained across iterations.
+type forwardAnalysis[T any] struct {
+	// join computes the least upper bound of two facts arriving at a
+	// block from different predecessors (union for may, intersection
+	// for must).
+	join func(T, T) T
+	// equal reports fact equality; the fixpoint terminates when every
+	// block's in-fact stops changing.
+	equal func(T, T) bool
+	// transfer pushes a fact through one block's nodes in order.
+	transfer func(*Block, T) T
+}
+
+// run iterates to a fixpoint and returns the in-fact of every block
+// reachable from the entry. entry is the fact at function entry.
+func (a forwardAnalysis[T]) run(c *CFG, entry T) map[*Block]T {
+	in := map[*Block]T{c.Entry: entry}
+	queued := map[*Block]bool{c.Entry: true}
+	work := []*Block{c.Entry}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+		out := a.transfer(blk, in[blk])
+		for _, succ := range blk.Succs {
+			next := out
+			old, seen := in[succ]
+			if seen {
+				next = a.join(old, out)
+				if a.equal(next, old) {
+					continue
+				}
+			}
+			in[succ] = next
+			if !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}
+
+// inspectShallow walks a block node's expression tree without
+// descending into function literals: a closure's body belongs to its
+// own CFG and must not leak facts into the enclosing function's
+// analysis.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n == nil {
+			return true
+		}
+		return fn(n)
+	})
+}

@@ -113,5 +113,67 @@ func applySuppressions(m *Module, pkgs []*Package, diags []Diagnostic) {
 	}
 }
 
+// UnusedAllows audits the suppression inventory: it returns one
+// diagnostic per well-formed //lint:allow directive that matched no
+// finding in this run. Stale allows are worse than noise — they grant
+// a standing exemption at a site whose violation has since been fixed
+// (or was never diagnosable), so the next regression there is silently
+// pre-forgiven. Directives naming a check that is disabled in cfg are
+// skipped: a partial run cannot tell unused from not-evaluated.
+//
+// diags must be the full output of Run over the same pkgs (suppressed
+// findings included), since a directive is "used" exactly when some
+// suppressed diagnostic cites its file, check, and line (the finding
+// sits on the directive's line or the line below, mirroring
+// applySuppressions).
+func UnusedAllows(pkgs []*Package, diags []Diagnostic, cfg Config) []Diagnostic {
+	// file -> line -> check used
+	used := map[string]map[int]map[string]bool{}
+	mark := func(file string, line int, check string) {
+		lines, ok := used[file]
+		if !ok {
+			lines = map[int]map[string]bool{}
+			used[file] = lines
+		}
+		checks, ok := lines[line]
+		if !ok {
+			checks = map[string]bool{}
+			lines[line] = checks
+		}
+		checks[check] = true
+	}
+	for _, d := range diags {
+		if !d.Suppressed {
+			continue
+		}
+		// The matching directive sat on the finding's line or the line
+		// above; credit both candidate positions.
+		mark(d.Pos.Filename, d.Pos.Line, d.Check)
+		mark(d.Pos.Filename, d.Pos.Line-1, d.Check)
+	}
+	known := map[string]bool{}
+	for _, c := range Checks() {
+		known[c.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, d := range pkg.directives {
+			if d.check == "" || d.reason == "" || !known[d.check] {
+				continue // malformed: directiveDiagnostics already reports it
+			}
+			if !cfg.enabled(d.check) {
+				continue
+			}
+			if used[d.pos.Filename][d.pos.Line][d.check] {
+				continue
+			}
+			out = append(out, Diagnostic{Check: "unused-allow", Pos: d.pos,
+				Message: "lint:allow " + d.check + " suppresses no finding (stale directive; delete it)"})
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
 // strconvQuote avoids importing strconv just for %q on a short name.
 func strconvQuote(s string) string { return `"` + s + `"` }

@@ -9,7 +9,7 @@ import (
 )
 
 // Formats lists the renderers WriteReport accepts.
-var Formats = []string{"text", "json", "markdown"}
+var Formats = []string{"text", "json", "markdown", "sarif"}
 
 // WriteReport renders diags in the named format. Paths are shown
 // relative to base (the module root) when possible, so output is
@@ -22,6 +22,8 @@ func WriteReport(w io.Writer, format string, diags []Diagnostic, base string) er
 		return writeJSON(w, diags, base)
 	case "markdown":
 		return writeMarkdown(w, diags, base)
+	case "sarif":
+		return writeSARIF(w, diags, base)
 	}
 	return fmt.Errorf("lint: unknown format %q", format)
 }

@@ -17,8 +17,24 @@
 //     internal/analytic; wall-clock reads are additionally flagged in
 //     internal/core, where the real runtime must annotate each one);
 //   - locking: no lock-bearing values copied by value, no mutex held
-//     across a channel operation or Submit call, no return with a
-//     mutex still held (use defer) in internal/core + internal/pool;
+//     across a channel operation or Submit call, and — tracked over
+//     the control-flow graph, so branch-dependent paths count — no
+//     return with a mutex still held (use defer) in internal/core +
+//     internal/pool;
+//   - atomics: one access discipline per field, module-wide — a field
+//     updated through sync/atomic anywhere is never plainly written
+//     (or address-escaped) elsewhere, and never plainly read in the
+//     packages doing the atomic accesses (init/constructor paths and
+//     by-value copies exempt);
+//   - ctxflow: in internal/core, pool and serve, blocking channel
+//     operations and queue waits reachable with a context in scope
+//     must sit under a select with a ctx.Done()/stop arm — scope
+//     enters at a ctx parameter or local binding and propagates
+//     forward over the CFG;
+//   - leaks: every go statement in the service packages (serve, pool,
+//     watchdog, livemetrics, core) must have a provable shutdown edge
+//     — a CFG path from the body's entry to its exit — or an
+//     annotated drain contract;
 //   - telemetry: no discarded error results from exporter/sink
 //     packages, no telemetry.Event composite literal without an
 //     explicit Step field, no span collection started
@@ -36,9 +52,14 @@
 //	//lint:allow <check> <reason>
 //
 // The reason is mandatory; a reasonless directive is itself a
-// diagnostic. The suite runs as `go run ./cmd/schedlint ./...`, as a
-// CI gate, and as a self-lint test so `go test ./...` fails if the
-// repo violates its own rules.
+// diagnostic, and a directive that suppresses nothing is reported by
+// the -unused-allows audit (stale allows pre-forgive the next
+// regression at that site). The flow-sensitive checks share one
+// substrate: a per-function CFG builder (cfg.go) and a generic
+// forward-dataflow solver (dataflow.go). The suite runs as `go run
+// ./cmd/schedlint ./...`, as a CI gate (JSON artifact + SARIF upload
+// to code scanning), and as a self-lint test so `go test ./...` fails
+// if the repo violates its own rules.
 package lint
 
 import (
@@ -125,6 +146,16 @@ type Config struct {
 	// bare cli.ParseProcs/ParseAlgos calls in CmdPkgs are diagnosed in
 	// favour of the flag-naming wrappers.
 	CLIPkg string
+	// Atomics lists the packages where mixed atomic/plain access to a
+	// field is reported (the atomic-access index itself is always
+	// module-wide).
+	Atomics []string
+	// Ctxflow lists the packages whose blocking channel operations and
+	// queue waits must honour an in-scope context.
+	Ctxflow []string
+	// Leaks lists the packages whose go statements must have a provable
+	// shutdown edge.
+	Leaks []string
 	// Checks enables a subset of checks by name; nil enables all.
 	Checks []string
 }
@@ -145,6 +176,9 @@ func DefaultConfig(modulePath string) Config {
 		BundlePkg:     p("internal/bundle"),
 		CmdPkgs:       []string{modulePath + "/cmd"},
 		CLIPkg:        p("internal/cli"),
+		Atomics:       []string{modulePath},
+		Ctxflow:       []string{p("internal/core"), p("internal/pool"), p("internal/serve")},
+		Leaks:         []string{p("internal/serve"), p("internal/pool"), p("internal/watchdog"), p("internal/livemetrics"), p("internal/core")},
 	}
 }
 
@@ -188,7 +222,7 @@ type Check struct {
 
 // Checks is the suite's catalog, in output order.
 func Checks() []*Check {
-	return []*Check{determinismCheck, lockingCheck, telemetryCheck, hygieneCheck}
+	return []*Check{determinismCheck, lockingCheck, atomicsCheck, ctxflowCheck, leaksCheck, telemetryCheck, hygieneCheck}
 }
 
 // CheckNames returns the catalog's names, for flag validation.
@@ -242,7 +276,17 @@ func Run(m *Module, pkgs []*Package, cfg Config) []Diagnostic {
 		diags = append(diags, directiveDiagnostics(m, pkg)...)
 	}
 	applySuppressions(m, pkgs, diags)
-	sort.Slice(diags, func(i, j int) bool {
+	sortDiagnostics(diags)
+	return diags
+}
+
+// sortDiagnostics imposes the suite's total output order — file, line,
+// column, check name, then message. The order is total (no two
+// distinct findings compare equal on all five keys without being
+// interchangeable), so the report is byte-stable regardless of package
+// iteration order — the precondition for diffing SARIF output in CI.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
@@ -258,7 +302,16 @@ func Run(m *Module, pkgs []*Package, cfg Config) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
-	return diags
+}
+
+// Merge combines two diagnostic streams into one report in the
+// suite's total order.
+func Merge(a, b []Diagnostic) []Diagnostic {
+	out := make([]Diagnostic, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sortDiagnostics(out)
+	return out
 }
 
 // Unsuppressed counts the findings that gate (everything not matched

@@ -50,6 +50,9 @@ func fixtureConfig(m *Module) Config {
 		BundlePkg:     m.Path + "/internal/bundle",
 		CmdPkgs:       []string{fix + "/hygienefix"},
 		CLIPkg:        m.Path + "/internal/cli",
+		Atomics:       []string{fix + "/atomicfix"},
+		Ctxflow:       []string{fix + "/ctxfix"},
+		Leaks:         []string{fix + "/leakfix"},
 	}
 }
 
@@ -57,7 +60,7 @@ func fixtureConfig(m *Module) Config {
 // per check, each holding both violating and //lint:allow-suppressed
 // cases — and compares the text report against the committed golden.
 func TestFixtures(t *testing.T) {
-	fixtures := []string{"determfix", "lockfix", "telemfix", "spanfix", "hygienefix", "directivefix", "triagefix"}
+	fixtures := []string{"determfix", "lockfix", "atomicfix", "ctxfix", "leakfix", "telemfix", "spanfix", "hygienefix", "directivefix", "triagefix"}
 	m := loadTestModule(t)
 	for _, name := range fixtures {
 		t.Run(name, func(t *testing.T) {
@@ -188,6 +191,187 @@ func TestFormats(t *testing.T) {
 
 	if err := WriteReport(&buf, "yaml", diags, m.Root); err == nil {
 		t.Error("unknown format must error")
+	}
+}
+
+// TestDeterministicOrdering pins the suite's output contract: the
+// report is byte-identical no matter what order packages are handed to
+// Run. The total diagnostic order (file, line, column, check, message)
+// is what makes the SARIF artifact diffable in CI.
+func TestDeterministicOrdering(t *testing.T) {
+	m := loadTestModule(t)
+	pkgs, err := m.Load(
+		"./internal/lint/testdata/determfix",
+		"./internal/lint/testdata/lockfix",
+		"./internal/lint/testdata/ctxfix",
+		"./internal/lint/testdata/leakfix",
+	)
+	if err != nil {
+		t.Fatalf("load fixtures: %v", err)
+	}
+	render := func(pkgs []*Package) string {
+		diags := Run(m, pkgs, fixtureConfig(m))
+		var buf bytes.Buffer
+		if err := WriteReport(&buf, "text", diags, m.Root); err != nil {
+			t.Fatalf("render: %v", err)
+		}
+		return buf.String()
+	}
+	want := render(pkgs)
+	perms := [][]int{{3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}}
+	for _, perm := range perms {
+		shuffled := make([]*Package, len(pkgs))
+		for i, j := range perm {
+			shuffled[i] = pkgs[j]
+		}
+		if got := render(shuffled); got != want {
+			t.Errorf("report depends on package order %v:\n--- got ---\n%s--- want ---\n%s", perm, got, want)
+		}
+	}
+}
+
+// TestSARIF checks the SARIF 2.1.0 renderer: the document parses, the
+// header fields are right, every result cites a cataloged rule and a
+// module-relative URI, suppressed findings carry an inSource
+// suppression with the directive's reason, and two renders of the same
+// diagnostics are byte-identical.
+func TestSARIF(t *testing.T) {
+	m := loadTestModule(t)
+	pkgs, err := m.Load("./internal/lint/testdata/ctxfix")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	diags := Run(m, pkgs, fixtureConfig(m))
+
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, "sarif", diags, m.Root); err != nil {
+		t.Fatalf("sarif render: %v", err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+				Suppressions []struct {
+					Kind          string `json:"kind"`
+					Justification string `json:"justification"`
+				} `json:"suppressions"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("sarif output does not parse: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("want one run of version 2.1.0, got version %q, %d run(s)", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "schedlint" {
+		t.Errorf("driver name = %q, want schedlint", run.Tool.Driver.Name)
+	}
+	rules := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		rules[r.ID] = true
+	}
+	if len(run.Results) != len(diags) {
+		t.Fatalf("sarif results = %d, want %d", len(run.Results), len(diags))
+	}
+	suppressed := 0
+	for i, r := range run.Results {
+		if !rules[r.RuleID] {
+			t.Errorf("result %d cites uncataloged rule %q", i, r.RuleID)
+		}
+		if len(r.Locations) != 1 {
+			t.Fatalf("result %d has %d locations, want 1", i, len(r.Locations))
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if filepath.IsAbs(loc.ArtifactLocation.URI) || strings.Contains(loc.ArtifactLocation.URI, `\`) {
+			t.Errorf("result %d URI not a relative forward-slash path: %q", i, loc.ArtifactLocation.URI)
+		}
+		if loc.Region.StartLine <= 0 {
+			t.Errorf("result %d has no start line", i)
+		}
+		if len(r.Suppressions) > 0 {
+			suppressed++
+			if r.Level != "note" {
+				t.Errorf("suppressed result %d has level %q, want note", i, r.Level)
+			}
+			if r.Suppressions[0].Kind != "inSource" || r.Suppressions[0].Justification == "" {
+				t.Errorf("suppressed result %d lacks a justified inSource suppression: %+v", i, r.Suppressions[0])
+			}
+		}
+	}
+	if want := len(diags) - Unsuppressed(diags); suppressed != want {
+		t.Errorf("sarif suppressed results = %d, want %d", suppressed, want)
+	}
+
+	var again bytes.Buffer
+	if err := WriteReport(&again, "sarif", diags, m.Root); err != nil {
+		t.Fatalf("second sarif render: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("sarif renders of the same diagnostics differ")
+	}
+}
+
+// TestUnusedAllows checks the suppression audit: the deliberately
+// stale (well-formed, matching nothing) directive in directivefix is
+// reported, directives for disabled checks are skipped, and a fixture
+// whose directives all match findings audits clean.
+func TestUnusedAllows(t *testing.T) {
+	m := loadTestModule(t)
+	pkgs, err := m.Load("./internal/lint/testdata/directivefix")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	cfg := fixtureConfig(m)
+	diags := Run(m, pkgs, cfg)
+
+	unused := UnusedAllows(pkgs, diags, cfg)
+	if len(unused) != 1 {
+		t.Fatalf("unused allows = %d, want exactly the stale locking directive:\n%+v", len(unused), unused)
+	}
+	d := unused[0]
+	if d.Check != "unused-allow" || !strings.Contains(d.Message, "lint:allow locking") {
+		t.Errorf("unexpected audit diagnostic: %s", d)
+	}
+	if !strings.HasSuffix(d.Pos.Filename, "directivefix/bad.go") {
+		t.Errorf("audit diagnostic in wrong file: %s", d.Pos.Filename)
+	}
+
+	// A subset run that disables locking cannot judge the directive.
+	sub := cfg
+	sub.Checks = []string{"determinism"}
+	if got := UnusedAllows(pkgs, Run(m, pkgs, sub), sub); len(got) != 0 {
+		t.Errorf("audit judged a directive for a disabled check: %+v", got)
+	}
+
+	// determfix's directives all suppress findings: audit is clean.
+	dpkgs, err := m.Load("./internal/lint/testdata/determfix")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	if got := UnusedAllows(dpkgs, Run(m, dpkgs, cfg), cfg); len(got) != 0 {
+		t.Errorf("determfix's used directives reported as stale: %+v", got)
 	}
 }
 

@@ -29,8 +29,10 @@ type Module struct {
 	pkgs         map[string]*Package // by import path, including dependencies
 	loading      map[string]bool     // import-cycle guard
 	std          types.Importer
-	deprecated   map[string]bool // lazy deprecated-API index (hygiene.go)
-	deprecatedAt int             // len(pkgs) when the index was built
+	deprecated   map[string]bool           // lazy deprecated-API index (hygiene.go)
+	deprecatedAt int                       // len(pkgs) when the index was built
+	atomicIdx    map[*types.Var]*atomicUse // lazy atomic-access index (atomics.go)
+	atomicIdxAt  int                       // len(pkgs) when the index was built
 }
 
 // Package is one parsed, type-checked package.

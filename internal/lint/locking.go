@@ -20,8 +20,12 @@ import (
 //   - a function never returns with a mutex still held — multi-return
 //     functions must use defer-unlock.
 //
-// The analysis is a conservative source-order scan, not a full CFG;
-// legitimate exceptions carry //lint:allow locking <reason>.
+// The analysis is a may-held forward dataflow over the function's CFG:
+// a mutex counts as held at a program point if ANY path reaches it
+// with the lock taken, so early returns, gotos, labeled breaks, and
+// branch-dependent unlocks are all caught (the old linear scan missed
+// exactly those). Legitimate exceptions carry //lint:allow locking
+// <reason>.
 var lockingCheck = &Check{
 	Name: "locking",
 	Doc:  "forbid copied lock-bearing values, mutexes held across channel ops/Submit, and returns with a mutex held",
@@ -39,13 +43,13 @@ func runLocking(p *Pass) {
 			case *ast.FuncDecl:
 				lc.checkSignature(n)
 				if n.Body != nil {
-					lc.scanBody(n.Body)
+					lc.analyzeBody(n.Body)
 				}
 				return true
 			case *ast.FuncLit:
 				// A closure runs on its own schedule; its critical
-				// sections are scanned with fresh state.
-				lc.scanBody(n.Body)
+				// sections get their own CFG and fresh lock state.
+				lc.analyzeBody(n.Body)
 				return true
 			case *ast.RangeStmt:
 				lc.checkRangeCopy(n)
@@ -145,100 +149,136 @@ func (lc *lockChecker) checkRangeCopy(n *ast.RangeStmt) {
 	}
 }
 
-// scanBody runs the critical-section scanner over one function body
-// with fresh lock state.
-func (lc *lockChecker) scanBody(body *ast.BlockStmt) {
-	s := &lockScan{lc: lc, held: map[string]bool{}}
-	s.stmts(body.List)
+// lockBits is the per-mutex dataflow fact. A mutex expression may be
+// held with its release still pending (lockHeld) or pinned to function
+// exit by a defer (lockDeferred). A deferred release makes returns
+// fine but blocking operations under the lock still are not.
+type lockBits uint8
+
+const (
+	lockHeld lockBits = 1 << iota
+	lockDeferred
+)
+
+// lockFact maps a mutex expression's printed form to its state on some
+// path reaching this point. The analysis is a may-analysis: facts from
+// different paths union, so "unlocked on one branch only" keeps the
+// lock visible at the join — exactly the case a linear scan loses.
+type lockFact map[string]lockBits
+
+func cloneLockFact(f lockFact) lockFact {
+	out := make(lockFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
 }
 
-// lockScan tracks which mutexes are held during a source-order walk of
-// one function body. held maps a mutex expression (printed form) to
-// whether its release is deferred; a deferred release keeps the mutex
-// held to function exit by design, so returns are fine but blocking
-// operations under it still are not.
-type lockScan struct {
-	lc   *lockChecker
-	held map[string]bool
+func joinLockFacts(a, b lockFact) lockFact {
+	out := cloneLockFact(a)
+	for k, v := range b {
+		out[k] |= v
+	}
+	return out
 }
 
-func (s *lockScan) stmts(list []ast.Stmt) {
-	for _, st := range list {
-		s.stmt(st)
+func equalLockFacts(a, b lockFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// analyzeBody runs the may-held analysis over one function body and
+// reports violations with the fixpoint facts.
+func (lc *lockChecker) analyzeBody(body *ast.BlockStmt) {
+	g := BuildCFG(body)
+	an := forwardAnalysis[lockFact]{
+		join:  joinLockFacts,
+		equal: equalLockFacts,
+		transfer: func(b *Block, in lockFact) lockFact {
+			return lc.applyBlock(g, b, in, false)
+		},
+	}
+	in := an.run(g, lockFact{})
+	// Second pass with the converged in-facts, now reporting. Blocks
+	// are visited in creation order, so diagnostics are deterministic;
+	// unreachable blocks have no facts and are skipped.
+	for _, b := range g.Blocks {
+		fact, ok := in[b]
+		if !ok {
+			continue
+		}
+		lc.applyBlock(g, b, fact, true)
 	}
 }
 
-func (s *lockScan) stmt(st ast.Stmt) {
-	switch st := st.(type) {
-	case *ast.ExprStmt:
-		if key, op, ok := s.mutexOp(st.X); ok {
-			switch op {
-			case "Lock", "RLock":
-				s.held[key] = false
-			case "Unlock", "RUnlock":
-				delete(s.held, key)
+// applyBlock pushes a lock fact through one block's nodes in order.
+// With report set it also emits diagnostics at returns and blocking
+// operations; the transfer logic is identical either way, so the
+// fixpoint and the reporting pass can never disagree.
+func (lc *lockChecker) applyBlock(g *CFG, b *Block, in lockFact, report bool) lockFact {
+	fact := cloneLockFact(in)
+	for _, n := range b.Nodes {
+		if sc, ok := g.SelectComm[n]; ok {
+			// The head of a select clause: the communication blocks
+			// unless the select has a default arm.
+			if report && !sc.HasDefault {
+				lc.reportBlocking(fact, n.Pos(), "select communication")
 			}
-			return
+			continue
 		}
-		s.checkBlocking(st)
-	case *ast.DeferStmt:
-		if key, op, ok := s.mutexOp(st.Call); ok && (op == "Unlock" || op == "RUnlock") {
-			if _, locked := s.held[key]; locked {
-				s.held[key] = true // release pinned to function exit
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if key, op, ok := lc.mutexOp(n.X); ok {
+				switch op {
+				case "Lock", "RLock":
+					fact[key] = lockHeld
+				case "Unlock", "RUnlock":
+					delete(fact, key)
+				}
+				continue
 			}
-			return
-		}
-	case *ast.ReturnStmt:
-		for _, key := range s.heldKeys() {
-			if !s.held[key] { // non-deferred
-				s.lc.p.Reportf(st.Pos(), "return while %s is held (unlock first, or defer the unlock)", key)
+			if report {
+				lc.scanBlocking(fact, n)
+			}
+		case *ast.DeferStmt:
+			if key, op, ok := lc.mutexOp(n.Call); ok && (op == "Unlock" || op == "RUnlock") {
+				if fact[key]&lockHeld != 0 {
+					fact[key] = lockDeferred // release pinned to function exit
+				}
+			}
+			// Other deferred calls run at exit outside any critical
+			// section we can reason about; skip them.
+		case *ast.GoStmt:
+			// The spawned goroutine runs without our locks; its body
+			// is analyzed separately via the FuncLit walk.
+		case *ast.ReturnStmt:
+			if report {
+				for _, key := range sortedLockKeys(fact) {
+					if fact[key]&lockHeld != 0 {
+						lc.p.Reportf(n.Pos(), "may return while %s is held (unlock on every path, or defer the unlock)", key)
+					}
+				}
+				lc.scanBlocking(fact, n)
+			}
+		default:
+			if report {
+				lc.scanBlocking(fact, n)
 			}
 		}
-		s.checkBlocking(st)
-	case *ast.BlockStmt:
-		s.stmts(st.List)
-	case *ast.IfStmt:
-		s.checkBlockingNode(st.Init)
-		s.checkBlockingNode(st.Cond)
-		s.stmt(st.Body)
-		if st.Else != nil {
-			s.stmt(st.Else)
-		}
-	case *ast.ForStmt:
-		s.checkBlockingNode(st.Cond)
-		s.stmt(st.Body)
-	case *ast.RangeStmt:
-		s.checkBlockingNode(st.X)
-		s.stmt(st.Body)
-	case *ast.SwitchStmt:
-		s.checkBlockingNode(st.Tag)
-		for _, c := range st.Body.List {
-			s.stmts(c.(*ast.CaseClause).Body)
-		}
-	case *ast.TypeSwitchStmt:
-		for _, c := range st.Body.List {
-			s.stmts(c.(*ast.CaseClause).Body)
-		}
-	case *ast.SelectStmt:
-		if len(s.held) > 0 {
-			s.reportBlocking(st.Pos(), "select")
-		}
-		for _, c := range st.Body.List {
-			s.stmts(c.(*ast.CommClause).Body)
-		}
-	case *ast.LabeledStmt:
-		s.stmt(st.Stmt)
-	case *ast.GoStmt:
-		// The spawned goroutine runs without our locks; its body is
-		// scanned separately via the FuncLit walk.
-	default:
-		s.checkBlocking(st)
 	}
+	return fact
 }
 
 // mutexOp recognises a call of sync's Lock/RLock/Unlock/RUnlock on a
 // mutex-valued expression, returning the receiver's printed form.
-func (s *lockScan) mutexOp(e ast.Expr) (key, op string, ok bool) {
+func (lc *lockChecker) mutexOp(e ast.Expr) (key, op string, ok bool) {
 	call, isCall := ast.Unparen(e).(*ast.CallExpr)
 	if !isCall {
 		return "", "", false
@@ -247,7 +287,7 @@ func (s *lockScan) mutexOp(e ast.Expr) (key, op string, ok bool) {
 	if !isSel {
 		return "", "", false
 	}
-	fn, isFn := s.lc.p.objectOf(sel.Sel).(*types.Func)
+	fn, isFn := lc.p.objectOf(sel.Sel).(*types.Func)
 	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
 		return "", "", false
 	}
@@ -258,47 +298,41 @@ func (s *lockScan) mutexOp(e ast.Expr) (key, op string, ok bool) {
 	return "", "", false
 }
 
-// checkBlocking flags channel operations and Submit calls inside st
-// while any mutex is held.
-func (s *lockScan) checkBlocking(st ast.Stmt) {
-	if len(s.held) == 0 {
+// scanBlocking flags channel operations and Submit calls inside one
+// block node while any mutex may be held.
+func (lc *lockChecker) scanBlocking(fact lockFact, n ast.Node) {
+	if len(fact) == 0 {
 		return
 	}
-	s.checkBlockingNode(st)
-}
-
-func (s *lockScan) checkBlockingNode(n ast.Node) {
-	if n == nil || len(s.held) == 0 {
-		return
-	}
-	ast.Inspect(n, func(c ast.Node) bool {
+	inspectShallow(n, func(c ast.Node) bool {
 		switch c := c.(type) {
-		case *ast.FuncLit:
-			return false // runs later, without our locks
 		case *ast.SendStmt:
-			s.reportBlocking(c.Pos(), "channel send")
+			lc.reportBlocking(fact, c.Pos(), "channel send")
 		case *ast.UnaryExpr:
 			if c.Op == token.ARROW {
-				s.reportBlocking(c.Pos(), "channel receive")
+				lc.reportBlocking(fact, c.Pos(), "channel receive")
 			}
 		case *ast.CallExpr:
 			if sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Submit" {
-				s.reportBlocking(c.Pos(), "Submit call")
+				lc.reportBlocking(fact, c.Pos(), "Submit call")
 			}
 		}
 		return true
 	})
 }
 
-func (s *lockScan) reportBlocking(pos token.Pos, what string) {
-	keys := s.heldKeys()
-	s.lc.p.Reportf(pos, "%s while %s is held (blocking operations must not extend a critical section)", what, keys[0])
+func (lc *lockChecker) reportBlocking(fact lockFact, pos token.Pos, what string) {
+	keys := sortedLockKeys(fact)
+	if len(keys) == 0 {
+		return
+	}
+	lc.p.Reportf(pos, "%s while %s is held (blocking operations must not extend a critical section)", what, keys[0])
 }
 
-// heldKeys returns the held mutexes in deterministic order.
-func (s *lockScan) heldKeys() []string {
-	keys := make([]string, 0, len(s.held))
-	for k := range s.held {
+// sortedLockKeys returns the fact's mutexes in deterministic order.
+func sortedLockKeys(fact lockFact) []string {
+	keys := make([]string, 0, len(fact))
+	for k := range fact {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SARIF 2.1.0 output, the interchange format GitHub code scanning
+// ingests. The rendering is deliberately minimal — one run, one tool,
+// one result per diagnostic — and deterministic: rules are emitted in
+// catalog order and results in the suite's total diagnostic order, so
+// two runs over the same tree produce byte-identical documents (CI
+// diffs the artifact).
+//
+// Suppressed findings are still emitted, carrying a `suppressions`
+// entry with kind "inSource" and the directive's reason as the
+// justification; code-scanning UIs hide them by default but keep them
+// auditable, mirroring the text renderer's "(allowed: ...)" tail.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	RuleIndex    int                `json:"ruleIndex"`
+	Level        string             `json:"level"`
+	Message      sarifText          `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// sarifRules is the rule catalog: every analyzer plus the two
+// pseudo-checks (malformed directives, unused allows) that can appear
+// as a Diagnostic.Check value.
+func sarifRules() []sarifRule {
+	var rules []sarifRule
+	for _, c := range Checks() {
+		rules = append(rules, sarifRule{ID: c.Name, ShortDescription: sarifText{Text: c.Doc}})
+	}
+	rules = append(rules,
+		sarifRule{ID: "directive", ShortDescription: sarifText{Text: "malformed //lint:allow directive (missing reason or unknown check)"}},
+		sarifRule{ID: "unused-allow", ShortDescription: sarifText{Text: "//lint:allow directive that suppresses no finding (stale; delete it)"}},
+	)
+	return rules
+}
+
+func writeSARIF(w io.Writer, diags []Diagnostic, base string) error {
+	rules := sarifRules()
+	index := map[string]int{}
+	for i, r := range rules {
+		index[r.ID] = i
+	}
+	results := []sarifResult{}
+	for _, d := range diags {
+		res := sarifResult{
+			RuleID:    d.Check,
+			RuleIndex: index[d.Check],
+			Level:     "error",
+			Message:   sarifText{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: relPath(base, d.Pos.Filename)},
+				Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		}
+		if d.Suppressed {
+			res.Level = "note"
+			res.Suppressions = []sarifSuppression{{Kind: "inSource", Justification: d.Reason}}
+		}
+		results = append(results, res)
+	}
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "schedlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

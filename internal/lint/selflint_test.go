@@ -19,7 +19,8 @@ func TestSelfLint(t *testing.T) {
 	if len(pkgs) < 10 {
 		t.Fatalf("suspiciously few packages loaded (%d): pattern expansion is broken", len(pkgs))
 	}
-	diags := Run(m, pkgs, DefaultConfig(m.Path))
+	cfg := DefaultConfig(m.Path)
+	diags := Run(m, pkgs, cfg)
 	suppressed := 0
 	for _, d := range diags {
 		if d.Suppressed {
@@ -28,6 +29,12 @@ func TestSelfLint(t *testing.T) {
 			continue
 		}
 		t.Errorf("unsuppressed finding: %s", d)
+	}
+	// The suppression inventory must be live: a directive whose finding
+	// has been fixed grants a standing exemption to future regressions
+	// at that site, so stale allows fail the build too.
+	for _, d := range UnusedAllows(pkgs, diags, cfg) {
+		t.Errorf("stale suppression: %s", d)
 	}
 	t.Logf("self-lint: %d package(s), %d reasoned exception(s)", len(pkgs), suppressed)
 }

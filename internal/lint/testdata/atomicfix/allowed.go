@@ -1,0 +1,29 @@
+package atomicfix
+
+import "repro/internal/lint/testdata/atomicfix/counter"
+
+// NewGauge owns its value before publication: constructor writes are
+// exempt.
+func NewGauge() *gauge {
+	g := &gauge{}
+	g.val = 0
+	return g
+}
+
+// Snapshot reads through a by-value copy: the local struct cannot race
+// with the shared instance.
+func Snapshot(g gauge) int64 {
+	return g.val
+}
+
+// CrossRead reads counter's field plainly from a package performing no
+// atomic access on it: presumed a post-barrier snapshot, not flagged.
+func CrossRead(s *counter.Shared) int64 {
+	return s.N
+}
+
+// Audited is an annotated plain read in the atomically-accessing
+// package.
+func Audited(g *gauge) int64 {
+	return g.val //lint:allow atomics fixture: post-barrier read, documented exception
+}

@@ -1,0 +1,42 @@
+// Package atomicfix exercises the atomics check: once a field is
+// accessed via sync/atomic anywhere in the module, every plain write,
+// plain same-package read, and address escape is a finding.
+package atomicfix
+
+import (
+	"sync/atomic"
+
+	"repro/internal/lint/testdata/atomicfix/counter"
+)
+
+// gauge's val field is atomically bumped below, establishing the
+// discipline the plain accesses violate.
+type gauge struct {
+	val int64
+}
+
+// Bump is the sanctioned access.
+func Bump(g *gauge) {
+	atomic.AddInt64(&g.val, 1)
+}
+
+// Reset writes the field plainly.
+func Reset(g *gauge) {
+	g.val = 0
+}
+
+// Read reads the field plainly in the package that bumps it.
+func Read(g *gauge) int64 {
+	return g.val
+}
+
+// Alias lets the address escape outside sync/atomic.
+func Alias(g *gauge) *int64 {
+	return &g.val
+}
+
+// CrossWrite writes another package's atomic field plainly — flagged
+// even though the atomic accesses all live in counter.
+func CrossWrite(s *counter.Shared) {
+	s.N = 0
+}

@@ -1,0 +1,16 @@
+// Package counter is atomicfix's in-module dependency: its field is
+// accessed atomically here, so the module-wide index protects it
+// against plain writes from the importing fixture package.
+package counter
+
+import "sync/atomic"
+
+// Shared is a counter whose N field is atomically maintained.
+type Shared struct {
+	N int64
+}
+
+// Bump is the sanctioned access path.
+func (s *Shared) Bump() {
+	atomic.AddInt64(&s.N, 1)
+}

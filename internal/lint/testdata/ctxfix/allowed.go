@@ -1,0 +1,45 @@
+package ctxfix
+
+import "context"
+
+// Guarded sends under a select with a ctx.Done() arm.
+func Guarded(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	case <-ctx.Done():
+	}
+}
+
+// WithDefault cannot block.
+func WithDefault(ctx context.Context, ch chan int) bool {
+	select {
+	case ch <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+// StopRecv's receive is itself the shutdown wait (stop-named channel).
+func StopRecv(ctx context.Context, stop chan struct{}) {
+	<-stop
+}
+
+// Detached closures do not inherit the caller's context: the send is
+// deliberate fire-and-forget, quiet without an annotation.
+func Detached(ctx context.Context, ch chan int) {
+	go func() {
+		ch <- 1
+	}()
+}
+
+// EarlyOps precede any context binding and are clean.
+func EarlyOps(ch chan int) {
+	ch <- 1
+	<-ch
+}
+
+// Audited is an annotated exception.
+func Audited(ctx context.Context, ch chan int) {
+	ch <- 2 //lint:allow ctxflow fixture: the send is bounded by the test harness
+}

@@ -1,0 +1,53 @@
+// Package ctxfix exercises the ctxflow check: blocking channel
+// operations and queue waits reachable with a context in scope and no
+// cancellation arm.
+package ctxfix
+
+import (
+	"context"
+	"sync"
+)
+
+// NakedSend blocks on a send with ctx in scope.
+func NakedSend(ctx context.Context, ch chan int) {
+	ch <- 1
+}
+
+// NakedRecv blocks on a receive with ctx in scope.
+func NakedRecv(ctx context.Context, ch chan int) int {
+	return <-ch
+}
+
+// LateCtx binds a context mid-function: the first send precedes the
+// binding and is clean, the second is flagged.
+func LateCtx(ch chan int) context.Context {
+	ch <- 1
+	ctx := context.Background()
+	ch <- 2
+	return ctx
+}
+
+// BarrierWait waits on a WaitGroup with ctx in scope.
+func BarrierWait(ctx context.Context, wg *sync.WaitGroup) {
+	wg.Wait()
+}
+
+// RangeRecv blocks every iteration on an unguarded receive.
+func RangeRecv(ctx context.Context, ch chan int) int {
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// UnguardedSelect has neither a default nor a cancellation arm: both
+// communications are findings.
+func UnguardedSelect(ctx context.Context, a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

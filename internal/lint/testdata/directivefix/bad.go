@@ -17,3 +17,9 @@ func NoReason() {}
 //
 //lint:allow nosuchcheck because typos happen
 func Unknown() {}
+
+// Stale is well-formed but suppresses nothing: the ordinary run stays
+// silent about it, and only the -unused-allows audit reports it.
+func Stale() int {
+	return 0 //lint:allow locking fixture: nothing on this line ever violated the locking rules
+}

@@ -1,0 +1,38 @@
+package leakfix
+
+import "sync"
+
+// Bounded runs to completion: exit is trivially reachable.
+func Bounded(wg *sync.WaitGroup, work func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// Drain ranges over a channel the producer closes on shutdown.
+func Drain(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// Stoppable's loop has a stop arm that returns.
+func Stoppable(ch chan int, stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-ch:
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Contract spawns an opaque body under a documented drain contract.
+func Contract(r Runner) {
+	go r.Run() //lint:allow leaks fixture: the runner's Run returns when its input closes
+}

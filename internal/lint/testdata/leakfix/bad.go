@@ -1,0 +1,37 @@
+// Package leakfix exercises the leaks check: go statements whose
+// bodies provably never exit, or cannot be analyzed at all.
+package leakfix
+
+// Runner is an opaque interface: a goroutine spawned on it cannot be
+// proven to drain.
+type Runner interface {
+	Run()
+}
+
+// Spin spawns a loop with no escape.
+func Spin() {
+	go func() {
+		for {
+		}
+	}()
+}
+
+// poller's run loop never exits; the method body is resolved through
+// the go statement.
+type poller struct{ n int }
+
+func (p *poller) run() {
+	for {
+		p.n++
+	}
+}
+
+// PollForever spawns the non-terminating method.
+func PollForever(p *poller) {
+	go p.run()
+}
+
+// Opaque spawns an interface method the analyzer cannot see.
+func Opaque(r Runner) {
+	go r.Run()
+}

@@ -51,3 +51,55 @@ func Forward(b *Box, x interface{ Submit() }) {
 	defer b.mu.Unlock()
 	x.Submit()
 }
+
+// BranchLeak unlocks on only one branch; the fall-through return may
+// still hold mu. A linear source-order scan forgets the lock after the
+// if-body's unlock — only the CFG join keeps it may-held.
+func BranchLeak(b *Box, done bool) int {
+	b.mu.Lock()
+	if done {
+		b.mu.Unlock()
+	}
+	return b.n
+}
+
+// GotoLeak jumps over the unlock; the labeled return is reachable with
+// mu held only along the goto edge.
+func GotoLeak(b *Box) int {
+	b.mu.Lock()
+	if b.n > 0 {
+		goto out
+	}
+	b.mu.Unlock()
+	return 0
+out:
+	return b.n
+}
+
+// LoopEscape breaks out of the outer loop with the lock held; the send
+// after the loop is reachable inside the critical section only via the
+// labeled break edge.
+func LoopEscape(b *Box, ch chan int) {
+outer:
+	for {
+		b.mu.Lock()
+		for i := 0; i < 10; i++ {
+			if i == b.n {
+				break outer
+			}
+		}
+		b.mu.Unlock()
+	}
+	ch <- 1
+}
+
+// DeferredBranch defers the unlock on one path only; the other path
+// returns with mu held and nothing pending.
+func DeferredBranch(b *Box, flip bool) int {
+	b.mu.Lock()
+	if flip {
+		defer b.mu.Unlock()
+		return b.n
+	}
+	return b.n
+}

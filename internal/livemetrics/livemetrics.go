@@ -170,8 +170,6 @@ type workerRates struct {
 }
 
 // New creates a plane and starts its gauge sampler.
-//
-//lint:allow determinism live monitoring is wall-clock by nature; nothing downstream replays from it
 func New(opts Options) *Plane {
 	o := opts.withDefaults()
 	p := &Plane{

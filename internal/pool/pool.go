@@ -172,7 +172,7 @@ func (x *Executor) SubmitPhases(ctx context.Context, cfg core.Config, phases int
 	var start time.Time
 	if plane != nil {
 		cfg = instrument(cfg, plane)
-		start = time.Now() //lint:allow determinism live submission latency is measured host time
+		start = time.Now()
 	}
 	var at *spantrace.Active
 	if tracer := x.tracer.Load(); tracer != nil {
@@ -206,7 +206,7 @@ func (x *Executor) SubmitPhases(ctx context.Context, cfg core.Config, phases int
 	if !errors.Is(err, ErrClosed) {
 		x.subs.Add(1)
 		if plane != nil {
-			elapsed := time.Since(start) //lint:allow determinism live submission latency is measured host time
+			elapsed := time.Since(start)
 			switch {
 			case res.Panic != nil:
 				plane.ObserveSubmission(elapsed, livemetrics.OutcomePanicked, fmt.Sprint(res.Panic), traceID)

@@ -95,8 +95,6 @@ type Sampler struct {
 
 // NewSampler probes the running toolchain's metric set and returns a
 // sampler over the supported subset.
-//
-//lint:allow determinism runtime sampling is wall-clock by nature; nothing downstream replays from it
 func NewSampler() *Sampler {
 	s := &Sampler{idx: map[string]int{}}
 	supported := map[string]bool{}

@@ -507,9 +507,9 @@ func runObserved(cfg config, phases int, f func(cc core.Config) (RunStats, error
 		}
 		return st, err
 	}
-	start := time.Now() //lint:allow determinism live submission latency is measured host time
+	start := time.Now()
 	st, err := f(cc)
-	elapsed := time.Since(start) //lint:allow determinism live submission latency is measured host time
+	elapsed := time.Since(start)
 	var traceID uint64
 	if at != nil {
 		traceID = at.End(oneShotOutcome(err)).TraceID
